@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+use cnet_timing::Time;
+
+/// Errors raised while constructing an adversarial scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdversaryError {
+    /// The requested `c2/c1` ratio is too small for the attack to
+    /// produce a violation (discrete time needs a little slack over the
+    /// paper's strict inequality).
+    RatioTooSmall {
+        /// A human-readable form of the required condition.
+        required: String,
+        /// The provided `c1`.
+        c1: Time,
+        /// The provided `c2`.
+        c2: Time,
+    },
+    /// The requested gap exceeds the largest gap for which the attack
+    /// still violates.
+    GapTooLarge {
+        /// The requested gap.
+        gap: Time,
+        /// The largest violating gap for these parameters.
+        max: Time,
+    },
+    /// An underlying network construction failed (bad width).
+    Topology(cnet_topology::TopologyError),
+    /// An underlying schedule operation failed.
+    Timing(cnet_timing::TimingError),
+}
+
+impl fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryError::RatioTooSmall { required, c1, c2 } => {
+                write!(
+                    f,
+                    "timing c1={c1}, c2={c2} too tame for this attack; need {required}"
+                )
+            }
+            AdversaryError::GapTooLarge { gap, max } => {
+                write!(f, "gap {gap} exceeds the largest violating gap {max}")
+            }
+            AdversaryError::Topology(e) => write!(f, "topology: {e}"),
+            AdversaryError::Timing(e) => write!(f, "timing: {e}"),
+        }
+    }
+}
+
+impl Error for AdversaryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AdversaryError::Topology(e) => Some(e),
+            AdversaryError::Timing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnet_topology::TopologyError> for AdversaryError {
+    fn from(e: cnet_topology::TopologyError) -> Self {
+        AdversaryError::Topology(e)
+    }
+}
+
+impl From<cnet_timing::TimingError> for AdversaryError {
+    fn from(e: cnet_timing::TimingError) -> Self {
+        AdversaryError::Timing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AdversaryError::RatioTooSmall {
+            required: "c2 > 2 c1 + 2".into(),
+            c1: 5,
+            c2: 10,
+        };
+        assert!(e.to_string().contains("c2 > 2 c1 + 2"));
+        assert!(e.source().is_none());
+
+        let e: AdversaryError =
+            cnet_topology::TopologyError::WidthNotPowerOfTwo { width: 3 }.into();
+        assert!(e.source().is_some());
+    }
+}

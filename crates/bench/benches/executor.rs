@@ -1,0 +1,53 @@
+//! Criterion benchmark: the timed executor and the sequential router.
+//!
+//! Measures tokens per second pushed through `Bitonic[32]` and the
+//! width-32 counting tree, for both the untimed sequential router and
+//! the event-ordered timed executor.
+
+use cnet_timing::executor::TimedExecutor;
+use cnet_timing::{random, LinkTiming};
+use cnet_topology::{constructions, router::SequentialRouter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const TOKENS: usize = 2_000;
+
+fn bench_sequential_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_router");
+    group.throughput(Throughput::Elements(TOKENS as u64));
+    for (name, net) in [
+        ("bitonic32", constructions::bitonic(32).expect("valid")),
+        ("tree32", constructions::counting_tree(32).expect("valid")),
+        ("periodic16", constructions::periodic(16).expect("valid")),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
+            b.iter(|| {
+                let mut r = SequentialRouter::new(net);
+                r.route_round_robin(TOKENS).expect("routes")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_timed_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timed_executor");
+    group.throughput(Throughput::Elements(TOKENS as u64));
+    let timing = LinkTiming::new(10, 20).expect("valid timing");
+    for (name, net) in [
+        ("bitonic32", constructions::bitonic(32).expect("valid")),
+        ("tree32", constructions::counting_tree(32).expect("valid")),
+    ] {
+        let schedule = random::uniform_schedule(&net, timing, TOKENS, 5, 7).expect("schedule");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(net, schedule),
+            |b, (net, schedule)| {
+                b.iter(|| TimedExecutor::new(net).run(std::hint::black_box(schedule)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential_router, bench_timed_executor);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmark: the discrete-event simulator.
+//!
+//! Measures simulated operations per second for the two Section 5
+//! configurations, plus the ablation between lock-based and
+//! prism-fronted balancers at equal workloads.
+
+use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_topology::constructions;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const OPS: usize = 1_000;
+
+fn workload(processors: usize) -> Workload {
+    Workload {
+        processors,
+        delayed_percent: 50,
+        wait_cycles: 1_000,
+        total_ops: OPS,
+        wait_mode: WaitMode::Fixed,
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proteus_simulator");
+    group.throughput(Throughput::Elements(OPS as u64));
+    let bitonic = constructions::bitonic(32).expect("valid");
+    let tree = constructions::counting_tree(32).expect("valid");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("bitonic_queue_lock", n), &n, |b, &n| {
+            let sim = Simulator::new(&bitonic, SimConfig::queue_lock(1));
+            b.iter(|| sim.run(std::hint::black_box(&workload(n))))
+        });
+        group.bench_with_input(BenchmarkId::new("tree_diffracting", n), &n, |b, &n| {
+            let sim = Simulator::new(&tree, SimConfig::diffracting(1));
+            b.iter(|| sim.run(std::hint::black_box(&workload(n))))
+        });
+        // ablation: the same tree with prisms disabled (pure toggles)
+        group.bench_with_input(BenchmarkId::new("tree_no_prism", n), &n, |b, &n| {
+            let sim = Simulator::new(&tree, SimConfig::queue_lock(1));
+            b.iter(|| sim.run(std::hint::black_box(&workload(n))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

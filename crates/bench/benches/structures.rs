@@ -1,0 +1,112 @@
+//! Criterion benchmark: the data structures of `cnet-structures`.
+//!
+//! Queue throughput with fetch-add vs counting-network tickets, and
+//! stack throughput with and without the elimination array.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cnet_concurrent::counter::FetchAddCounter;
+use cnet_structures::queue::NetQueue;
+use cnet_structures::stack::ElimStack;
+use cnet_topology::constructions;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const ITEMS: usize = 4_000;
+
+/// One producer and one consumer move `ITEMS` items through the queue.
+fn run_queue<E, D>(queue: Arc<NetQueue<u64, E, D>>, iters: u64) -> Duration
+where
+    E: cnet_concurrent::counter::Counter + 'static,
+    D: cnet_concurrent::counter::Counter + 'static,
+{
+    let start = Instant::now();
+    for _ in 0..iters {
+        let q = Arc::clone(&queue);
+        let producer = std::thread::spawn(move || {
+            for i in 0..ITEMS {
+                q.enqueue(i as u64);
+            }
+        });
+        let q = Arc::clone(&queue);
+        let consumer = std::thread::spawn(move || {
+            for _ in 0..ITEMS {
+                std::hint::black_box(q.dequeue());
+            }
+        });
+        producer.join().expect("producer");
+        consumer.join().expect("consumer");
+    }
+    start.elapsed()
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_queue");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ITEMS as u64));
+    group.bench_function("fetch_add_tickets", |b| {
+        b.iter_custom(|iters| {
+            let q = Arc::new(NetQueue::with_counters(
+                64,
+                FetchAddCounter::new(),
+                FetchAddCounter::new(),
+            ));
+            run_queue(q, iters)
+        })
+    });
+    group.bench_function("bitonic8_tickets", |b| {
+        b.iter_custom(|iters| {
+            let net = constructions::bitonic(8).expect("valid width");
+            let q = Arc::new(NetQueue::over_network(64, &net));
+            run_queue(q, iters)
+        })
+    });
+    group.finish();
+}
+
+/// Two symmetric push/pop threads hammer the stack.
+fn run_stack(stack: Arc<ElimStack<u64>>, iters: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        let s = Arc::clone(&stack);
+        let pusher = std::thread::spawn(move || {
+            for i in 0..ITEMS {
+                s.push(i as u64);
+            }
+        });
+        let s = Arc::clone(&stack);
+        let popper = std::thread::spawn(move || {
+            let mut got = 0;
+            while got < ITEMS {
+                if s.pop().is_some() {
+                    got += 1;
+                }
+            }
+        });
+        pusher.join().expect("pusher");
+        popper.join().expect("popper");
+    }
+    start.elapsed()
+}
+
+fn bench_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elim_stack");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ITEMS as u64));
+    for (label, slots, spin) in [
+        ("central_only", 0usize, 0u32),
+        ("elimination_4x512", 4, 512),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(slots, spin),
+            |b, &(slots, spin)| {
+                b.iter_custom(|iters| run_stack(Arc::new(ElimStack::new(slots, spin)), iters))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_stack);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: balancer implementation cost in the simulator.
+//!
+//! Sweeps the critical-section length (`toggle_cost`) of the queue-lock
+//! balancer for `Bitonic[32]` at `n = 64`, `F = 50%`, `W = 1000`. A
+//! cheaper balancer means a smaller measured `Tog`, hence a *larger*
+//! effective `(Tog + W)/Tog` ratio — the paper's reason for keeping
+//! balancers slow enough that the `W` waits dominate `c2/c1`.
+//!
+//! Usage: `ablation_balancer [--ops N]`.
+
+use cnet_bench::experiments::ops_from_args;
+use cnet_bench::{percent, ResultTable};
+use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_topology::constructions;
+
+fn main() {
+    let ops = ops_from_args();
+    let net = constructions::bitonic(32).expect("valid width");
+    let workload = Workload {
+        processors: 64,
+        delayed_percent: 50,
+        wait_cycles: 1000,
+        total_ops: ops,
+        wait_mode: WaitMode::Fixed,
+    };
+    let mut table = ResultTable::new(
+        format!("balancer-cost ablation (bitonic32, n=64, F=50%, W=1000, {ops} ops)"),
+        &["Tog", "avg c2/c1", "mean latency", "max queue", "nonlin"],
+    );
+    for toggle_cost in [1u64, 10, 50, 200, 800] {
+        let config = SimConfig {
+            toggle_cost,
+            ..SimConfig::queue_lock(0xBA)
+        };
+        let stats = Simulator::new(&net, config).run(&workload);
+        table.push_row(
+            format!("cs={toggle_cost}"),
+            vec![
+                format!("{:.0}", stats.avg_toggle_wait()),
+                format!("{:.2}", stats.average_ratio(workload.wait_cycles)),
+                format!("{:.0}", stats.mean_latency()),
+                format!("{}", stats.max_lock_queue),
+                percent(stats.nonlinearizable_ratio()),
+            ],
+        );
+    }
+    println!("{}", table.to_text());
+    println!("{}", table.to_csv());
+}

@@ -1,0 +1,58 @@
+//! Ablation: wire-latency jitter vs violations at high concurrency.
+//!
+//! EXPERIMENTS.md's deviation note claims that without timing variance
+//! the deterministic queue locks serialize the saturated network and
+//! violations vanish at large `n`. This sweep makes that claim a
+//! table: violations at `n = 256, W = 10000, F = 50%` as the uniform
+//! link jitter grows from 0.
+//!
+//! Usage: `ablation_jitter [--ops N]`.
+
+use cnet_bench::experiments::ops_from_args;
+use cnet_bench::{percent, ResultTable};
+use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_topology::constructions;
+
+fn main() {
+    let ops = ops_from_args();
+    let net = constructions::counting_tree(32).expect("valid width");
+    let bitonic = constructions::bitonic(32).expect("valid width");
+    let workload = Workload {
+        processors: 256,
+        delayed_percent: 50,
+        wait_cycles: 10_000,
+        total_ops: ops,
+        wait_mode: WaitMode::Fixed,
+    };
+    let mut table = ResultTable::new(
+        format!("jitter ablation (n=256, F=50%, W=10000, {ops} ops)"),
+        &["bitonic nonlin", "tree nonlin"],
+    );
+    for jitter in [0u64, 50, 200, 800, 3200] {
+        let b = Simulator::new(
+            &bitonic,
+            SimConfig {
+                link_jitter: jitter,
+                ..SimConfig::queue_lock(0xA1)
+            },
+        )
+        .run(&workload);
+        let t = Simulator::new(
+            &net,
+            SimConfig {
+                link_jitter: jitter,
+                ..SimConfig::diffracting(0xA1)
+            },
+        )
+        .run(&workload);
+        table.push_row(
+            format!("jitter={jitter}"),
+            vec![
+                percent(b.nonlinearizable_ratio()),
+                percent(t.nonlinearizable_ratio()),
+            ],
+        );
+    }
+    println!("{}", table.to_text());
+    println!("{}", table.to_csv());
+}

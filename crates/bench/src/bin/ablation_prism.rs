@@ -1,0 +1,63 @@
+//! Ablation: prism (diffraction) width and spin window in the
+//! diffracting tree.
+//!
+//! Sweeps the root prism size and the spin window and reports, for the
+//! width-32 tree at `n = 64`, `F = 50%`, `W = 1000`: the measured
+//! `Tog`, the diffraction rate, operation latency, and the
+//! non-linearizability ratio. `slots = 0` disables diffraction (plain
+//! queue-lock tree).
+//!
+//! Usage: `ablation_prism [--ops N]`.
+
+use cnet_bench::experiments::ops_from_args;
+use cnet_bench::{percent, ResultTable};
+use cnet_proteus::{PrismConfig, SimConfig, Simulator, WaitMode, Workload};
+use cnet_topology::constructions;
+
+fn main() {
+    let ops = ops_from_args();
+    let net = constructions::counting_tree(32).expect("valid width");
+    let workload = Workload {
+        processors: 64,
+        delayed_percent: 50,
+        wait_cycles: 1000,
+        total_ops: ops,
+        wait_mode: WaitMode::Fixed,
+    };
+    let mut table = ResultTable::new(
+        format!("prism ablation (tree32, n=64, F=50%, W=1000, {ops} ops)"),
+        &["Tog", "diffracted", "mean latency", "nonlin"],
+    );
+    for (slots, spin) in [
+        (0usize, 0u64),
+        (4, 200),
+        (8, 400),
+        (16, 700),
+        (32, 700),
+        (64, 700),
+        (32, 200),
+        (32, 1400),
+    ] {
+        let mut config = SimConfig::queue_lock(0xAB);
+        if slots > 0 {
+            config.prism = Some(PrismConfig {
+                root_slots: slots,
+                spin_window: spin,
+                pair_cost: 60,
+            });
+        }
+        let stats = Simulator::new(&net, config).run(&workload);
+        let diffracted = 2.0 * stats.diffraction_pairs as f64 / stats.node_visits.max(1) as f64;
+        table.push_row(
+            format!("slots={slots},spin={spin}"),
+            vec![
+                format!("{:.0}", stats.avg_toggle_wait()),
+                percent(diffracted),
+                format!("{:.0}", stats.mean_latency()),
+                percent(stats.nonlinearizable_ratio()),
+            ],
+        );
+    }
+    println!("{}", table.to_text());
+    println!("{}", table.to_csv());
+}

@@ -1,0 +1,66 @@
+//! Consistency breakdown of the Section 5 benchmark: how much of the
+//! non-linearizability is visible to a single process (the
+//! sequential-consistency-style program-order count), and where in the
+//! run the violations cluster.
+//!
+//! The paper remarks that linearizability "is related to (but not
+//! identical with)" sequential consistency; this experiment quantifies
+//! the gap on the benchmark itself.
+//!
+//! Usage: `consistency [--ops N]`.
+
+use cnet_bench::experiments::{ops_from_args, NetworkKind};
+use cnet_bench::{percent, ResultTable, PAPER_WAITS, PAPER_WIDTH};
+use cnet_proteus::{Simulator, WaitMode, Workload};
+use cnet_timing::windows;
+
+fn main() {
+    let ops = ops_from_args();
+    let n = 64;
+    println!("consistency breakdown (n = {n}, F = 50%, width 32, {ops} ops/cell)\n");
+    for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
+        let net = kind.build(PAPER_WIDTH);
+        let mut table = ResultTable::new(
+            format!("{} — linearizability vs program order", kind.label()),
+            &["nonlin", "program-order", "invisible share"],
+        );
+        let mut worst: Option<(u64, cnet_proteus::RunStats)> = None;
+        for &w in &PAPER_WAITS {
+            let workload = Workload {
+                processors: n,
+                delayed_percent: 50,
+                wait_cycles: w,
+                total_ops: ops,
+                wait_mode: WaitMode::Fixed,
+            };
+            let stats = Simulator::new(&net, kind.config(0xCC)).run(&workload);
+            let lin = stats.nonlinearizable_count();
+            let po = stats.program_order_violations();
+            let invisible = if lin == 0 {
+                "-".to_string()
+            } else {
+                percent(lin.saturating_sub(po) as f64 / lin as f64)
+            };
+            table.push_row(
+                format!("W={w}"),
+                vec![lin.to_string(), po.to_string(), invisible],
+            );
+            if worst
+                .as_ref()
+                .is_none_or(|(_, s)| stats.nonlinearizable_count() > s.nonlinearizable_count())
+            {
+                worst = Some((w, stats));
+            }
+        }
+        println!("{}", table.to_text());
+        if let Some((w, stats)) = worst {
+            if stats.nonlinearizable_count() > 0 {
+                println!("violation density over time (worst cell, W = {w}):");
+                let width = (stats.sim_time / 24).max(1);
+                let profile =
+                    windows::density_profile(&windows::violation_density(&stats.operations, width));
+                println!("{profile}");
+            }
+        }
+    }
+}

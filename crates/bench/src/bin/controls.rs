@@ -1,0 +1,68 @@
+//! Regenerates the paper's Section 5 **control runs**, all of which the
+//! paper reports as violation-free:
+//!
+//! * `F = 0%` (nobody delayed) and `F = 100%` (everybody equally
+//!   delayed), each at every `W`;
+//! * `W = 0` at every `F`;
+//! * the uniform-random scenario: every token waits a random number of
+//!   cycles in `[0, W]` after each node.
+//!
+//! Usage: `controls [--ops N]`.
+
+use cnet_bench::experiments::{ops_from_args, NetworkKind};
+use cnet_bench::{percent, ResultTable, PAPER_WAITS, PAPER_WIDTH};
+use cnet_proteus::{Simulator, WaitMode, Workload};
+
+fn main() {
+    let ops = ops_from_args();
+    println!("Section 5 control runs ({ops} operations per cell, width 32, n = 64)\n");
+    let n = 64;
+    for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
+        let net = kind.build(PAPER_WIDTH);
+        let columns: Vec<String> = PAPER_WAITS.iter().map(|w| format!("W={w}")).collect();
+        let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut table = ResultTable::new(
+            format!(
+                "{} — control scenarios (non-linearizability ratio)",
+                kind.label()
+            ),
+            &column_refs,
+        );
+        let scenarios: [(&str, u32, WaitMode); 3] = [
+            ("F=0%", 0, WaitMode::Fixed),
+            ("F=100%", 100, WaitMode::Fixed),
+            ("random [0,W]", 0, WaitMode::UniformRandom),
+        ];
+        for (label, f, mode) in scenarios {
+            let row: Vec<String> = PAPER_WAITS
+                .iter()
+                .map(|&w| {
+                    let workload = Workload {
+                        processors: n,
+                        delayed_percent: f,
+                        wait_cycles: w,
+                        total_ops: ops,
+                        wait_mode: mode,
+                    };
+                    let stats = Simulator::new(&net, kind.config(0xC0)).run(&workload);
+                    percent(stats.nonlinearizable_ratio())
+                })
+                .collect();
+            table.push_row(label, row);
+        }
+        // the W = 0 column, at F = 50%
+        let w0 = {
+            let workload = Workload {
+                processors: n,
+                delayed_percent: 50,
+                wait_cycles: 0,
+                total_ops: ops,
+                wait_mode: WaitMode::Fixed,
+            };
+            Simulator::new(&net, kind.config(0xC0)).run(&workload)
+        };
+        println!("{}", table.to_text());
+        println!("W=0 (F=50%): {}\n", percent(w0.nonlinearizable_ratio()));
+        println!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates **Figure 5** of the paper: non-linearizability ratios
+//! with `F = 25%` of the processors delayed, for the width-32 bitonic
+//! counting network and diffracting tree, over
+//! `W ∈ {100, 1000, 10000, 100000}` and `n ∈ {4, 16, 64, 128, 256}`.
+//!
+//! Usage: `figure5 [--ops N]` (default 5000 operations per cell, as in
+//! the paper).
+
+use cnet_bench::experiments::{ops_from_args, ratio_table, run_grid, NetworkKind};
+
+fn main() {
+    let ops = ops_from_args();
+    println!("Figure 5 — non-linearizability ratios, F = 25% delayed processors");
+    println!("({ops} operations per cell, width 32)\n");
+    for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
+        let cells = run_grid(kind, 25, ops, 0xF165);
+        let table = ratio_table(kind.label(), &cells);
+        println!("{}", table.to_text());
+        println!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates **Figure 6** of the paper: non-linearizability ratios
+//! with `F = 50%` of the processors delayed (same grid as Figure 5).
+//!
+//! Usage: `figure6 [--ops N]`.
+
+use cnet_bench::experiments::{ops_from_args, ratio_table, run_grid, NetworkKind};
+
+fn main() {
+    let ops = ops_from_args();
+    println!("Figure 6 — non-linearizability ratios, F = 50% delayed processors");
+    println!("({ops} operations per cell, width 32)\n");
+    for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
+        let cells = run_grid(kind, 50, ops, 0xF166);
+        let table = ratio_table(kind.label(), &cells);
+        println!("{}", table.to_text());
+        println!("{}", table.to_csv());
+    }
+}

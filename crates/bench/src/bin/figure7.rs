@@ -1,0 +1,21 @@
+//! Regenerates **Figure 7** of the paper: the average
+//! `c2/c1 = (Tog + W)/Tog` measured during the simulations, for both
+//! networks and both delayed fractions.
+//!
+//! Usage: `figure7 [--ops N]`.
+
+use cnet_bench::experiments::{average_ratio_table, ops_from_args, run_grid, NetworkKind};
+
+fn main() {
+    let ops = ops_from_args();
+    println!("Figure 7 — average c2/c1 = (Tog + W)/Tog");
+    println!("({ops} operations per cell, width 32)\n");
+    for f in [50u32, 25] {
+        for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
+            let cells = run_grid(kind, f, ops, 0xF167);
+            let table = average_ratio_table(&format!("{} — F = {f}%", kind.label()), &cells);
+            println!("{}", table.to_text());
+            println!("{}", table.to_csv());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The motivation experiment: counting networks "eliminate sequential
+//! bottlenecks and contention".
+//!
+//! Simulated throughput (operations per kilocycle) of a centralized
+//! counter vs `Bitonic[32]` vs the width-32 diffracting tree, as
+//! concurrency grows, with a 100-cycle fetch-and-increment cost at
+//! every counter. The centralized counter is linearizable but flat;
+//! the networks scale.
+//!
+//! Usage: `scaling [--ops N]`.
+
+use cnet_bench::experiments::ops_from_args;
+use cnet_bench::{ResultTable, PAPER_WIDTH};
+use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_topology::constructions;
+
+fn main() {
+    let ops = ops_from_args();
+    let counter_cost = 100;
+    let central = constructions::serial_line(1);
+    let bitonic = constructions::bitonic(PAPER_WIDTH).expect("valid width");
+    let tree = constructions::counting_tree(PAPER_WIDTH).expect("valid width");
+
+    let concurrency = [1usize, 4, 16, 64, 256];
+    let columns: Vec<String> = concurrency.iter().map(|n| format!("n={n}")).collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        format!("throughput, ops/kilocycle ({ops} ops, counter cost {counter_cost})"),
+        &column_refs,
+    );
+    for (name, net, prism) in [
+        ("central counter", &central, false),
+        ("bitonic[32]", &bitonic, false),
+        ("diffracting[32]", &tree, true),
+    ] {
+        let row: Vec<String> = concurrency
+            .iter()
+            .map(|&n| {
+                let workload = Workload {
+                    processors: n,
+                    delayed_percent: 0,
+                    wait_cycles: 0,
+                    total_ops: ops,
+                    wait_mode: WaitMode::Fixed,
+                };
+                let base = if prism {
+                    SimConfig::diffracting(0x5C)
+                } else {
+                    SimConfig::queue_lock(0x5C)
+                };
+                let config = SimConfig {
+                    counter_cost,
+                    ..base
+                };
+                let stats = Simulator::new(net, config).run(&workload);
+                format!("{:.2}", stats.throughput() * 1000.0)
+            })
+            .collect();
+        table.push_row(name, row);
+    }
+    println!("{}", table.to_text());
+    println!("{}", table.to_csv());
+}

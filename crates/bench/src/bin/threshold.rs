@@ -1,0 +1,48 @@
+//! Empirical Theorem 3.6 tightness sweep across networks and ratios.
+//!
+//! For each network and `c2/c1` ratio, finds the largest finish-start
+//! gap at which the straggler/wave family still violates and reports it
+//! as a fraction of the theoretical bound `h·c2 - 2·h·c1`.
+//!
+//! Usage: `threshold`.
+
+use cnet_bench::ResultTable;
+use cnet_timing::{threshold, LinkTiming};
+use cnet_topology::constructions;
+
+fn main() {
+    let networks = [
+        ("tree16", constructions::counting_tree(16).expect("valid")),
+        ("tree32", constructions::counting_tree(32).expect("valid")),
+        ("bitonic8", constructions::bitonic(8).expect("valid")),
+        ("bitonic16", constructions::bitonic(16).expect("valid")),
+    ];
+    let ratios = [(10u64, 25u64), (10, 30), (10, 40), (10, 60)];
+    let columns: Vec<String> = ratios
+        .iter()
+        .map(|(c1, c2)| format!("c2/c1={:.1}", *c2 as f64 / *c1 as f64))
+        .collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        "largest violating gap / Theorem 3.6 bound (straggler-wave family)",
+        &column_refs,
+    );
+    for (name, net) in &networks {
+        let row: Vec<String> = ratios
+            .iter()
+            .map(|&(c1, c2)| {
+                let timing = LinkTiming::new(c1, c2).expect("valid timing");
+                let r = threshold::empirical_threshold(net, timing).expect("sweep");
+                match (r.max_violating_gap, r.tightness()) {
+                    (Some(g), Some(t)) => {
+                        format!("{g}/{} ({:.0}%)", r.theory_bound, t * 100.0)
+                    }
+                    _ => format!("none/{}", r.theory_bound),
+                }
+            })
+            .collect();
+        table.push_row(*name, row);
+    }
+    println!("{}", table.to_text());
+    println!("{}", table.to_csv());
+}

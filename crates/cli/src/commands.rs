@@ -1,0 +1,647 @@
+//! Subcommand implementations: pure functions from arguments to a
+//! report string.
+
+use std::fmt::Write as _;
+
+use cnet_adversary::{
+    bitonic_attack, intro_example, search_violations, tree_attack, wave_attack, Scenario,
+    SearchConfig,
+};
+use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_timing::executor::TimedExecutor;
+use cnet_timing::{interleave, io, measure, render, threshold as thresh, LinkTiming};
+use cnet_topology::{constructions, Topology};
+
+use crate::args::{CliError, ParsedArgs};
+
+/// Builds the network named by the first two positionals (`kind`,
+/// `width`), honoring `--pad` and `--arity`.
+fn build_network(args: &ParsedArgs) -> Result<Topology, CliError> {
+    let kind = args.positional(0, "kind")?;
+    if kind == "file" {
+        let path = args.positional(1, "topology file")?;
+        let text = std::fs::read_to_string(path).map_err(CliError::failed)?;
+        let net = cnet_topology::io::from_text(&text).map_err(CliError::failed)?;
+        return match args.u64_opt("pad")? {
+            Some(pad) => constructions::pad_inputs(&net, pad as usize).map_err(CliError::failed),
+            None => Ok(net),
+        };
+    }
+    let width = args
+        .positional(1, "width")?
+        .parse::<usize>()
+        .map_err(|_| CliError::usage("width must be a number"))?;
+    let arity = args.u64_opt("arity")?.unwrap_or(2) as usize;
+    let net = match kind {
+        "bitonic" => constructions::bitonic(width),
+        "periodic" => constructions::periodic(width),
+        "tree" if arity == 2 => constructions::counting_tree(width),
+        "tree" => constructions::counting_tree_d(width, arity),
+        "merger" => constructions::merger(width),
+        "block" => constructions::block(width),
+        "single" => Ok(constructions::single_balancer()),
+        other => return Err(CliError::usage(format!("unknown network kind `{other}`"))),
+    }
+    .map_err(CliError::failed)?;
+    match args.u64_opt("pad")? {
+        Some(pad) => constructions::pad_inputs(&net, pad as usize).map_err(CliError::failed),
+        None => Ok(net),
+    }
+}
+
+fn link_timing(args: &ParsedArgs) -> Result<LinkTiming, CliError> {
+    LinkTiming::new(args.required_u64("c1")?, args.required_u64("c2")?).map_err(CliError::failed)
+}
+
+/// `cnet topo` — describe a network, optionally as Graphviz DOT.
+pub fn topo(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    if args.flag("dot") {
+        return Ok(net.to_dot());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} -> {} (inputs -> counters), depth {}, {} balancers",
+        net.input_width(),
+        net.output_width(),
+        net.depth(),
+        net.node_count()
+    );
+    for l in 1..=net.depth() {
+        let _ = writeln!(out, "  layer {l}: {} nodes", net.layer(l).len());
+    }
+    Ok(out)
+}
+
+/// `cnet measure` — the paper's linearizability measure for a network.
+pub fn measure(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    let timing = link_timing(args)?;
+    let h = net.depth();
+    let mut out = String::new();
+    let _ = writeln!(out, "network depth h = {h}, timing {timing}");
+    if timing.guarantees_linearizability() {
+        let _ = writeln!(
+            out,
+            "c2 <= 2 c1: linearizable in every execution (Corollary 3.9)"
+        );
+    } else {
+        let _ = writeln!(out, "c2 > 2 c1: violations are possible (Theorems 4.1/4.3)");
+        let _ = writeln!(
+            out,
+            "finish-start guarantee (Thm 3.6):  separation > {}",
+            measure::finish_start_separation(h, timing)
+        );
+        let _ = writeln!(
+            out,
+            "start-start guarantee (Lemma 3.7): separation > {}",
+            measure::start_start_separation(h, timing)
+        );
+        let k = timing.min_integer_k() as usize;
+        let _ = writeln!(
+            out,
+            "linearizing prefix (Cor 3.12, k = {k}): pad each input with {} unary \
+             balancers -> depth {}",
+            measure::corollary_3_12_padding(h, k),
+            measure::corollary_3_12_depth(h, k)
+        );
+        let _ = writeln!(
+            out,
+            "bitonic mass-violation threshold (Thm 4.4) at width {}: ratio > {:.2}",
+            net.output_width(),
+            measure::bitonic_mass_violation_threshold(
+                net.output_width().next_power_of_two().max(2)
+            )
+        );
+    }
+    Ok(out)
+}
+
+/// `cnet simulate` — one Section 5 cell on the simulator.
+pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    let workload = Workload {
+        processors: args.required_u64("n")? as usize,
+        delayed_percent: args.required_u64("f")? as u32,
+        wait_cycles: args.required_u64("w")?,
+        total_ops: args.u64_opt("ops")?.unwrap_or(5000) as usize,
+        wait_mode: if args.flag("random-wait") {
+            WaitMode::UniformRandom
+        } else {
+            WaitMode::Fixed
+        },
+    };
+    let seed = args.u64_opt("seed")?.unwrap_or(1);
+    let config = if args.flag("prism") {
+        SimConfig::diffracting(seed)
+    } else {
+        SimConfig::queue_lock(seed)
+    };
+    let stats = Simulator::new(&net, config).run(&workload);
+    if let Some(path) = args.positional_opt(2) {
+        std::fs::write(path, io::operations_to_csv(&stats.operations)).map_err(CliError::failed)?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ops: {}  sim time: {} cycles  throughput: {:.5} ops/cycle",
+        stats.operations.len(),
+        stats.sim_time,
+        stats.throughput()
+    );
+    let _ = writeln!(
+        out,
+        "Tog: {:.1}  avg c2/c1 = (Tog+W)/Tog: {:.2}",
+        stats.avg_toggle_wait(),
+        stats.average_ratio(workload.wait_cycles)
+    );
+    let _ = writeln!(
+        out,
+        "toggles: {}  diffracted pairs: {}  deepest lock queue: {}",
+        stats.toggle_count, stats.diffraction_pairs, stats.max_lock_queue
+    );
+    let _ = writeln!(
+        out,
+        "non-linearizable: {} / {} ({:.2}%)",
+        stats.nonlinearizable_count(),
+        stats.operations.len(),
+        stats.nonlinearizable_ratio() * 100.0
+    );
+    Ok(out)
+}
+
+fn attack_scenario(args: &ParsedArgs) -> Result<Scenario, CliError> {
+    let name = args.positional(0, "attack")?;
+    let timing = link_timing(args)?;
+    let width = args.u64_opt("width")?.unwrap_or(8) as usize;
+    match name {
+        "intro" => intro_example(timing),
+        "tree" => tree_attack(width, timing),
+        "bitonic" => bitonic_attack(width, timing),
+        "wave" => wave_attack(width, timing),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown attack `{other}` (intro|tree|bitonic|wave)"
+            )))
+        }
+    }
+    .map_err(CliError::failed)
+}
+
+/// `cnet attack` — run a Section 1/4 scenario and render the timeline.
+pub fn attack(args: &ParsedArgs) -> Result<String, CliError> {
+    let scenario = attack_scenario(args)?;
+    let exec = scenario.execute().map_err(CliError::failed)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} tokens, {} violations",
+        scenario.name,
+        scenario.schedule.len(),
+        exec.nonlinearizable_count()
+    );
+    if args.flag("svg") {
+        out.push_str(&render::svg_timeline(&exec));
+    } else {
+        out.push_str(&render::text_timeline(&exec, 72));
+    }
+    Ok(out)
+}
+
+/// `cnet interleave` — exhaustively enumerate every interleaving of a
+/// small token population.
+pub fn interleave_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    let tokens = args.u64_opt("tokens")?.unwrap_or(3) as usize;
+    let budget = args.u64_opt("budget")?.unwrap_or(2_000_000);
+    let inputs: Vec<usize> = (0..tokens).map(|i| i % net.input_width()).collect();
+    let r = interleave::enumerate_interleavings(&net, &inputs, budget).map_err(CliError::failed)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} interleavings{}",
+        r.executions,
+        if r.truncated { " (budget reached)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "step-property failures: {} (0 = counting network)",
+        r.step_failures
+    );
+    let _ = writeln!(
+        out,
+        "executions with order-precedence violations: {} ({:.2}%), worst {} victims",
+        r.violating_executions,
+        r.violating_fraction() * 100.0,
+        r.max_violations
+    );
+    Ok(out)
+}
+
+/// `cnet search` — automated attack search over extremal schedules.
+pub fn search(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    let timing = link_timing(args)?;
+    let tokens = args.u64_opt("tokens")?.unwrap_or(4) as usize;
+    let mut config = SearchConfig::for_network(&net, timing, tokens);
+    if let Some(budget) = args.u64_opt("budget")? {
+        config.budget = budget;
+    }
+    let out = search_violations(&net, timing, &config).map_err(CliError::failed)?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "searched {} extremal schedules{}; {} violating",
+        out.assignments,
+        if out.truncated {
+            " (budget reached)"
+        } else {
+            ""
+        },
+        out.violating
+    );
+    match out.witness {
+        Some(schedule) => {
+            let exec = TimedExecutor::new(&net)
+                .run(&schedule)
+                .map_err(CliError::failed)?;
+            let _ = writeln!(report, "witness found:");
+            report.push_str(&render::text_timeline(&exec, 72));
+        }
+        None => {
+            let _ = writeln!(
+                report,
+                "no violating schedule in the box{}",
+                if timing.guarantees_linearizability() {
+                    " (c2 <= 2 c1: Corollary 3.9 guarantees none exist at all)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    Ok(report)
+}
+
+/// `cnet threshold` — empirical vs theoretical violation threshold.
+pub fn threshold(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    let timing = link_timing(args)?;
+    let report = thresh::empirical_threshold(&net, timing).map_err(CliError::failed)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "Theorem 3.6 bound: {}", report.theory_bound);
+    match report.max_violating_gap {
+        Some(g) => {
+            let _ = writeln!(
+                out,
+                "largest violating finish-start gap found: {g} \
+                 (tightness {:.0}%)",
+                report.tightness().unwrap_or(0.0) * 100.0
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "no violating gap found (the attack family is exhausted)"
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `cnet verify` — exact counting-network check via the 0-1 principle.
+pub fn verify(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    let budget = args.u64_opt("budget")?.unwrap_or(1 << 22);
+    let verdict =
+        cnet_topology::verify::is_counting_network(&net, budget).map_err(CliError::failed)?;
+    Ok(match verdict {
+        cnet_topology::verify::CountingVerdict::Counting => format!(
+            "counting network: all {} zero-one inputs sort (AHS equivalence)
+",
+            1u64 << net.input_width()
+        ),
+        cnet_topology::verify::CountingVerdict::NotCounting { witness } => format!(
+            "NOT a counting network; witness 0-1 input: {witness:?}
+"
+        ),
+    })
+}
+
+/// `cnet check` — run the Definition 2.4 checker over a trace CSV.
+pub fn check(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args.positional(0, "trace.csv")?;
+    let csv = std::fs::read_to_string(path).map_err(CliError::failed)?;
+    let ops = io::operations_from_csv(&csv).map_err(CliError::failed)?;
+    let bad = cnet_timing::linearizability::count_nonlinearizable(&ops);
+    Ok(format!(
+        "{} operations, {} non-linearizable ({:.3}%)\n",
+        ops.len(),
+        bad,
+        if ops.is_empty() {
+            0.0
+        } else {
+            bad as f64 / ops.len() as f64 * 100.0
+        }
+    ))
+}
+
+/// `cnet windows` — violation density over time from a trace CSV.
+pub fn windows_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args.positional(0, "trace.csv")?;
+    let csv = std::fs::read_to_string(path).map_err(CliError::failed)?;
+    let ops = io::operations_from_csv(&csv).map_err(CliError::failed)?;
+    if ops.is_empty() {
+        return Ok("empty trace
+"
+        .into());
+    }
+    let span = ops.iter().map(|o| o.end).max().unwrap_or(1);
+    let width = args.u64_opt("w")?.unwrap_or_else(|| (span / 24).max(1));
+    let profile = cnet_timing::windows::density_profile(&cnet_timing::windows::violation_density(
+        &ops, width,
+    ));
+    Ok(profile)
+}
+
+/// `cnet run-schedule` — execute a schedule CSV on a network.
+pub fn run_schedule(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    let path = args.positional(2, "schedule.csv")?;
+    let csv = std::fs::read_to_string(path).map_err(CliError::failed)?;
+    let schedule = io::schedule_from_csv(&csv).map_err(CliError::failed)?;
+    let exec = TimedExecutor::new(&net)
+        .run(&schedule)
+        .map_err(CliError::failed)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} tokens, {} violations, final counts {}",
+        schedule.len(),
+        exec.nonlinearizable_count(),
+        exec.output_counts()
+    );
+    if args.flag("svg") {
+        out.push_str(&render::svg_timeline(&exec));
+    } else {
+        out.push_str(&render::text_timeline(&exec, 72));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn topo_describes_bitonic() {
+        let out = topo(&parse(&["bitonic", "8"])).unwrap();
+        assert!(out.contains("8 -> 8"));
+        assert!(out.contains("depth 6"));
+        assert!(out.contains("layer 6: 4 nodes"));
+    }
+
+    #[test]
+    fn topo_dot_output() {
+        let out = topo(&parse(&["single", "2", "--dot"])).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn topo_with_padding_and_arity() {
+        let out = topo(&parse(&["tree", "9", "--arity", "3", "--pad", "2"])).unwrap();
+        assert!(out.contains("depth 4"), "{out}");
+    }
+
+    #[test]
+    fn topo_rejects_unknown_kind() {
+        assert!(topo(&parse(&["torus", "8"])).is_err());
+    }
+
+    #[test]
+    fn measure_reports_guarantee() {
+        let out = measure(&parse(&["bitonic", "8", "--c1", "10", "--c2", "20"])).unwrap();
+        assert!(out.contains("Corollary 3.9"));
+    }
+
+    #[test]
+    fn measure_reports_bounds_when_skewed() {
+        let out = measure(&parse(&["bitonic", "8", "--c1", "10", "--c2", "35"])).unwrap();
+        assert!(out.contains("Thm 3.6"));
+        assert!(out.contains("k = 4"));
+    }
+
+    #[test]
+    fn simulate_small_cell() {
+        let out = simulate(&parse(&[
+            "bitonic", "8", "--n", "8", "--f", "50", "--w", "100", "--ops", "100",
+        ]))
+        .unwrap();
+        assert!(out.contains("ops: 100"));
+        assert!(out.contains("avg c2/c1"));
+    }
+
+    #[test]
+    fn attack_tree_violates() {
+        let out = attack(&parse(&[
+            "tree", "--width", "8", "--c1", "10", "--c2", "30",
+        ]))
+        .unwrap();
+        assert!(out.contains("theorem-4.1-tree"));
+        assert!(!out.contains(" 0 violations"));
+    }
+
+    #[test]
+    fn attack_svg_flag() {
+        let out = attack(&parse(&["intro", "--c1", "2", "--c2", "10", "--svg"])).unwrap();
+        assert!(out.contains("<svg"));
+    }
+
+    #[test]
+    fn threshold_tree() {
+        let out = threshold(&parse(&["tree", "16", "--c1", "10", "--c2", "30"])).unwrap();
+        assert!(out.contains("Theorem 3.6 bound: 40"));
+        assert!(out.contains("tightness 100%"));
+    }
+
+    #[test]
+    fn check_reads_trace_file() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        std::fs::write(
+            &path,
+            "token,input,start,end,counter,value\n0,0,0,3,0,5\n1,0,4,6,0,1\n",
+        )
+        .unwrap();
+        let out = check(&parse(&[path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("2 operations, 1 non-linearizable"));
+    }
+
+    #[test]
+    fn run_schedule_round_trip() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("schedule.csv");
+        // the intro example on the single balancer
+        std::fs::write(&path, "token,input,t1,t2\n0,0,0,8\n1,0,1,3\n2,0,4,6\n").unwrap();
+        let out = run_schedule(&parse(&["single", "2", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("3 tokens, 1 violations"), "{out}");
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn interleave_single_balancer() {
+        let out = interleave_cmd(&parse(&["single", "2", "--tokens", "3"])).unwrap();
+        assert!(out.contains("90 interleavings"), "{out}");
+        assert!(out.contains("step-property failures: 0"));
+    }
+
+    #[test]
+    fn interleave_budget_truncates() {
+        let out =
+            interleave_cmd(&parse(&["single", "2", "--tokens", "3", "--budget", "5"])).unwrap();
+        assert!(out.contains("budget reached"));
+    }
+
+    #[test]
+    fn simulate_writes_trace() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("simtrace.csv");
+        let out = simulate(&parse(&[
+            "bitonic",
+            "8",
+            path.to_str().unwrap(),
+            "--n",
+            "8",
+            "--f",
+            "0",
+            "--w",
+            "0",
+            "--ops",
+            "50",
+        ]))
+        .unwrap();
+        assert!(out.contains("ops: 50"));
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(csv.lines().count(), 51, "header + 50 rows");
+        // and the check subcommand can read it back
+        let report = check(&parse(&[path.to_str().unwrap()])).unwrap();
+        assert!(report.contains("50 operations"));
+    }
+}
+
+#[cfg(test)]
+mod file_topology_tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn topo_loads_a_file() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.topo");
+        let net = cnet_topology::constructions::bitonic(4).unwrap();
+        std::fs::write(&path, cnet_topology::io::to_text(&net)).unwrap();
+        let out = topo(&parse(&["file", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("4 -> 4"), "{out}");
+        assert!(out.contains("depth 3"));
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(topo(&parse(&["file", "/nonexistent/net.topo"])).is_err());
+    }
+}
+
+#[cfg(test)]
+mod search_tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn search_finds_the_intro_witness() {
+        let out = search(&parse(&[
+            "single", "2", "--c1", "2", "--c2", "8", "--tokens", "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("witness found"), "{out}");
+    }
+
+    #[test]
+    fn search_reports_guarantee_when_tame() {
+        let out = search(&parse(&[
+            "tree", "4", "--c1", "10", "--c2", "20", "--tokens", "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("Corollary 3.9"), "{out}");
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn verify_accepts_bitonic() {
+        let out = verify(&parse(&["bitonic", "8"])).unwrap();
+        assert!(out.contains("counting network: all 256"), "{out}");
+    }
+
+    #[test]
+    fn verify_rejects_a_lone_block() {
+        let out = verify(&parse(&["block", "8"])).unwrap();
+        assert!(out.contains("NOT a counting network"), "{out}");
+        assert!(out.contains("witness"));
+    }
+}
+
+#[cfg(test)]
+mod windows_tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn windows_profile_from_trace() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wtrace.csv");
+        std::fs::write(
+            &path,
+            "token,input,start,end,counter,value\n0,0,0,5,0,9\n1,0,6,20,0,0\n",
+        )
+        .unwrap();
+        let out = windows_cmd(&parse(&[path.to_str().unwrap()])).unwrap();
+        assert!(
+            out.contains('#'),
+            "the violation shows in the profile: {out}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! The `cnet` command-line tool.
+//!
+//! Every subcommand is a pure function from parsed arguments to a
+//! report string, so the whole CLI is unit-testable; `main` only parses
+//! `std::env::args`, dispatches, and prints.
+//!
+//! ```text
+//! cnet topo <kind> <width> [--pad N] [--arity D] [--dot]
+//! cnet measure <kind> <width> --c1 C1 --c2 C2
+//! cnet simulate <kind> <width> --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S]
+//! cnet attack <intro|tree|bitonic|wave> --width W --c1 C1 --c2 C2 [--svg]
+//! cnet threshold <kind> <width> --c1 C1 --c2 C2
+//! cnet check <trace.csv>
+//! cnet run-schedule <kind> <width> <schedule.csv> [--svg]
+//! ```
+//!
+//! Network kinds: `bitonic`, `periodic`, `tree`, `merger`, `block`,
+//! `single`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{CliError, ParsedArgs};
+
+/// Parses raw arguments (without the program name) and runs the
+/// requested subcommand, returning its report.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing bad usage or a failed operation.
+pub fn run(raw: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = raw.split_first() else {
+        return Err(CliError::Usage(usage()));
+    };
+    let args = ParsedArgs::parse(rest)?;
+    match command.as_str() {
+        "topo" => commands::topo(&args),
+        "measure" => commands::measure(&args),
+        "simulate" => commands::simulate(&args),
+        "attack" => commands::attack(&args),
+        "threshold" => commands::threshold(&args),
+        "interleave" => commands::interleave_cmd(&args),
+        "search" => commands::search(&args),
+        "verify" => commands::verify(&args),
+        "windows" => commands::windows_cmd(&args),
+        "check" => commands::check(&args),
+        "run-schedule" => commands::run_schedule(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The top-level usage text.
+#[must_use]
+pub fn usage() -> String {
+    "cnet — counting networks and their practical linearizability
+
+usage:
+  cnet topo <kind> <width> [--pad N] [--arity D] [--dot]
+  cnet measure <kind> <width> --c1 C1 --c2 C2
+  cnet simulate <kind> <width> [trace.csv] --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S]
+  cnet attack <intro|tree|bitonic|wave> --width W --c1 C1 --c2 C2 [--svg]
+  cnet threshold <kind> <width> --c1 C1 --c2 C2
+  cnet interleave <kind> <width> [--tokens N] [--budget N]
+  cnet search <kind> <width> --c1 C1 --c2 C2 [--tokens N] [--budget N]
+  cnet verify <kind> <width> [--budget N]
+  cnet check <trace.csv>
+  cnet windows <trace.csv> [--w WIDTH]
+  cnet run-schedule <kind> <width> <schedule.csv> [--svg]
+
+network kinds: bitonic periodic tree merger block single, or `file <path>`
+for a topology in the cnet-topology text format
+"
+    .to_string()
+}

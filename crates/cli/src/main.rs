@@ -1,0 +1,13 @@
+//! Binary entry point for the `cnet` CLI; all logic lives in the
+//! library so it can be unit-tested.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cnet_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

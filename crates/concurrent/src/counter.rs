@@ -1,0 +1,108 @@
+//! The shared-counter abstraction and the centralized baselines.
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// A shared fetch-and-increment counter: every call returns a distinct
+/// value, and the set of returned values is exactly `0..n` after `n`
+/// calls have completed.
+///
+/// Implementations differ in *contention* (how many threads hammer the
+/// same cache line) and *linearizability* (whether real-time order is
+/// respected): the centralized [`FetchAddCounter`] and [`LockCounter`]
+/// are linearizable but serialize all threads on one location; counting
+/// networks distribute the load and are linearizable only under the
+/// timing conditions the paper quantifies.
+pub trait Counter: Send + Sync + Debug {
+    /// Takes the next value.
+    fn next(&self) -> u64;
+}
+
+/// The trivial centralized counter: a single atomic `fetch_add`.
+///
+/// Linearizable (the hardware primitive is a linearization point) but
+/// a sequential bottleneck: every thread contends on one cache line.
+#[derive(Debug, Default)]
+pub struct FetchAddCounter {
+    value: AtomicU64,
+}
+
+impl FetchAddCounter {
+    /// Creates a counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Counter for FetchAddCounter {
+    fn next(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// A mutex-protected counter — the naive baseline.
+#[derive(Debug, Default)]
+pub struct LockCounter {
+    value: Mutex<u64>,
+}
+
+impl LockCounter {
+    /// Creates a counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Counter for LockCounter {
+    fn next(&self) -> u64 {
+        let mut v = self.value.lock();
+        let out = *v;
+        *v += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn exercise(counter: Arc<dyn Counter>, threads: usize, per_thread: usize) -> Vec<u64> {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                (0..per_thread).map(|_| c.next()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no panic"))
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn fetch_add_counts_exactly() {
+        let all = exercise(Arc::new(FetchAddCounter::new()), 4, 500);
+        assert_eq!(all, (0..2000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn lock_counter_counts_exactly() {
+        let all = exercise(Arc::new(LockCounter::new()), 4, 500);
+        assert_eq!(all, (0..2000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn counters_are_object_safe() {
+        let boxed: Box<dyn Counter> = Box::new(FetchAddCounter::new());
+        assert_eq!(boxed.next(), 0);
+        assert_eq!(boxed.next(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Native-atomics counting networks: real shared counters for real
+//! threads.
+//!
+//! The other crates in this workspace *model* counting networks; this
+//! one *is* one. Every balancer is a lock-free toggle
+//! ([`balancer::ToggleBalancer`], a `fetch_add` over the fan-out), so
+//! any validated [`cnet_topology::Topology`] can be instantiated as a
+//! shared counter usable from any number of threads:
+//!
+//! * [`network::NetworkCounter`] — a counting network (bitonic,
+//!   periodic, padded, …) as a concurrent counter;
+//! * [`tree::DiffractingTreeCounter`] — a counting tree whose nodes are
+//!   fronted by prism (elimination) arrays, per Shavit and Zemach:
+//!   colliding pairs diffract without touching the toggle;
+//! * [`counter::FetchAddCounter`] and [`counter::LockCounter`] — the
+//!   centralized baselines every counting-network paper compares
+//!   against;
+//! * [`lock::TicketLock`] and [`lock::LockBalancer`] — a FIFO queue
+//!   lock (the safe-Rust behavioural equivalent of the paper's MCS
+//!   lock) and a balancer protected by one, mirroring the paper's
+//!   lock-based balancer implementation;
+//! * [`mp::MpNetwork`] — the message-passing realization the paper's
+//!   model also covers: one thread per balancer and counter, tokens as
+//!   messages on channels;
+//! * [`audit`] — a stress harness that timestamps every operation with
+//!   a global logical clock and feeds the trace to the `cnet-timing`
+//!   linearizability checker, reproducing the paper's measurement on
+//!   real threads.
+//!
+//! # Example
+//!
+//! ```
+//! use cnet_concurrent::counter::Counter;
+//! use cnet_concurrent::network::NetworkCounter;
+//! use cnet_topology::constructions;
+//! use std::sync::Arc;
+//!
+//! let net = constructions::bitonic(4)?;
+//! let counter = Arc::new(NetworkCounter::new(&net));
+//! let mut handles = Vec::new();
+//! for _ in 0..4 {
+//!     let c = Arc::clone(&counter);
+//!     handles.push(std::thread::spawn(move || {
+//!         (0..100).map(|_| c.next()).collect::<Vec<u64>>()
+//!     }));
+//! }
+//! let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+//! all.sort_unstable();
+//! // every value in 0..400 was handed out exactly once
+//! assert_eq!(all, (0..400).collect::<Vec<u64>>());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod audit;
+pub mod balancer;
+pub mod counter;
+pub mod lock;
+pub mod mp;
+pub mod network;
+pub mod tree;
+
+pub use counter::Counter;
+pub use network::NetworkCounter;
+pub use tree::DiffractingTreeCounter;

@@ -1,0 +1,249 @@
+//! A message-passing counting network.
+//!
+//! The paper's timing model "is general enough to capture both message
+//! passing and shared memory implementations". This module is the
+//! message-passing side: every balancer (and every output counter) is
+//! its own thread owning its state outright — no atomics, no locks —
+//! and tokens are messages flowing along channels that realize the
+//! network's wires. A client operation injects a token message carrying
+//! a reply channel and blocks until the counter thread answers with the
+//! assigned value.
+//!
+//! The per-hop cost (and therefore the effective `c1`/`c2` spread) is
+//! whatever the OS scheduler makes of the channel sends, optionally
+//! stretched by a configurable busy-spin per hop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::JoinHandle;
+
+use cnet_topology::{Topology, WireEnd};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use crate::counter::Counter;
+
+/// A token in flight: where to send the final value.
+#[derive(Debug)]
+struct TokenMsg {
+    reply: Sender<u64>,
+}
+
+/// Tuning for a [`MpNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MpConfig {
+    /// Busy-spin iterations each balancer performs before forwarding a
+    /// token — stretches the per-hop latency floor.
+    pub hop_spin: u64,
+}
+
+/// A counting network realized as a set of balancer and counter
+/// threads connected by channels.
+///
+/// Dropping the network closes the entry channels; every thread drains
+/// and exits, and the drop joins them all.
+///
+/// # Example
+///
+/// ```
+/// use cnet_concurrent::counter::Counter;
+/// use cnet_concurrent::mp::{MpConfig, MpNetwork};
+/// use cnet_topology::constructions;
+///
+/// let net = constructions::bitonic(4)?;
+/// let mp = MpNetwork::spawn(&net, MpConfig::default());
+/// assert_eq!(mp.next(), 0);
+/// assert_eq!(mp.next(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct MpNetwork {
+    entries: Vec<Sender<TokenMsg>>,
+    next_input: AtomicUsize,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl MpNetwork {
+    /// Spawns one thread per balancer and per counter of `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    #[must_use]
+    pub fn spawn(topology: &Topology, config: MpConfig) -> Self {
+        let width = topology.output_width() as u64;
+        let mut threads = Vec::new();
+
+        // counter threads first: one channel each
+        let counter_txs: Vec<Sender<TokenMsg>> = (0..topology.output_width())
+            .map(|index| {
+                let (tx, rx): (Sender<TokenMsg>, Receiver<TokenMsg>) = unbounded();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("cnet-counter-{index}"))
+                        .spawn(move || {
+                            let mut arrivals: u64 = 0;
+                            while let Ok(msg) = rx.recv() {
+                                let value = index as u64 + width * arrivals;
+                                arrivals += 1;
+                                // the client may have given up; ignore
+                                let _ = msg.reply.send(value);
+                            }
+                        })
+                        .expect("spawn counter thread"),
+                );
+                tx
+            })
+            .collect();
+
+        // balancer channels, deepest layer first so downstream senders
+        // exist when a balancer thread is spawned
+        let mut node_txs: Vec<Option<Sender<TokenMsg>>> = vec![None; topology.node_count()];
+        let mut nodes: Vec<_> = topology.iter_nodes().collect();
+        nodes.reverse();
+        for id in nodes {
+            let outs: Vec<Sender<TokenMsg>> = (0..topology.fan_out(id))
+                .map(|port| match topology.output_wire(id, port) {
+                    WireEnd::Counter { index } => counter_txs[index].clone(),
+                    WireEnd::Node { node, .. } => node_txs[node.index()]
+                        .as_ref()
+                        .expect("deeper layers spawned first")
+                        .clone(),
+                })
+                .collect();
+            let (tx, rx): (Sender<TokenMsg>, Receiver<TokenMsg>) = unbounded();
+            let hop_spin = config.hop_spin;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cnet-balancer-{}", id.index()))
+                    .spawn(move || {
+                        let mut toggle: u64 = 0;
+                        while let Ok(msg) = rx.recv() {
+                            let out = (toggle % outs.len() as u64) as usize;
+                            toggle += 1;
+                            for _ in 0..hop_spin {
+                                std::hint::spin_loop();
+                            }
+                            // downstream closing mid-shutdown only loses
+                            // tokens whose clients are gone too
+                            let _ = outs[out].send(msg);
+                        }
+                    })
+                    .expect("spawn balancer thread"),
+            );
+            node_txs[id.index()] = Some(tx);
+        }
+
+        let entries = (0..topology.input_width())
+            .map(|x| {
+                node_txs[topology.input(x).node.index()]
+                    .as_ref()
+                    .expect("entry node spawned")
+                    .clone()
+            })
+            .collect();
+        MpNetwork {
+            entries,
+            next_input: AtomicUsize::new(0),
+            threads,
+        }
+    }
+
+    /// Sends one token in on network input `x_input` and waits for its
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range or the network has been torn
+    /// down underneath the caller (impossible through the safe API).
+    pub fn count_on(&self, input: usize) -> u64 {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.entries[input]
+            .send(TokenMsg { reply: reply_tx })
+            .expect("network threads alive while self exists");
+        reply_rx.recv().expect("counter thread replies")
+    }
+
+    /// The number of network inputs.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl Counter for MpNetwork {
+    fn next(&self) -> u64 {
+        let input = self.next_input.fetch_add(1, Ordering::Relaxed) % self.entries.len();
+        self.count_on(input)
+    }
+}
+
+impl Drop for MpNetwork {
+    fn drop(&mut self) {
+        // closing the entries cascades: balancers see disconnect once
+        // every upstream sender (entries + earlier balancers) is gone
+        self.entries.clear();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_topology::constructions;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_counting() {
+        let net = constructions::bitonic(4).unwrap();
+        let mp = MpNetwork::spawn(&net, MpConfig::default());
+        for expect in 0..20 {
+            assert_eq!(mp.next(), expect);
+        }
+    }
+
+    #[test]
+    fn tree_topology_works_too() {
+        let net = constructions::counting_tree(4).unwrap();
+        let mp = MpNetwork::spawn(&net, MpConfig::default());
+        assert_eq!(mp.input_width(), 1);
+        for expect in 0..12 {
+            assert_eq!(mp.count_on(0), expect);
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_count_exactly() {
+        let net = constructions::bitonic(4).unwrap();
+        let mp = Arc::new(MpNetwork::spawn(&net, MpConfig::default()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mp = Arc::clone(&mp);
+            handles.push(std::thread::spawn(move || {
+                (0..250).map(|_| mp.next()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn hop_spin_only_slows_things_down() {
+        let net = constructions::bitonic(2).unwrap();
+        let mp = MpNetwork::spawn(&net, MpConfig { hop_spin: 1000 });
+        let values: Vec<u64> = (0..6).map(|_| mp.next()).collect();
+        assert_eq!(values, (0..6).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn drop_joins_all_threads() {
+        let net = constructions::bitonic(4).unwrap();
+        let mp = MpNetwork::spawn(&net, MpConfig::default());
+        let _ = mp.next();
+        drop(mp); // must not hang or leak
+    }
+}

@@ -1,0 +1,390 @@
+//! Any validated topology as a real concurrent counter.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use cnet_topology::{Topology, WireEnd};
+
+use crate::balancer::ToggleBalancer;
+use crate::counter::Counter;
+use crate::lock::LockBalancer;
+use crate::tree::{ExchangeOutcome, Exchanger};
+
+/// How the balancers of a [`NetworkCounter`] are implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalancerKind {
+    /// Wait-free `fetch_add` toggles (the default).
+    #[default]
+    WaitFree,
+    /// Toggles in critical sections guarded by FIFO ticket locks — the
+    /// paper's Section 5 implementation style.
+    Locked,
+    /// Wait-free toggles fronted by prism (elimination) arrays on every
+    /// binary balancer — diffraction generalized from trees to whole
+    /// networks: a colliding pair takes one output each without
+    /// touching the toggle. `slots` exchangers per node, `spin`
+    /// iterations of waiting.
+    Diffracting {
+        /// Exchanger slots per binary balancer.
+        slots: usize,
+        /// Spin budget while waiting for a partner.
+        spin: u32,
+    },
+}
+
+#[derive(Debug)]
+enum NodeImpl {
+    WaitFree(ToggleBalancer),
+    Locked(LockBalancer),
+    Diffracting {
+        toggle: ToggleBalancer,
+        prism: Vec<Exchanger>,
+        spin: u32,
+    },
+}
+
+impl NodeImpl {
+    fn traverse(&self) -> usize {
+        match self {
+            NodeImpl::WaitFree(b) => b.traverse(),
+            NodeImpl::Locked(b) => b.traverse(),
+            NodeImpl::Diffracting {
+                toggle,
+                prism,
+                spin,
+            } => {
+                if !prism.is_empty() {
+                    let slot = fast_thread_rand() as usize % prism.len();
+                    match prism[slot].visit(*spin) {
+                        ExchangeOutcome::DiffractedFirst => return 0,
+                        ExchangeOutcome::DiffractedSecond => return 1,
+                        ExchangeOutcome::Timeout => {}
+                    }
+                }
+                toggle.traverse()
+            }
+        }
+    }
+}
+
+fn fast_thread_rand() -> u64 {
+    use std::cell::Cell;
+    thread_local! {
+        static RNG: Cell<u64> = const { Cell::new(0) };
+    }
+    RNG.with(|c| {
+        let mut x = c.get();
+        if x == 0 {
+            let probe = 0u64;
+            x = (&probe as *const u64 as u64) | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.set(x);
+        x
+    })
+}
+
+/// A counting network instantiated over shared atomics.
+///
+/// Each call to [`Counter::next`] sends one token through the network:
+/// it enters on a round-robin-assigned input, toggles one balancer per
+/// layer, and performs a final `fetch_add` on the output counter it
+/// reaches. After any `n` completed calls the returned values are
+/// exactly `0..n` (the counting property), with the linearizability
+/// caveats the paper quantifies.
+///
+/// The structure is immutable after construction; every shared location
+/// is an atomic, so the type is `Send + Sync` by construction.
+#[derive(Debug)]
+pub struct NetworkCounter {
+    nodes: Vec<Option<NodeImpl>>,
+    /// `(node, port) -> wire` flattened per node for lock-free lookup.
+    wires: Vec<Vec<WireEnd>>,
+    /// Entry node per network input.
+    entries: Vec<usize>,
+    counters: Vec<AtomicU64>,
+    next_input: AtomicUsize,
+    width: u64,
+    depth: usize,
+}
+
+impl NetworkCounter {
+    /// Builds a counter over `topology` with wait-free balancers.
+    #[must_use]
+    pub fn new(topology: &Topology) -> Self {
+        Self::with_kind(topology, BalancerKind::WaitFree)
+    }
+
+    /// Builds a counter over `topology` with the chosen balancer
+    /// implementation.
+    #[must_use]
+    pub fn with_kind(topology: &Topology, kind: BalancerKind) -> Self {
+        let mut nodes: Vec<Option<NodeImpl>> = Vec::with_capacity(topology.node_count());
+        let mut wires: Vec<Vec<WireEnd>> = Vec::with_capacity(topology.node_count());
+        for i in 0..topology.node_count() {
+            nodes.push(None);
+            wires.push(Vec::new());
+            debug_assert_eq!(wires.len(), i + 1);
+        }
+        for id in topology.iter_nodes() {
+            let fan_out = topology.fan_out(id);
+            nodes[id.index()] = Some(match kind {
+                BalancerKind::WaitFree => NodeImpl::WaitFree(ToggleBalancer::new(fan_out)),
+                BalancerKind::Locked => NodeImpl::Locked(LockBalancer::new(fan_out)),
+                BalancerKind::Diffracting { slots, spin } => {
+                    if fan_out == 2 && slots > 0 {
+                        NodeImpl::Diffracting {
+                            toggle: ToggleBalancer::new(2),
+                            prism: (0..slots).map(|_| Exchanger::new()).collect(),
+                            spin,
+                        }
+                    } else {
+                        // diffraction pairs one token per output, which
+                        // only balances for fan-out 2
+                        NodeImpl::WaitFree(ToggleBalancer::new(fan_out))
+                    }
+                }
+            });
+            wires[id.index()] = (0..fan_out).map(|p| topology.output_wire(id, p)).collect();
+        }
+        let entries = (0..topology.input_width())
+            .map(|x| topology.input(x).node.index())
+            .collect();
+        NetworkCounter {
+            nodes,
+            wires,
+            entries,
+            counters: (0..topology.output_width())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            next_input: AtomicUsize::new(0),
+            width: topology.output_width() as u64,
+            depth: topology.depth(),
+        }
+    }
+
+    /// The network's output width `w`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width as usize
+    }
+
+    /// The network's input width `v`.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The network depth `h` (balancer layers per operation).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Takes the next value entering on a specific network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn next_on(&self, input: usize) -> u64 {
+        self.next_on_with_delay(input, 0)
+    }
+
+    /// Takes the next value, spinning `spin_per_node` dummy iterations
+    /// after each balancer traversal — the real-threads analogue of the
+    /// paper's `W`-cycle delay injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn next_on_with_delay(&self, input: usize, spin_per_node: u64) -> u64 {
+        let mut at = self.entries[input];
+        loop {
+            let out = self.nodes[at]
+                .as_ref()
+                .expect("entry nodes exist")
+                .traverse();
+            let wire = self.wires[at][out];
+            for _ in 0..spin_per_node {
+                std::hint::spin_loop();
+            }
+            match wire {
+                WireEnd::Node { node, .. } => at = node.index(),
+                WireEnd::Counter { index } => {
+                    let prior = self.counters[index].fetch_add(1, Ordering::AcqRel);
+                    return index as u64 + self.width * prior;
+                }
+            }
+        }
+    }
+
+    /// Per-counter totals in the current state (a step once quiescent).
+    #[must_use]
+    pub fn output_counts(&self) -> Vec<u64> {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect()
+    }
+}
+
+impl Counter for NetworkCounter {
+    fn next(&self) -> u64 {
+        let v = self.entries.len();
+        let input = self.next_input.fetch_add(1, Ordering::Relaxed) % v;
+        self.next_on(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_topology::constructions;
+    use std::sync::Arc;
+
+    fn hammer(counter: &Arc<NetworkCounter>, threads: usize, per_thread: usize) -> Vec<u64> {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let c = Arc::clone(counter);
+            handles.push(std::thread::spawn(move || {
+                (0..per_thread)
+                    .map(|_| c.next_on(t % c.entries.len()))
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no panic"))
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn sequential_use_counts_in_order() {
+        let net = constructions::bitonic(4).unwrap();
+        let c = NetworkCounter::new(&net);
+        for expect in 0..50 {
+            assert_eq!(c.next(), expect);
+        }
+    }
+
+    #[test]
+    fn concurrent_bitonic_hands_out_each_value_once() {
+        let net = constructions::bitonic(8).unwrap();
+        let c = Arc::new(NetworkCounter::new(&net));
+        let all = hammer(&c, 4, 1000);
+        assert_eq!(all, (0..4000).collect::<Vec<u64>>());
+        let counts: Vec<u64> = c.output_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn concurrent_periodic_counts_exactly() {
+        let net = constructions::periodic(4).unwrap();
+        let c = Arc::new(NetworkCounter::new(&net));
+        let all = hammer(&c, 4, 500);
+        assert_eq!(all, (0..2000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn locked_balancers_count_exactly() {
+        let net = constructions::bitonic(4).unwrap();
+        let c = Arc::new(NetworkCounter::with_kind(&net, BalancerKind::Locked));
+        let all = hammer(&c, 4, 500);
+        assert_eq!(all, (0..2000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn padded_network_counts_exactly() {
+        let inner = constructions::bitonic(4).unwrap();
+        let padded = constructions::pad_inputs(&inner, 3).unwrap();
+        let c = Arc::new(NetworkCounter::new(&padded));
+        let all = hammer(&c, 4, 400);
+        assert_eq!(all, (0..1600).collect::<Vec<u64>>());
+        assert_eq!(c.depth(), inner.depth() + 3);
+    }
+
+    #[test]
+    fn quiescent_counts_form_a_step() {
+        let net = constructions::bitonic(8).unwrap();
+        let c = Arc::new(NetworkCounter::new(&net));
+        let _ = hammer(&c, 4, 251); // deliberately not a multiple of width
+        let counts = cnet_topology::OutputCounts::from(c.output_counts());
+        assert!(counts.is_step(), "{counts}");
+    }
+
+    #[test]
+    fn delay_injection_does_not_break_counting() {
+        let net = constructions::bitonic(4).unwrap();
+        let c = Arc::new(NetworkCounter::new(&net));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let c = Arc::clone(&c);
+            // half the threads are "slow"
+            let spin = if t % 2 == 0 { 200 } else { 0 };
+            handles.push(std::thread::spawn(move || {
+                (0..300)
+                    .map(|_| c.next_on_with_delay(t, spin))
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no panic"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn counter_trait_round_robins_inputs() {
+        let net = constructions::bitonic(4).unwrap();
+        let c = NetworkCounter::new(&net);
+        let values: Vec<u64> = (0..8).map(|_| c.next()).collect();
+        assert_eq!(values, (0..8).collect::<Vec<u64>>());
+    }
+}
+
+#[cfg(test)]
+mod diffracting_network_tests {
+    use super::*;
+    use cnet_topology::constructions;
+    use std::sync::Arc;
+
+    #[test]
+    fn diffracting_bitonic_counts_exactly() {
+        let net = constructions::bitonic(8).unwrap();
+        let kind = BalancerKind::Diffracting {
+            slots: 2,
+            spin: 500,
+        };
+        let c = Arc::new(NetworkCounter::with_kind(&net, kind));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                (0..800).map(|_| c.next_on(t % 8)).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..3200).collect::<Vec<u64>>());
+        let counts = cnet_topology::OutputCounts::from(c.output_counts());
+        assert!(counts.is_step(), "{counts}");
+    }
+
+    #[test]
+    fn zero_slots_falls_back_to_wait_free() {
+        let net = constructions::bitonic(4).unwrap();
+        let kind = BalancerKind::Diffracting { slots: 0, spin: 0 };
+        let c = NetworkCounter::with_kind(&net, kind);
+        for expect in 0..20 {
+            assert_eq!(c.next(), expect);
+        }
+    }
+}

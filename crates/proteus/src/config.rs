@@ -1,0 +1,222 @@
+//! Simulator and workload configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the prism (diffraction) arrays placed in front of
+/// tree balancers, per Shavit and Zemach.
+///
+/// A processor arriving at a diffracting balancer first picks a random
+/// prism slot. If another processor is already waiting there, the two
+/// *collide* and diffract — the waiting one takes output 0, the
+/// arriving one output 1 — without touching the toggle bit. Otherwise
+/// the processor waits in the slot for `spin_window` cycles and, if
+/// nobody arrives, falls through to the balancer's queue-lock toggle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrismConfig {
+    /// Prism slots at the root (layer 1). Deeper layers halve this
+    /// (minimum 1), matching the narrowing traffic down the tree.
+    pub root_slots: usize,
+    /// Cycles a processor waits in a slot before giving up and using
+    /// the toggle lock.
+    pub spin_window: u64,
+    /// Cycles a colliding pair spends completing the diffraction.
+    pub pair_cost: u64,
+}
+
+impl PrismConfig {
+    /// The number of slots at a 1-based tree layer: `root_slots`
+    /// halved per layer, with a floor of one slot.
+    #[must_use]
+    pub fn slots_at_layer(&self, layer: usize) -> usize {
+        (self.root_slots >> (layer - 1)).max(1)
+    }
+}
+
+impl Default for PrismConfig {
+    fn default() -> Self {
+        PrismConfig {
+            root_slots: 32,
+            spin_window: 700,
+            pair_cost: 60,
+        }
+    }
+}
+
+/// Where balancers, counters, and processors live on the simulated
+/// machine, which determines wire-traversal distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Placement {
+    /// Distances are ignored: every wire costs `link_cost` (+ jitter).
+    /// This is the calibration the Figure 5–7 runs use.
+    #[default]
+    Uniform,
+    /// Alewife-style square mesh: every balancer, counter, and
+    /// processor has a home cell on a `side x side` grid (assigned
+    /// round-robin by index), and each wire traversal additionally
+    /// costs `per_hop` cycles per Manhattan hop between the source and
+    /// destination homes.
+    Mesh {
+        /// Mesh side length (cells per row/column).
+        side: usize,
+        /// Extra cycles per mesh hop.
+        per_hop: u64,
+    },
+}
+
+/// Machine-model parameters of the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Cycles for a token to traverse the wire between two nodes (a
+    /// shared-memory access on the simulated machine). This is the
+    /// baseline `c1` of the run.
+    pub link_cost: u64,
+    /// Uniform random extra cycles added to each wire traversal,
+    /// modelling the memory-access variability (cache misses, network
+    /// hops) of the simulated DSM machine. Each traversal costs
+    /// `link_cost + uniform(0..=link_jitter)`.
+    pub link_jitter: u64,
+    /// Cycles spent inside a balancer's critical section (reading and
+    /// flipping the toggle).
+    pub toggle_cost: u64,
+    /// Cycles an output counter takes to serve one fetch-and-increment.
+    /// Counters serialize their arrivals FIFO, so a positive cost turns
+    /// each counter into a (mild) bottleneck of its own; `0` gives the
+    /// idealized instantaneous counters of the abstract model, which is
+    /// what the Figure 5–7 calibration uses.
+    pub counter_cost: u64,
+    /// Prism arrays, for diffracting-tree runs; `None` gives plain
+    /// queue-lock balancers everywhere.
+    pub prism: Option<PrismConfig>,
+    /// Physical placement: uniform distances or an Alewife-style mesh.
+    pub placement: Placement,
+    /// PRNG seed (prism slot choices, random waits).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Plain queue-lock balancers (the paper's bitonic configuration).
+    ///
+    /// The default costs are calibrated so the measured `Tog` (average
+    /// wait before toggling) lands near the paper's Figure 7 values for
+    /// bitonic networks: an uncontended toggle costs ~200 cycles (MCS
+    /// acquire + coherence misses on the toggle word), so
+    /// `(Tog + 100)/Tog ≈ 1.4` at `W = 100`, matching the paper's 1.45.
+    #[must_use]
+    pub fn queue_lock(seed: u64) -> Self {
+        SimConfig {
+            link_cost: 20,
+            link_jitter: 200,
+            toggle_cost: 200,
+            counter_cost: 0,
+            prism: None,
+            placement: Placement::Uniform,
+            seed,
+        }
+    }
+
+    /// Queue-lock balancers fronted by default prisms (the paper's
+    /// diffracting-tree configuration).
+    ///
+    /// The prism spin window is calibrated so tree `Tog` lands near the
+    /// paper's Figure 7 tree values (~900 cycles, giving
+    /// `(Tog + 100)/Tog ≈ 1.11` at `W = 100`).
+    #[must_use]
+    pub fn diffracting(seed: u64) -> Self {
+        SimConfig {
+            prism: Some(PrismConfig::default()),
+            ..Self::queue_lock(seed)
+        }
+    }
+}
+
+/// How injected delays are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaitMode {
+    /// The benchmark of Figures 5–7: each *delayed* processor waits
+    /// exactly `W` cycles after traversing each node; the others never
+    /// wait.
+    Fixed,
+    /// The paper's control scenario: *every* processor waits a uniform
+    /// random number of cycles in `[0, W]` after each node.
+    UniformRandom,
+}
+
+/// The Section 5 benchmark workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Number of simulated processors `n`.
+    pub processors: usize,
+    /// The fraction `F` (in percent) of processors that are delayed.
+    /// The first `n·F/100` processor ids are the delayed ones.
+    pub delayed_percent: u32,
+    /// The wait `W` in cycles.
+    pub wait_cycles: u64,
+    /// Stop once this many operations have completed (the paper used
+    /// 5000).
+    pub total_ops: usize,
+    /// Fixed per-processor delays or uniform random delays.
+    pub wait_mode: WaitMode,
+}
+
+impl Workload {
+    /// The paper's exact benchmark shape: `n` processors, `F`% delayed
+    /// by `W` cycles, 5000 operations.
+    #[must_use]
+    pub fn paper(processors: usize, delayed_percent: u32, wait_cycles: u64) -> Self {
+        Workload {
+            processors,
+            delayed_percent,
+            wait_cycles,
+            total_ops: 5000,
+            wait_mode: WaitMode::Fixed,
+        }
+    }
+
+    /// Whether processor `p` belongs to the delayed fraction.
+    #[must_use]
+    pub fn is_delayed(&self, p: usize) -> bool {
+        (p as u64) * 100 < (self.processors as u64) * u64::from(self.delayed_percent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prism_slots_halve_per_layer() {
+        let p = PrismConfig {
+            root_slots: 8,
+            spin_window: 16,
+            pair_cost: 4,
+        };
+        assert_eq!(p.slots_at_layer(1), 8);
+        assert_eq!(p.slots_at_layer(2), 4);
+        assert_eq!(p.slots_at_layer(4), 1);
+        assert_eq!(p.slots_at_layer(10), 1);
+    }
+
+    #[test]
+    fn delayed_fraction_counts() {
+        let w = Workload::paper(8, 25, 100);
+        let delayed: Vec<usize> = (0..8).filter(|&p| w.is_delayed(p)).collect();
+        assert_eq!(delayed, vec![0, 1]);
+        let w = Workload::paper(8, 0, 100);
+        assert!((0..8).all(|p| !w.is_delayed(p)));
+        let w = Workload::paper(8, 100, 100);
+        assert!((0..8).all(|p| w.is_delayed(p)));
+    }
+
+    #[test]
+    fn paper_workload_defaults() {
+        let w = Workload::paper(256, 50, 100_000);
+        assert_eq!(w.total_ops, 5000);
+        assert_eq!(w.wait_mode, WaitMode::Fixed);
+    }
+
+    #[test]
+    fn config_presets() {
+        assert!(SimConfig::queue_lock(0).prism.is_none());
+        assert!(SimConfig::diffracting(0).prism.is_some());
+    }
+}

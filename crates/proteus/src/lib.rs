@@ -1,0 +1,63 @@
+//! A deterministic discrete-event shared-memory multiprocessor
+//! simulator — the substrate for reproducing the paper's Section 5
+//! study.
+//!
+//! The paper ran its benchmark on Proteus, a simulator of the MIT
+//! Alewife distributed-shared-memory machine. This crate substitutes a
+//! purpose-built discrete-event simulator that models exactly the
+//! features the study depends on:
+//!
+//! * `n` **processors** repeatedly traversing a counting network, each
+//!   operation being one token;
+//! * **balancers as critical sections** protected by a FIFO queue lock
+//!   (the behavioural core of the MCS lock used in the paper);
+//! * optional **prism (diffraction) arrays** in front of tree balancers
+//!   — pairs of processors that collide in a prism slot *diffract* (one
+//!   goes to each output) without touching the toggle, as in Shavit and
+//!   Zemach's diffracting trees;
+//! * **wire latencies** between nodes (shared-memory access cost);
+//! * the benchmark's **delay injection**: a fraction `F` of the
+//!   processors waits `W` cycles after traversing each node, skewing
+//!   the effective `c2/c1` ratio.
+//!
+//! Measurements mirror the paper's: the fraction of non-linearizable
+//! operations (Definition 2.4, via the `cnet-timing` checker) and the
+//! average ratio `c2/c1 = (Tog + W)/Tog`, where `Tog` is the average
+//! time a token waits before toggling a balancer (Figure 7).
+//!
+//! Everything is seeded and event-ordering is deterministic, so every
+//! run is exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+//! use cnet_topology::constructions;
+//!
+//! let net = constructions::bitonic(8)?;
+//! let workload = Workload {
+//!     processors: 16,
+//!     delayed_percent: 50,
+//!     wait_cycles: 1000,
+//!     total_ops: 500,
+//!     wait_mode: WaitMode::Fixed,
+//! };
+//! let stats = Simulator::new(&net, SimConfig::queue_lock(1)).run(&workload);
+//! assert_eq!(stats.operations.len(), 500);
+//! println!("non-linearizable ratio: {}", stats.nonlinearizable_ratio());
+//! println!("avg c2/c1: {:.2}", stats.average_ratio(1000));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod node;
+mod sim;
+mod stats;
+
+pub use config::{Placement, PrismConfig, SimConfig, WaitMode, Workload};
+pub use sim::Simulator;
+pub use stats::RunStats;

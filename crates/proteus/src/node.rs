@@ -1,0 +1,170 @@
+//! Simulated balancer nodes: FIFO queue locks and diffraction prisms.
+
+use std::collections::VecDeque;
+
+use cnet_topology::BalancerState;
+
+/// The FIFO queue lock protecting a balancer's toggle — the behavioural
+/// model of the MCS lock the paper's implementation used.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct QueueLock {
+    held: bool,
+    waiters: VecDeque<usize>,
+}
+
+impl QueueLock {
+    /// A processor requests the lock. Returns `true` if it acquired it
+    /// immediately; otherwise it is enqueued FIFO.
+    pub(crate) fn acquire(&mut self, proc: usize) -> bool {
+        if self.held {
+            self.waiters.push_back(proc);
+            false
+        } else {
+            self.held = true;
+            true
+        }
+    }
+
+    /// The holder releases the lock; the next waiter (if any) becomes
+    /// the holder and is returned so the caller can schedule it.
+    pub(crate) fn release(&mut self) -> Option<usize> {
+        debug_assert!(self.held, "release without holder");
+        match self.waiters.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                self.held = false;
+                None
+            }
+        }
+    }
+
+    /// Number of processors currently queued (excluding the holder).
+    pub(crate) fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
+/// A waiting occupant of a prism slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotOccupant {
+    pub proc: usize,
+    /// A unique stamp distinguishing this occupancy from earlier ones,
+    /// so stale timeout events can be ignored.
+    pub stamp: u64,
+}
+
+/// A prism (diffraction) array in front of a tree balancer.
+#[derive(Debug, Clone)]
+pub(crate) struct Prism {
+    slots: Vec<Option<SlotOccupant>>,
+}
+
+impl Prism {
+    pub(crate) fn new(slots: usize) -> Self {
+        Prism {
+            slots: vec![None; slots],
+        }
+    }
+
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// A processor arrives at `slot`. If the slot is occupied, the
+    /// occupant is removed and returned (a collision: the pair
+    /// diffracts). Otherwise the processor occupies the slot with the
+    /// given stamp.
+    pub(crate) fn visit(&mut self, slot: usize, proc: usize, stamp: u64) -> Option<SlotOccupant> {
+        match self.slots[slot].take() {
+            Some(occ) => Some(occ),
+            None => {
+                self.slots[slot] = Some(SlotOccupant { proc, stamp });
+                None
+            }
+        }
+    }
+
+    /// A timeout fires for `(slot, stamp)`. Returns `true` (and clears
+    /// the slot) if the occupant with that stamp is still waiting;
+    /// `false` if it already collided (stale timeout).
+    pub(crate) fn timeout(&mut self, slot: usize, stamp: u64) -> bool {
+        if let Some(occ) = self.slots[slot] {
+            if occ.stamp == stamp {
+                self.slots[slot] = None;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The full simulated state of one balancer node.
+#[derive(Debug, Clone)]
+pub(crate) struct SimNode {
+    pub lock: QueueLock,
+    pub toggle: BalancerState,
+    pub prism: Option<Prism>,
+}
+
+impl SimNode {
+    pub(crate) fn new(fan_out: usize, prism_slots: Option<usize>) -> Self {
+        SimNode {
+            lock: QueueLock::default(),
+            toggle: BalancerState::new(fan_out),
+            prism: prism_slots.map(Prism::new),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_lock_is_fifo() {
+        let mut l = QueueLock::default();
+        assert!(l.acquire(1));
+        assert!(!l.acquire(2));
+        assert!(!l.acquire(3));
+        assert_eq!(l.queue_len(), 2);
+        assert_eq!(l.release(), Some(2));
+        assert_eq!(l.release(), Some(3));
+        assert_eq!(l.release(), None);
+        assert!(l.acquire(4), "free again after full drain");
+    }
+
+    #[test]
+    #[should_panic(expected = "release without holder")]
+    fn release_without_holder_panics_in_debug() {
+        let mut l = QueueLock::default();
+        let _ = l.release();
+    }
+
+    #[test]
+    fn prism_collision_returns_occupant() {
+        let mut p = Prism::new(2);
+        assert!(p.visit(0, 7, 100).is_none());
+        let occ = p.visit(0, 8, 101).expect("collision");
+        assert_eq!(occ.proc, 7);
+        assert_eq!(occ.stamp, 100);
+        // slot is now empty again
+        assert!(p.visit(0, 9, 102).is_none());
+    }
+
+    #[test]
+    fn prism_timeout_respects_stamps() {
+        let mut p = Prism::new(1);
+        assert!(p.visit(0, 7, 100).is_none());
+        assert!(!p.timeout(0, 99), "stale stamp ignored");
+        assert!(p.timeout(0, 100), "live stamp clears the slot");
+        assert!(!p.timeout(0, 100), "already cleared");
+    }
+
+    #[test]
+    fn distinct_slots_do_not_collide() {
+        let mut p = Prism::new(2);
+        assert!(p.visit(0, 1, 10).is_none());
+        assert!(p.visit(1, 2, 11).is_none());
+        assert_eq!(p.slot_count(), 2);
+    }
+}

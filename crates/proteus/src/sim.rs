@@ -1,0 +1,822 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cnet_timing::Operation;
+use cnet_topology::{NodeId, OutputCounts, Topology, WireEnd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{Placement, SimConfig, WaitMode, Workload};
+use crate::node::SimNode;
+use crate::stats::RunStats;
+
+/// The events a simulated processor can experience.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Begin the next counting operation (or retire if the quota is
+    /// reached).
+    StartOp { proc: usize },
+    /// Arrive at a balancer node.
+    ArriveNode { proc: usize, node: NodeId },
+    /// Finish the balancer critical section: toggle, route, release.
+    ToggleDone { proc: usize, node: NodeId },
+    /// A prism slot occupancy timed out without a collision.
+    PrismTimeout {
+        proc: usize,
+        node: NodeId,
+        slot: usize,
+        stamp: u64,
+    },
+    /// Arrive at an output counter (and queue if it is busy).
+    ArriveCounter { proc: usize, counter: usize },
+    /// The counter finishes serving this processor's fetch-and-inc.
+    CounterDone { proc: usize, counter: usize },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct QEntry {
+    time: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-processor simulation state.
+#[derive(Debug, Clone)]
+struct Proc {
+    delayed: bool,
+    input: usize,
+    op_start: u64,
+    /// Arrival time at the node currently being visited (for `Tog`).
+    arrive_time: u64,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// See the [crate documentation](crate) for the machine model. A
+/// `Simulator` is cheap to construct; all mutable state lives inside
+/// [`Simulator::run`], so one simulator can run many workloads.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    topology: &'a Topology,
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the given network and machine model.
+    #[must_use]
+    pub fn new(topology: &'a Topology, config: SimConfig) -> Self {
+        Simulator { topology, config }
+    }
+
+    /// The simulated network.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The machine-model configuration.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Runs the workload to completion and returns the measurements.
+    ///
+    /// Processors start staggered by one cycle each (ids `0..n` start
+    /// at times `0..n`) and immediately begin a new operation whenever
+    /// the previous one completes, until `workload.total_ops`
+    /// operations have *started*; every started operation completes.
+    #[must_use]
+    pub fn run(&self, workload: &Workload) -> RunStats {
+        Runner::new(self.topology, self.config, workload).run()
+    }
+}
+
+struct Runner<'a> {
+    topology: &'a Topology,
+    config: SimConfig,
+    workload: &'a Workload,
+    queue: BinaryHeap<Reverse<QEntry>>,
+    seq: u64,
+    nodes: Vec<Option<SimNode>>,
+    counters: Vec<u64>,
+    counter_locks: Vec<crate::node::QueueLock>,
+    procs: Vec<Proc>,
+    rng: StdRng,
+    stamp: u64,
+    started_ops: usize,
+    operations: Vec<Operation>,
+    completed_by: Vec<usize>,
+    toggle_count: u64,
+    toggle_wait_total: u64,
+    diffraction_pairs: u64,
+    node_visits: u64,
+    node_wait_total: u64,
+    max_lock_queue: u64,
+    sim_time: u64,
+    /// Home cell of each balancer (mesh placement only).
+    node_homes: Vec<(i64, i64)>,
+    /// Home cell of each counter.
+    counter_homes: Vec<(i64, i64)>,
+}
+
+fn mesh_cell(index: usize, side: usize) -> (i64, i64) {
+    ((index % side) as i64, ((index / side) % side) as i64)
+}
+
+impl<'a> Runner<'a> {
+    fn new(topology: &'a Topology, config: SimConfig, workload: &'a Workload) -> Self {
+        let mut nodes = vec![None; topology.node_count()];
+        for id in topology.iter_nodes() {
+            let prism_slots = config.prism.and_then(|p| {
+                // prisms only make sense on binary balancers
+                (topology.fan_out(id) == 2).then(|| p.slots_at_layer(topology.layer_of(id)))
+            });
+            nodes[id.index()] = Some(SimNode::new(topology.fan_out(id), prism_slots));
+        }
+        let procs = (0..workload.processors)
+            .map(|p| Proc {
+                delayed: workload.is_delayed(p),
+                input: p % topology.input_width(),
+                op_start: 0,
+                arrive_time: 0,
+            })
+            .collect();
+        let (node_homes, counter_homes) = match config.placement {
+            Placement::Uniform => (Vec::new(), Vec::new()),
+            Placement::Mesh { side, .. } => {
+                let side = side.max(1);
+                (
+                    (0..topology.node_count())
+                        .map(|i| mesh_cell(i, side))
+                        .collect(),
+                    (0..topology.output_width())
+                        .map(|i| mesh_cell(i + topology.node_count(), side))
+                        .collect(),
+                )
+            }
+        };
+        Runner {
+            topology,
+            config,
+            workload,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            nodes,
+            counters: vec![0; topology.output_width()],
+            counter_locks: (0..topology.output_width())
+                .map(|_| crate::node::QueueLock::default())
+                .collect(),
+            procs,
+            rng: StdRng::seed_from_u64(config.seed),
+            stamp: 0,
+            started_ops: 0,
+            operations: Vec::with_capacity(workload.total_ops),
+            completed_by: Vec::with_capacity(workload.total_ops),
+            toggle_count: 0,
+            toggle_wait_total: 0,
+            diffraction_pairs: 0,
+            node_visits: 0,
+            node_wait_total: 0,
+            max_lock_queue: 0,
+            sim_time: 0,
+            node_homes,
+            counter_homes,
+        }
+    }
+
+    /// Extra wire cost from mesh distance between two homes.
+    fn hop_cost(&self, from: (i64, i64), to: (i64, i64)) -> u64 {
+        match self.config.placement {
+            Placement::Uniform => 0,
+            Placement::Mesh { per_hop, .. } => {
+                let d = (from.0 - to.0).unsigned_abs() + (from.1 - to.1).unsigned_abs();
+                per_hop * d
+            }
+        }
+    }
+
+    fn home_of_node(&self, node: NodeId) -> (i64, i64) {
+        self.node_homes.get(node.index()).copied().unwrap_or((0, 0))
+    }
+
+    fn home_of_counter(&self, counter: usize) -> (i64, i64) {
+        self.counter_homes.get(counter).copied().unwrap_or((0, 0))
+    }
+
+    fn push(&mut self, time: u64, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QEntry { time, seq, ev }));
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut SimNode {
+        self.nodes[id.index()]
+            .as_mut()
+            .expect("node exists in topology")
+    }
+
+    fn run(mut self) -> RunStats {
+        for p in 0..self.workload.processors {
+            self.push(p as u64, Ev::StartOp { proc: p });
+        }
+        while let Some(Reverse(QEntry { time, ev, .. })) = self.queue.pop() {
+            self.sim_time = self.sim_time.max(time);
+            self.handle(time, ev);
+        }
+        RunStats {
+            operations: self.operations,
+            completed_by: self.completed_by,
+            output_counts: self.counters.iter().copied().collect::<OutputCounts>(),
+            sim_time: self.sim_time,
+            toggle_count: self.toggle_count,
+            toggle_wait_total: self.toggle_wait_total,
+            diffraction_pairs: self.diffraction_pairs,
+            node_visits: self.node_visits,
+            node_wait_total: self.node_wait_total,
+            max_lock_queue: self.max_lock_queue,
+        }
+    }
+
+    fn handle(&mut self, now: u64, ev: Ev) {
+        match ev {
+            Ev::StartOp { proc } => self.start_op(now, proc),
+            Ev::ArriveNode { proc, node } => self.arrive_node(now, proc, node),
+            Ev::ToggleDone { proc, node } => self.toggle_done(now, proc, node),
+            Ev::PrismTimeout {
+                proc,
+                node,
+                slot,
+                stamp,
+            } => self.prism_timeout(now, proc, node, slot, stamp),
+            Ev::ArriveCounter { proc, counter } => self.arrive_counter(now, proc, counter),
+            Ev::CounterDone { proc, counter } => self.counter_done(now, proc, counter),
+        }
+    }
+
+    fn start_op(&mut self, now: u64, proc: usize) {
+        if self.started_ops >= self.workload.total_ops {
+            return; // quota reached: this processor retires
+        }
+        self.started_ops += 1;
+        self.procs[proc].op_start = now;
+        let input = self.procs[proc].input;
+        let entry = self.topology.input(input).node;
+        self.push(now, Ev::ArriveNode { proc, node: entry });
+    }
+
+    fn arrive_node(&mut self, now: u64, proc: usize, node: NodeId) {
+        self.procs[proc].arrive_time = now;
+        // prism front-end first, if this node has one
+        let has_prism = self.node_mut(node).prism.is_some();
+        if has_prism {
+            let slots = self
+                .node_mut(node)
+                .prism
+                .as_ref()
+                .expect("checked")
+                .slot_count();
+            let slot = self.rng.gen_range(0..slots);
+            self.stamp += 1;
+            let stamp = self.stamp;
+            let collision = self
+                .node_mut(node)
+                .prism
+                .as_mut()
+                .expect("checked")
+                .visit(slot, proc, stamp);
+            match collision {
+                Some(occupant) => {
+                    // Diffraction: the waiting processor takes output
+                    // 0, the arriving one output 1; the toggle is
+                    // untouched. The pair leaves after `pair_cost`.
+                    let pair_cost = self.config.prism.expect("prism configured").pair_cost;
+                    self.diffraction_pairs += 1;
+                    self.node_visits += 2;
+                    self.node_wait_total += now - self.procs[occupant.proc].arrive_time;
+                    self.node_wait_total += 0; // the arriver waits only pair_cost
+                    let depart = now + pair_cost;
+                    self.depart(depart, occupant.proc, node, 0);
+                    self.depart(depart, proc, node, 1);
+                }
+                None => {
+                    let window = self.config.prism.expect("prism configured").spin_window;
+                    self.push(
+                        now + window,
+                        Ev::PrismTimeout {
+                            proc,
+                            node,
+                            slot,
+                            stamp,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        self.request_lock(now, proc, node);
+    }
+
+    fn prism_timeout(&mut self, now: u64, proc: usize, node: NodeId, slot: usize, stamp: u64) {
+        let still_waiting = self
+            .node_mut(node)
+            .prism
+            .as_mut()
+            .expect("timeout only scheduled for prism nodes")
+            .timeout(slot, stamp);
+        if still_waiting {
+            // fall through to the toggle lock
+            self.request_lock(now, proc, node);
+        }
+    }
+
+    fn request_lock(&mut self, now: u64, proc: usize, node: NodeId) {
+        let toggle_cost = self.config.toggle_cost;
+        if self.node_mut(node).lock.acquire(proc) {
+            self.push(now + toggle_cost, Ev::ToggleDone { proc, node });
+        } else {
+            let depth = self.node_mut(node).lock.queue_len() as u64;
+            self.max_lock_queue = self.max_lock_queue.max(depth);
+        }
+        // otherwise the processor spins in the FIFO queue; ToggleDone
+        // for it will be scheduled by the releasing holder
+    }
+
+    fn toggle_done(&mut self, now: u64, proc: usize, node: NodeId) {
+        let wait = now - self.procs[proc].arrive_time;
+        self.toggle_count += 1;
+        self.toggle_wait_total += wait;
+        self.node_visits += 1;
+        self.node_wait_total += wait;
+        let out = self.node_mut(node).toggle.route();
+        if let Some(next_holder) = self.node_mut(node).lock.release() {
+            let toggle_cost = self.config.toggle_cost;
+            self.push(
+                now + toggle_cost,
+                Ev::ToggleDone {
+                    proc: next_holder,
+                    node,
+                },
+            );
+        }
+        self.depart(now, proc, node, out);
+    }
+
+    /// Sends a processor down output `out` of `node` at time `t`:
+    /// schedules its arrival at the next node or counter after the wire
+    /// latency plus any injected delay ("waits W cycles after
+    /// traversing a node in the net").
+    fn depart(&mut self, t: u64, proc: usize, node: NodeId, out: usize) {
+        let wait = match self.workload.wait_mode {
+            WaitMode::Fixed => {
+                if self.procs[proc].delayed {
+                    self.workload.wait_cycles
+                } else {
+                    0
+                }
+            }
+            WaitMode::UniformRandom => {
+                if self.workload.wait_cycles == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(0..=self.workload.wait_cycles)
+                }
+            }
+        };
+        let jitter = if self.config.link_jitter == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=self.config.link_jitter)
+        };
+        let base = t + self.config.link_cost + jitter + wait;
+        let from = self.home_of_node(node);
+        match self.topology.output_wire(node, out) {
+            WireEnd::Node { node: next, .. } => {
+                let arrival = base + self.hop_cost(from, self.home_of_node(next));
+                self.push(arrival, Ev::ArriveNode { proc, node: next });
+            }
+            WireEnd::Counter { index } => {
+                let arrival = base + self.hop_cost(from, self.home_of_counter(index));
+                self.push(
+                    arrival,
+                    Ev::ArriveCounter {
+                        proc,
+                        counter: index,
+                    },
+                );
+            }
+        }
+    }
+
+    fn arrive_counter(&mut self, now: u64, proc: usize, counter: usize) {
+        if self.config.counter_cost == 0 {
+            self.counter_done(now, proc, counter);
+            return;
+        }
+        if self.counter_locks[counter].acquire(proc) {
+            let cost = self.config.counter_cost;
+            self.push(now + cost, Ev::CounterDone { proc, counter });
+        }
+        // otherwise queued; CounterDone is scheduled on release
+    }
+
+    fn counter_done(&mut self, now: u64, proc: usize, counter: usize) {
+        if self.config.counter_cost > 0 {
+            if let Some(next) = self.counter_locks[counter].release() {
+                let cost = self.config.counter_cost;
+                self.push(
+                    now + cost,
+                    Ev::CounterDone {
+                        proc: next,
+                        counter,
+                    },
+                );
+            }
+        }
+        let w = self.topology.output_width() as u64;
+        let value = counter as u64 + w * self.counters[counter];
+        self.counters[counter] += 1;
+        let token = self.operations.len();
+        self.completed_by.push(proc);
+        self.operations.push(Operation {
+            token,
+            input: self.procs[proc].input,
+            start: self.procs[proc].op_start,
+            end: now,
+            counter,
+            value,
+        });
+        // the next operation begins strictly after this one's response,
+        // so a processor's successive operations are ordered under
+        // Definition 2.4's strict precedence
+        self.push(now + 1, Ev::StartOp { proc });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_topology::constructions;
+
+    fn small_workload(processors: usize, delayed: u32, wait: u64, ops: usize) -> Workload {
+        Workload {
+            processors,
+            delayed_percent: delayed,
+            wait_cycles: wait,
+            total_ops: ops,
+            wait_mode: WaitMode::Fixed,
+        }
+    }
+
+    #[test]
+    fn completes_exactly_total_ops() {
+        let net = constructions::bitonic(4).unwrap();
+        let sim = Simulator::new(&net, SimConfig::queue_lock(1));
+        let stats = sim.run(&small_workload(8, 0, 0, 200));
+        assert_eq!(stats.operations.len(), 200);
+        assert_eq!(stats.output_counts.total(), 200);
+    }
+
+    #[test]
+    fn quiescent_counts_form_a_step() {
+        for seed in 0..3 {
+            let net = constructions::bitonic(8).unwrap();
+            let sim = Simulator::new(&net, SimConfig::queue_lock(seed));
+            let stats = sim.run(&small_workload(16, 50, 500, 300));
+            assert!(stats.output_counts.is_step(), "{}", stats.output_counts);
+        }
+    }
+
+    #[test]
+    fn values_are_a_permutation_of_zero_to_n() {
+        let net = constructions::bitonic(4).unwrap();
+        let sim = Simulator::new(&net, SimConfig::queue_lock(7));
+        let stats = sim.run(&small_workload(8, 25, 100, 150));
+        let mut values: Vec<u64> = stats.operations.iter().map(|o| o.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..150).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn no_injected_delay_is_linearizable() {
+        // The paper: "We also tested … W=0 and no non-linearizable
+        // operations were detected."
+        let net = constructions::bitonic(8).unwrap();
+        let sim = Simulator::new(&net, SimConfig::queue_lock(3));
+        let stats = sim.run(&small_workload(32, 50, 0, 500));
+        assert_eq!(stats.nonlinearizable_count(), 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let net = constructions::bitonic(8).unwrap();
+        let w = small_workload(16, 25, 1000, 400);
+        let a = Simulator::new(&net, SimConfig::queue_lock(5)).run(&w);
+        let b = Simulator::new(&net, SimConfig::queue_lock(5)).run(&w);
+        assert_eq!(a.operations, b.operations);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn diffracting_tree_counts_correctly() {
+        let net = constructions::counting_tree(8).unwrap();
+        let sim = Simulator::new(&net, SimConfig::diffracting(11));
+        let stats = sim.run(&small_workload(16, 0, 0, 300));
+        assert_eq!(stats.operations.len(), 300);
+        let mut values: Vec<u64> = stats.operations.iter().map(|o| o.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..300).collect::<Vec<u64>>());
+        assert!(stats.output_counts.is_step());
+        assert!(
+            stats.diffraction_pairs > 0,
+            "prisms should see collisions at n=16"
+        );
+    }
+
+    #[test]
+    fn diffracting_tree_without_delays_is_linearizable() {
+        let net = constructions::counting_tree(16).unwrap();
+        let sim = Simulator::new(&net, SimConfig::diffracting(13));
+        let stats = sim.run(&small_workload(32, 0, 0, 500));
+        assert_eq!(stats.nonlinearizable_count(), 0);
+    }
+
+    #[test]
+    fn large_delays_cause_violations_on_trees() {
+        // High W with many delayed processors pushes (Tog+W)/Tog far
+        // above 2, where the paper observed violations.
+        let net = constructions::counting_tree(16).unwrap();
+        let sim = Simulator::new(&net, SimConfig::diffracting(17));
+        let stats = sim.run(&small_workload(64, 50, 10_000, 2000));
+        assert!(
+            stats.average_ratio(10_000) > 2.0,
+            "ratio {}",
+            stats.average_ratio(10_000)
+        );
+        assert!(
+            stats.nonlinearizable_count() > 0,
+            "expected violations at ratio {:.1}",
+            stats.average_ratio(10_000)
+        );
+    }
+
+    #[test]
+    fn toggle_wait_grows_with_contention() {
+        let net = constructions::bitonic(4).unwrap();
+        let lo = Simulator::new(&net, SimConfig::queue_lock(1)).run(&small_workload(2, 0, 0, 200));
+        let hi = Simulator::new(&net, SimConfig::queue_lock(1)).run(&small_workload(64, 0, 0, 200));
+        assert!(
+            hi.avg_toggle_wait() > lo.avg_toggle_wait(),
+            "hi {} vs lo {}",
+            hi.avg_toggle_wait(),
+            lo.avg_toggle_wait()
+        );
+    }
+
+    #[test]
+    fn uniform_random_waits_stay_linearizable() {
+        // The paper: "Another scenario in which every token waits a
+        // random number of cycles between 0 and W was also simulated
+        // and was observed to be completely linearizable."
+        let net = constructions::bitonic(8).unwrap();
+        let w = Workload {
+            processors: 32,
+            delayed_percent: 0,
+            wait_cycles: 1000,
+            total_ops: 800,
+            wait_mode: WaitMode::UniformRandom,
+        };
+        let stats = Simulator::new(&net, SimConfig::queue_lock(23)).run(&w);
+        assert_eq!(stats.operations.len(), 800);
+        // random symmetric jitter: violations should be absent or rare
+        assert!(
+            stats.nonlinearizable_ratio() < 0.01,
+            "ratio {}",
+            stats.nonlinearizable_ratio()
+        );
+    }
+
+    #[test]
+    fn single_processor_is_sequential() {
+        let net = constructions::bitonic(4).unwrap();
+        let stats =
+            Simulator::new(&net, SimConfig::queue_lock(0)).run(&small_workload(1, 0, 0, 50));
+        for (i, op) in stats.operations.iter().enumerate() {
+            assert_eq!(op.value, i as u64, "sequential ops count in order");
+        }
+        assert_eq!(stats.nonlinearizable_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod counter_cost_tests {
+    use super::*;
+    use cnet_topology::constructions;
+
+    fn wl(processors: usize, ops: usize) -> Workload {
+        Workload {
+            processors,
+            delayed_percent: 0,
+            wait_cycles: 0,
+            total_ops: ops,
+            wait_mode: WaitMode::Fixed,
+        }
+    }
+
+    #[test]
+    fn counter_cost_preserves_counting() {
+        let net = constructions::bitonic(4).unwrap();
+        let config = SimConfig {
+            counter_cost: 50,
+            ..SimConfig::queue_lock(3)
+        };
+        let stats = Simulator::new(&net, config).run(&wl(16, 400));
+        let mut values: Vec<u64> = stats.operations.iter().map(|o| o.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..400).collect::<Vec<u64>>());
+        assert!(stats.output_counts.is_step());
+    }
+
+    #[test]
+    fn central_counter_serializes() {
+        // a serial line is the centralized-counter model: with a counter
+        // cost, total time is at least ops * counter_cost
+        let net = constructions::serial_line(1);
+        let config = SimConfig {
+            counter_cost: 100,
+            ..SimConfig::queue_lock(1)
+        };
+        let stats = Simulator::new(&net, config).run(&wl(8, 100));
+        assert!(stats.sim_time >= 100 * 100, "sim time {}", stats.sim_time);
+        // …and it is linearizable: one counter, FIFO service
+        assert_eq!(stats.nonlinearizable_count(), 0);
+    }
+
+    #[test]
+    fn wide_network_beats_central_counter_under_contention() {
+        let cost = 100;
+        let central = constructions::serial_line(1);
+        let central_stats = Simulator::new(
+            &central,
+            SimConfig {
+                counter_cost: cost,
+                ..SimConfig::queue_lock(1)
+            },
+        )
+        .run(&wl(64, 1000));
+        let net = constructions::bitonic(16).unwrap();
+        let net_stats = Simulator::new(
+            &net,
+            SimConfig {
+                counter_cost: cost,
+                ..SimConfig::queue_lock(1)
+            },
+        )
+        .run(&wl(64, 1000));
+        assert!(
+            net_stats.throughput() > central_stats.throughput(),
+            "network {} vs central {}",
+            net_stats.throughput(),
+            central_stats.throughput()
+        );
+    }
+}
+
+#[cfg(test)]
+mod mesh_tests {
+    use super::*;
+    use cnet_topology::constructions;
+
+    fn wl(processors: usize, ops: usize) -> Workload {
+        Workload {
+            processors,
+            delayed_percent: 0,
+            wait_cycles: 0,
+            total_ops: ops,
+            wait_mode: WaitMode::Fixed,
+        }
+    }
+
+    #[test]
+    fn mesh_placement_counts_exactly() {
+        let net = constructions::bitonic(8).unwrap();
+        let config = SimConfig {
+            placement: Placement::Mesh {
+                side: 4,
+                per_hop: 15,
+            },
+            ..SimConfig::queue_lock(5)
+        };
+        let stats = Simulator::new(&net, config).run(&wl(16, 400));
+        let mut values: Vec<u64> = stats.operations.iter().map(|o| o.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..400).collect::<Vec<u64>>());
+        assert!(stats.output_counts.is_step());
+    }
+
+    #[test]
+    fn mesh_distance_raises_latency() {
+        let net = constructions::bitonic(16).unwrap();
+        let flat = Simulator::new(&net, SimConfig::queue_lock(5)).run(&wl(8, 300));
+        let meshed = Simulator::new(
+            &net,
+            SimConfig {
+                placement: Placement::Mesh {
+                    side: 8,
+                    per_hop: 40,
+                },
+                ..SimConfig::queue_lock(5)
+            },
+        )
+        .run(&wl(8, 300));
+        assert!(
+            meshed.mean_latency() > flat.mean_latency(),
+            "mesh {} vs flat {}",
+            meshed.mean_latency(),
+            flat.mean_latency()
+        );
+    }
+
+    #[test]
+    fn mesh_skew_widens_c2_c1_and_can_violate() {
+        // mesh distances make some paths structurally slower than
+        // others, an organic (non-injected) source of c2/c1 spread
+        let net = constructions::counting_tree(32).unwrap();
+        let config = SimConfig {
+            placement: Placement::Mesh {
+                side: 3,
+                per_hop: 600,
+            },
+            ..SimConfig::diffracting(7)
+        };
+        let stats = Simulator::new(&net, config).run(&wl(32, 3000));
+        // counting still exact
+        assert_eq!(stats.operations.len(), 3000);
+        let mut values: Vec<u64> = stats.operations.iter().map(|o| o.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..3000).collect::<Vec<u64>>());
+        // the ratio is whatever it is; the run must simply be well-formed
+        assert!(stats.sim_time > 0);
+    }
+}
+
+#[cfg(test)]
+mod degenerate_workload_tests {
+    use super::*;
+    use cnet_topology::constructions;
+
+    #[test]
+    fn zero_ops_completes_immediately() {
+        let net = constructions::bitonic(4).unwrap();
+        let stats = Simulator::new(&net, SimConfig::queue_lock(1)).run(&Workload {
+            processors: 4,
+            delayed_percent: 50,
+            wait_cycles: 100,
+            total_ops: 0,
+            wait_mode: WaitMode::Fixed,
+        });
+        assert!(stats.operations.is_empty());
+        assert_eq!(stats.nonlinearizable_count(), 0);
+        assert!(stats.output_counts.is_step());
+    }
+
+    #[test]
+    fn zero_processors_complete_nothing() {
+        let net = constructions::bitonic(4).unwrap();
+        let stats = Simulator::new(&net, SimConfig::queue_lock(1)).run(&Workload {
+            processors: 0,
+            delayed_percent: 0,
+            wait_cycles: 0,
+            total_ops: 100,
+            wait_mode: WaitMode::Fixed,
+        });
+        assert!(stats.operations.is_empty());
+    }
+
+    #[test]
+    fn more_processors_than_ops_is_fine() {
+        let net = constructions::bitonic(4).unwrap();
+        let stats = Simulator::new(&net, SimConfig::queue_lock(1)).run(&Workload {
+            processors: 64,
+            delayed_percent: 50,
+            wait_cycles: 10,
+            total_ops: 10,
+            wait_mode: WaitMode::Fixed,
+        });
+        assert_eq!(stats.operations.len(), 10);
+    }
+}

@@ -1,0 +1,317 @@
+//! Measurements collected from a simulation run.
+
+use cnet_timing::{linearizability, program_order, Operation};
+use cnet_topology::OutputCounts;
+
+/// Everything measured during one simulated benchmark run.
+///
+/// The two headline quantities mirror the paper's:
+/// [`RunStats::nonlinearizable_ratio`] (Figures 5 and 6) and
+/// [`RunStats::average_ratio`] (Figure 7).
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// One record per completed operation, in completion order. The
+    /// `token` field is the completion index; `start`/`end` are the
+    /// simulated-cycle timestamps used for the linearizability check.
+    pub operations: Vec<Operation>,
+    /// The processor that performed each operation, parallel to
+    /// `operations` (the `Operation::input` field holds the *network
+    /// input*, which several processors can share).
+    pub completed_by: Vec<usize>,
+    /// Final per-counter totals (must form a step — checked in tests).
+    pub output_counts: OutputCounts,
+    /// The simulated time at which the last operation completed.
+    pub sim_time: u64,
+    /// Number of toggle transitions (balancer critical sections run).
+    pub toggle_count: u64,
+    /// Total cycles tokens waited before toggling (the paper's `Tog`
+    /// numerator).
+    pub toggle_wait_total: u64,
+    /// Number of diffracted *pairs* in prism arrays.
+    pub diffraction_pairs: u64,
+    /// Total node visits (toggles + diffracted tokens).
+    pub node_visits: u64,
+    /// Total cycles spent at nodes across all visits (arrival to
+    /// routing decision).
+    pub node_wait_total: u64,
+    /// The deepest FIFO queue observed at any balancer lock — a direct
+    /// contention indicator.
+    pub max_lock_queue: u64,
+}
+
+impl RunStats {
+    /// The number of non-linearizable operations (Definition 2.4).
+    #[must_use]
+    pub fn nonlinearizable_count(&self) -> usize {
+        linearizability::count_nonlinearizable(&self.operations)
+    }
+
+    /// The fraction of non-linearizable operations — the y-axis of the
+    /// paper's Figures 5 and 6.
+    #[must_use]
+    pub fn nonlinearizable_ratio(&self) -> f64 {
+        linearizability::nonlinearizable_ratio(&self.operations)
+    }
+
+    /// The average time a token waits before toggling a balancer — the
+    /// paper's `Tog`. Falls back to the all-visit average when no
+    /// toggles happened (a fully-diffracted run), so the ratio below is
+    /// always defined.
+    #[must_use]
+    pub fn avg_toggle_wait(&self) -> f64 {
+        if self.toggle_count > 0 {
+            self.toggle_wait_total as f64 / self.toggle_count as f64
+        } else if self.node_visits > 0 {
+            self.node_wait_total as f64 / self.node_visits as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The paper's Figure 7 statistic: the measured average
+    /// `c2/c1 = (Tog + W) / Tog`.
+    ///
+    /// Returns infinity for a (degenerate) run with zero measured wait
+    /// and a positive `W`.
+    #[must_use]
+    pub fn average_ratio(&self, wait_cycles: u64) -> f64 {
+        let tog = self.avg_toggle_wait();
+        if tog == 0.0 {
+            if wait_cycles == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (tog + wait_cycles as f64) / tog
+        }
+    }
+
+    /// Operations whose own processor saw a *smaller* value than one of
+    /// its earlier operations — the per-process (sequential-consistency
+    /// style) restriction of the violation count. The simulator starts
+    /// a processor's next operation strictly after the previous one's
+    /// response, so every program-order violation is also counted by
+    /// [`Self::nonlinearizable_count`].
+    #[must_use]
+    pub fn program_order_violations(&self) -> usize {
+        // rebuild per-process traces using the completed_by map
+        let mut tagged: Vec<Operation> = self.operations.clone();
+        for (op, &proc) in tagged.iter_mut().zip(&self.completed_by) {
+            op.input = proc;
+        }
+        program_order::count_program_order_violations(&tagged, program_order::by_input)
+    }
+
+    /// Operation-latency histogram over power-of-two buckets: entry
+    /// `i` counts operations with latency in `[2^i, 2^(i+1))` cycles
+    /// (entry 0 also includes zero-latency operations).
+    #[must_use]
+    pub fn latency_histogram(&self) -> Vec<u64> {
+        let mut buckets: Vec<u64> = Vec::new();
+        for op in &self.operations {
+            let lat = op.end - op.start;
+            let b = (64 - lat.max(1).leading_zeros()) as usize - 1;
+            if buckets.len() <= b {
+                buckets.resize(b + 1, 0);
+            }
+            buckets[b] += 1;
+        }
+        buckets
+    }
+
+    /// Mean operation latency in simulated cycles.
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        if self.operations.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.operations.iter().map(|o| o.end - o.start).sum();
+        total as f64 / self.operations.len() as f64
+    }
+
+    /// Completed operations per simulated cycle (throughput).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.sim_time == 0 {
+            return 0.0;
+        }
+        self.operations.len() as f64 / self.sim_time as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(ops: Vec<Operation>) -> RunStats {
+        let n = ops.len();
+        RunStats {
+            operations: ops,
+            completed_by: vec![0; n],
+            output_counts: OutputCounts::zeros(2),
+            sim_time: 100,
+            toggle_count: 4,
+            toggle_wait_total: 40,
+            diffraction_pairs: 0,
+            node_visits: 4,
+            node_wait_total: 40,
+            max_lock_queue: 0,
+        }
+    }
+
+    fn op(token: usize, start: u64, end: u64, value: u64) -> Operation {
+        Operation {
+            token,
+            input: 0,
+            start,
+            end,
+            counter: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn ratio_and_latency() {
+        let s = stats_with(vec![op(0, 0, 10, 1), op(1, 20, 30, 0)]);
+        assert_eq!(s.nonlinearizable_count(), 1);
+        assert!((s.nonlinearizable_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.mean_latency() - 10.0).abs() < 1e-12);
+        assert!((s.throughput() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_ratio_formula() {
+        let s = stats_with(vec![]);
+        assert!((s.avg_toggle_wait() - 10.0).abs() < 1e-12);
+        assert!((s.average_ratio(100) - 11.0).abs() < 1e-12);
+        assert!((s.average_ratio(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_runs_are_safe() {
+        let mut s = stats_with(vec![]);
+        s.toggle_count = 0;
+        s.node_visits = 0;
+        s.node_wait_total = 0;
+        s.toggle_wait_total = 0;
+        assert_eq!(s.avg_toggle_wait(), 0.0);
+        assert_eq!(s.average_ratio(0), 1.0);
+        assert!(s.average_ratio(10).is_infinite());
+        assert_eq!(s.mean_latency(), 0.0);
+        s.sim_time = 0;
+        assert_eq!(s.throughput(), 0.0);
+    }
+
+    #[test]
+    fn fallback_to_node_wait_when_all_diffracted() {
+        let mut s = stats_with(vec![]);
+        s.toggle_count = 0;
+        s.toggle_wait_total = 0;
+        s.node_visits = 10;
+        s.node_wait_total = 50;
+        assert!((s.avg_toggle_wait() - 5.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod consistency_tests {
+    use super::*;
+    use crate::{SimConfig, Simulator, WaitMode, Workload};
+    use cnet_topology::constructions;
+
+    #[test]
+    fn program_order_uses_processors_not_inputs() {
+        // two ops on the same *network input* but different processors:
+        // the cross-processor inversion is not a program-order violation
+        let ops = vec![
+            Operation {
+                token: 0,
+                input: 3,
+                start: 0,
+                end: 1,
+                counter: 0,
+                value: 9,
+            },
+            Operation {
+                token: 1,
+                input: 3,
+                start: 2,
+                end: 3,
+                counter: 0,
+                value: 1,
+            },
+        ];
+        let stats = RunStats {
+            operations: ops,
+            completed_by: vec![0, 1], // different processors
+            output_counts: OutputCounts::zeros(2),
+            sim_time: 3,
+            toggle_count: 1,
+            toggle_wait_total: 1,
+            diffraction_pairs: 0,
+            node_visits: 1,
+            node_wait_total: 1,
+            max_lock_queue: 0,
+        };
+        assert_eq!(stats.nonlinearizable_count(), 1);
+        assert_eq!(stats.program_order_violations(), 0);
+    }
+
+    #[test]
+    fn program_order_at_most_linearizability_on_real_runs() {
+        let net = constructions::counting_tree(16).unwrap();
+        let wl = Workload {
+            processors: 32,
+            delayed_percent: 50,
+            wait_cycles: 10_000,
+            total_ops: 1500,
+            wait_mode: WaitMode::Fixed,
+        };
+        let stats = Simulator::new(&net, SimConfig::diffracting(29)).run(&wl);
+        assert!(stats.program_order_violations() <= stats.nonlinearizable_count());
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_power_of_two() {
+        let ops = vec![
+            Operation {
+                token: 0,
+                input: 0,
+                start: 0,
+                end: 1,
+                counter: 0,
+                value: 0,
+            }, // 1 -> b0
+            Operation {
+                token: 1,
+                input: 0,
+                start: 0,
+                end: 3,
+                counter: 0,
+                value: 1,
+            }, // 3 -> b1
+            Operation {
+                token: 2,
+                input: 0,
+                start: 0,
+                end: 8,
+                counter: 0,
+                value: 2,
+            }, // 8 -> b3
+        ];
+        let stats = RunStats {
+            operations: ops,
+            completed_by: vec![0, 0, 0],
+            output_counts: OutputCounts::zeros(2),
+            sim_time: 8,
+            toggle_count: 1,
+            toggle_wait_total: 1,
+            diffraction_pairs: 0,
+            node_visits: 1,
+            node_wait_total: 1,
+            max_lock_queue: 0,
+        };
+        assert_eq!(stats.latency_histogram(), vec![1, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,175 @@
+//! A bounded MPMC FIFO buffer over two shared counters.
+//!
+//! Producers draw a ticket from the *enqueue* counter and deposit into
+//! the [`crate::ring::TicketRing`]; consumers draw from the *dequeue*
+//! counter and collect. The queue's ordering is exactly the ordering of
+//! the ticket counters:
+//!
+//! * linearizable counters (e.g. a fetch-and-add) give a strictly FIFO
+//!   queue;
+//! * counting-network counters give a scalable queue that is FIFO up
+//!   to counting non-linearizability — the data-structure face of the
+//!   paper's result. Use [`crate::audit::fifo_audit`] to measure it.
+
+use cnet_concurrent::counter::Counter;
+use cnet_concurrent::network::NetworkCounter;
+use cnet_topology::Topology;
+
+use crate::ring::TicketRing;
+
+/// A bounded multi-producer/multi-consumer FIFO buffer.
+///
+/// `capacity` bounds the number of items in flight: an `enqueue` whose
+/// cell still holds an unconsumed item from `capacity` tickets ago
+/// blocks (spins) until a consumer drains it, and a `dequeue` blocks
+/// until its producer arrives — rendezvous semantics, like a bounded
+/// channel.
+#[derive(Debug)]
+pub struct NetQueue<T, E: Counter = NetworkCounter, D: Counter = NetworkCounter> {
+    ring: TicketRing<T>,
+    enq: E,
+    deq: D,
+}
+
+impl<T> NetQueue<T, NetworkCounter, NetworkCounter> {
+    /// Builds a queue whose two ticket counters are counting networks
+    /// over `topology` (one instance each for enqueue and dequeue).
+    #[must_use]
+    pub fn over_network(capacity: usize, topology: &Topology) -> Self {
+        NetQueue {
+            ring: TicketRing::new(capacity),
+            enq: NetworkCounter::new(topology),
+            deq: NetworkCounter::new(topology),
+        }
+    }
+}
+
+impl<T, E: Counter, D: Counter> NetQueue<T, E, D> {
+    /// Builds a queue from explicit ticket counters.
+    ///
+    /// Both counters must start at zero and be fresh (unshared): the
+    /// queue owns the ticket spaces.
+    #[must_use]
+    pub fn with_counters(capacity: usize, enqueue: E, dequeue: D) -> Self {
+        NetQueue {
+            ring: TicketRing::new(capacity),
+            enq: enqueue,
+            deq: dequeue,
+        }
+    }
+
+    /// The ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Adds an item, blocking (spinning) while the target cell is
+    /// occupied by an item from `capacity` tickets ago.
+    pub fn enqueue(&self, value: T) {
+        let ticket = self.enq.next();
+        self.ring.put(ticket, value);
+    }
+
+    /// Removes the item matched to this consumer's ticket, blocking
+    /// (spinning) until the producer with the same ticket arrives.
+    pub fn dequeue(&self) -> T {
+        let ticket = self.deq.next();
+        self.ring.take(ticket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_concurrent::counter::FetchAddCounter;
+    use cnet_topology::constructions;
+    use std::sync::Arc;
+
+    fn drain_all<E: Counter + 'static, D: Counter + 'static>(
+        q: Arc<NetQueue<u64, E, D>>,
+        producers: usize,
+        consumers: usize,
+        per_producer: usize,
+    ) -> Vec<u64> {
+        let total = producers * per_producer;
+        assert_eq!(total % consumers, 0);
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    q.enqueue((p * per_producer + i) as u64);
+                }
+            }));
+        }
+        let mut takers = Vec::new();
+        for _ in 0..consumers {
+            let q = Arc::clone(&q);
+            takers.push(std::thread::spawn(move || {
+                (0..total / consumers)
+                    .map(|_| q.dequeue())
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        for h in handles {
+            h.join().expect("producer");
+        }
+        let mut all: Vec<u64> = takers
+            .into_iter()
+            .flat_map(|t| t.join().expect("consumer"))
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn fifo_with_linearizable_counters() {
+        let q = NetQueue::with_counters(4, FetchAddCounter::new(), FetchAddCounter::new());
+        for i in 0..4 {
+            q.enqueue(i);
+        }
+        for i in 0..4 {
+            assert_eq!(q.dequeue(), i);
+        }
+    }
+
+    #[test]
+    fn conserves_items_under_concurrency_fetch_add() {
+        let q = Arc::new(NetQueue::with_counters(
+            8,
+            FetchAddCounter::new(),
+            FetchAddCounter::new(),
+        ));
+        let all = drain_all(q, 2, 2, 600);
+        assert_eq!(all, (0..1200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn conserves_items_over_counting_network() {
+        let net = constructions::bitonic(4).unwrap();
+        let q = Arc::new(NetQueue::over_network(8, &net));
+        let all = drain_all(q, 2, 2, 600);
+        assert_eq!(all, (0..1200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn rendezvous_blocks_consumer_until_producer() {
+        let q: Arc<NetQueue<u32, FetchAddCounter, FetchAddCounter>> = Arc::new(
+            NetQueue::with_counters(2, FetchAddCounter::new(), FetchAddCounter::new()),
+        );
+        let qc = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || qc.dequeue());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!consumer.is_finished(), "dequeue must wait for a producer");
+        q.enqueue(9);
+        assert_eq!(consumer.join().expect("consumer"), 9);
+    }
+
+    #[test]
+    fn capacity_is_reported() {
+        let q: NetQueue<u8, _, _> =
+            NetQueue::with_counters(16, FetchAddCounter::new(), FetchAddCounter::new());
+        assert_eq!(q.capacity(), 16);
+    }
+}

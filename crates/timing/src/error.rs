@@ -1,0 +1,139 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::link::Time;
+
+/// Errors raised while building or executing timing schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// `c1` must satisfy `1 <= c1 <= c2`.
+    InvalidLinkTiming {
+        /// Provided lower bound.
+        c1: Time,
+        /// Provided upper bound.
+        c2: Time,
+    },
+    /// A token schedule's number of pass times does not match the
+    /// network depth (`h + 1` times are required: layers `1..=h` plus
+    /// the counter arrival).
+    DepthMismatch {
+        /// Offending token id.
+        token: usize,
+        /// Number of times supplied.
+        got: usize,
+        /// Number of times required (`depth + 1`).
+        expected: usize,
+    },
+    /// A token's entry input is out of range for the network.
+    InputOutOfRange {
+        /// Offending token id.
+        token: usize,
+        /// The requested input.
+        input: usize,
+        /// The network's input width.
+        width: usize,
+    },
+    /// A token's pass times are not strictly increasing.
+    NonMonotonicTimes {
+        /// Offending token id.
+        token: usize,
+        /// Index of the first non-increasing step (0-based link index).
+        link: usize,
+    },
+    /// A link traversal time falls outside `[c1, c2]`.
+    DelayOutOfBounds {
+        /// Offending token id.
+        token: usize,
+        /// 0-based link index along the token's path.
+        link: usize,
+        /// The offending delay.
+        delay: Time,
+        /// Allowed minimum.
+        c1: Time,
+        /// Allowed maximum.
+        c2: Time,
+    },
+    /// The schedule contains no tokens.
+    EmptySchedule,
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::InvalidLinkTiming { c1, c2 } => {
+                write!(
+                    f,
+                    "invalid link timing: need 1 <= c1 <= c2, got c1={c1}, c2={c2}"
+                )
+            }
+            TimingError::DepthMismatch {
+                token,
+                got,
+                expected,
+            } => write!(
+                f,
+                "token {token} has {got} pass times but the network requires {expected}"
+            ),
+            TimingError::InputOutOfRange {
+                token,
+                input,
+                width,
+            } => write!(
+                f,
+                "token {token} enters on input {input} but the network has {width} inputs"
+            ),
+            TimingError::NonMonotonicTimes { token, link } => write!(
+                f,
+                "token {token} has non-increasing pass times at link {link}"
+            ),
+            TimingError::DelayOutOfBounds {
+                token,
+                link,
+                delay,
+                c1,
+                c2,
+            } => write!(
+                f,
+                "token {token} traverses link {link} in {delay} time units, outside [{c1}, {c2}]"
+            ),
+            TimingError::EmptySchedule => write!(f, "schedule contains no tokens"),
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+impl From<cnet_topology::TopologyError> for TimingError {
+    fn from(e: cnet_topology::TopologyError) -> Self {
+        match e {
+            cnet_topology::TopologyError::InputOutOfRange { input, width } => {
+                TimingError::InputOutOfRange {
+                    token: usize::MAX,
+                    input,
+                    width,
+                }
+            }
+            other => panic!("unexpected topology error during timed execution: {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TimingError::InvalidLinkTiming { c1: 5, c2: 3 };
+        assert!(e.to_string().contains("c1=5"));
+        let e = TimingError::EmptySchedule;
+        assert_eq!(e.to_string(), "schedule contains no tokens");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimingError>();
+    }
+}

@@ -1,0 +1,293 @@
+//! Exhaustive small-scope checking: enumerate *every* interleaving.
+//!
+//! In the untimed asynchronous model an execution is determined by the
+//! order in which tokens make their moves (a token in a depth-`h`
+//! network makes `h + 1` moves: one per layer plus the counter). For
+//! small networks and token counts the whole space of interleavings is
+//! enumerable, which turns two of the paper's background facts into
+//! machine-checked statements:
+//!
+//! * **counting is unconditional** — the quiescent step property holds
+//!   in every single interleaving (the Aspnes–Herlihy–Shavit counting
+//!   theorem, checked exhaustively);
+//! * **linearizability is not** — interleavings in which one token's
+//!   traversal completely precedes another's yet returns a higher
+//!   value exist as soon as the network has any slack at all
+//!   (Definition 2.4 read over the order-precedence relation).
+//!
+//! The enumerator is exact up to a configurable execution budget; the
+//! number of interleavings of `n` tokens is `(n(h+1))! / ((h+1)!)^n`,
+//! so keep the scope small.
+
+use cnet_topology::{NodeId, OutputCounts, Topology, WireEnd};
+
+use crate::error::TimingError;
+
+/// Tallies over every enumerated interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterleaveReport {
+    /// Complete executions enumerated.
+    pub executions: u64,
+    /// Executions whose final (quiescent) counter totals violated the
+    /// step property — always 0 for a counting network.
+    pub step_failures: u64,
+    /// Executions containing at least one order-precedence violation:
+    /// token `A`'s last move precedes token `B`'s first move, yet `A`
+    /// returned the larger value.
+    pub violating_executions: u64,
+    /// The largest number of violating (victim) tokens in any single
+    /// execution.
+    pub max_violations: usize,
+    /// Whether enumeration stopped early at the budget.
+    pub truncated: bool,
+}
+
+impl InterleaveReport {
+    /// Fraction of executions with at least one violation.
+    #[must_use]
+    pub fn violating_fraction(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.violating_executions as f64 / self.executions as f64
+        }
+    }
+}
+
+struct Enumerator<'a> {
+    topology: &'a Topology,
+    depth: usize,
+    report: InterleaveReport,
+    budget: u64,
+}
+
+/// Per-token mutable state during one interleaving.
+#[derive(Debug, Clone)]
+struct TokenState {
+    moves_done: usize,
+    at: Option<NodeId>,
+    dest_counter: Option<usize>,
+    value: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct WorldState {
+    balancers: Vec<u64>,
+    counters: Vec<u64>,
+    tokens: Vec<TokenState>,
+    /// sequence index of each token's first and last move
+    first_move: Vec<Option<usize>>,
+    last_move: Vec<usize>,
+    moves_total: usize,
+}
+
+impl<'a> Enumerator<'a> {
+    fn run(topology: &'a Topology, inputs: &[usize], budget: u64) -> InterleaveReport {
+        let tokens: Vec<TokenState> = inputs
+            .iter()
+            .map(|&x| TokenState {
+                moves_done: 0,
+                at: Some(topology.input(x).node),
+                dest_counter: None,
+                value: None,
+            })
+            .collect();
+        let n = tokens.len();
+        let world = WorldState {
+            balancers: vec![0; topology.node_count()],
+            counters: vec![0; topology.output_width()],
+            tokens,
+            first_move: vec![None; n],
+            last_move: vec![0; n],
+            moves_total: 0,
+        };
+        let mut e = Enumerator {
+            topology,
+            depth: topology.depth(),
+            report: InterleaveReport::default(),
+            budget,
+        };
+        e.explore(world);
+        e.report
+    }
+
+    fn explore(&mut self, world: WorldState) {
+        if self.report.executions >= self.budget {
+            self.report.truncated = true;
+            return;
+        }
+        let mut any = false;
+        for k in 0..world.tokens.len() {
+            if world.tokens[k].moves_done > self.depth {
+                continue; // token finished all h+1 moves
+            }
+            any = true;
+            let mut next = world.clone();
+            self.step(&mut next, k);
+            self.explore(next);
+            if self.report.truncated {
+                return;
+            }
+        }
+        if !any {
+            self.finish(&world);
+        }
+    }
+
+    /// Token `k` makes its next move in `world`.
+    fn step(&self, world: &mut WorldState, k: usize) {
+        let seq = world.moves_total;
+        world.moves_total += 1;
+        if world.first_move[k].is_none() {
+            world.first_move[k] = Some(seq);
+        }
+        world.last_move[k] = seq;
+
+        let tok = &mut world.tokens[k];
+        tok.moves_done += 1;
+        if tok.moves_done <= self.depth {
+            // pass through the node at the current layer
+            let node = tok.at.expect("token inside the network");
+            let fan_out = self.topology.fan_out(node) as u64;
+            let out = (world.balancers[node.index()] % fan_out) as usize;
+            world.balancers[node.index()] += 1;
+            match self.topology.output_wire(node, out) {
+                WireEnd::Node { node: next, .. } => tok.at = Some(next),
+                WireEnd::Counter { index } => {
+                    tok.at = None;
+                    tok.dest_counter = Some(index);
+                }
+            }
+        } else {
+            // the counter move
+            let counter = tok.dest_counter.expect("routed to a counter");
+            let w = self.topology.output_width() as u64;
+            tok.value = Some(counter as u64 + w * world.counters[counter]);
+            world.counters[counter] += 1;
+        }
+    }
+
+    fn finish(&mut self, world: &WorldState) {
+        self.report.executions += 1;
+        let counts: OutputCounts = world.counters.iter().copied().collect();
+        if !counts.is_step() {
+            self.report.step_failures += 1;
+        }
+        // order-precedence Definition 2.4
+        let n = world.tokens.len();
+        let mut victims = 0;
+        for b in 0..n {
+            let vb = world.tokens[b].value.expect("finished");
+            let fb = world.first_move[b].expect("moved");
+            let bad = (0..n).any(|a| {
+                a != b && world.last_move[a] < fb && world.tokens[a].value.expect("finished") > vb
+            });
+            if bad {
+                victims += 1;
+            }
+        }
+        if victims > 0 {
+            self.report.violating_executions += 1;
+            self.report.max_violations = self.report.max_violations.max(victims);
+        }
+    }
+}
+
+/// Enumerates every interleaving of one token per entry in `inputs`
+/// (values are network-input indices), up to `budget` complete
+/// executions.
+///
+/// # Errors
+///
+/// Returns [`TimingError::EmptySchedule`] for an empty token list and
+/// [`TimingError::InputOutOfRange`] for a bad input index.
+pub fn enumerate_interleavings(
+    topology: &Topology,
+    inputs: &[usize],
+    budget: u64,
+) -> Result<InterleaveReport, TimingError> {
+    if inputs.is_empty() {
+        return Err(TimingError::EmptySchedule);
+    }
+    for (token, &x) in inputs.iter().enumerate() {
+        if x >= topology.input_width() {
+            return Err(TimingError::InputOutOfRange {
+                token,
+                input: x,
+                width: topology.input_width(),
+            });
+        }
+    }
+    Ok(Enumerator::run(topology, inputs, budget))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_topology::constructions;
+
+    /// 3 tokens through the single balancer: 6 moves, (6)!/(2!)^3 = 90
+    /// interleavings; the step property must hold in all of them, and
+    /// the Section 1 violation must be among them.
+    #[test]
+    fn single_balancer_three_tokens() {
+        let net = constructions::single_balancer();
+        let r = enumerate_interleavings(&net, &[0, 0, 0], u64::MAX).unwrap();
+        assert_eq!(r.executions, 90);
+        assert!(!r.truncated);
+        assert_eq!(r.step_failures, 0, "counting is unconditional");
+        assert!(r.violating_executions > 0, "the intro example exists");
+        assert!(r.violating_fraction() < 1.0);
+    }
+
+    #[test]
+    fn two_tokens_tree_counts_everywhere() {
+        let net = constructions::counting_tree(4).unwrap();
+        // 2 tokens x 3 moves: 6!/(3!3!) = 20 interleavings
+        let r = enumerate_interleavings(&net, &[0, 0], u64::MAX).unwrap();
+        assert_eq!(r.executions, 20);
+        assert_eq!(r.step_failures, 0);
+        // with only two tokens, one must fully precede the other to
+        // violate, and the second token then still returns the larger
+        // value (values 0 then 1): no violations possible
+        assert_eq!(r.violating_executions, 0);
+    }
+
+    #[test]
+    fn three_tokens_tree_finds_violations() {
+        let net = constructions::counting_tree(4).unwrap();
+        let r = enumerate_interleavings(&net, &[0, 0, 0], u64::MAX).unwrap();
+        assert_eq!(r.step_failures, 0);
+        assert!(r.violating_executions > 0);
+    }
+
+    #[test]
+    fn bitonic_4_two_tokens_exhaustive() {
+        let net = constructions::bitonic(4).unwrap();
+        // 2 tokens x 4 moves: 8!/(4!4!) = 70 interleavings
+        let r = enumerate_interleavings(&net, &[0, 2], u64::MAX).unwrap();
+        assert_eq!(r.executions, 70);
+        assert_eq!(r.step_failures, 0);
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let net = constructions::single_balancer();
+        let r = enumerate_interleavings(&net, &[0, 0, 0], 10).unwrap();
+        assert!(r.truncated);
+        assert_eq!(r.executions, 10);
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let net = constructions::single_balancer();
+        assert!(matches!(
+            enumerate_interleavings(&net, &[], 10),
+            Err(TimingError::EmptySchedule)
+        ));
+        assert!(matches!(
+            enumerate_interleavings(&net, &[5], 10),
+            Err(TimingError::InputOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,354 @@
+//! History variables — the "implicit knowledge" machinery of Section 2.
+//!
+//! Every token `T` and node `D` carries a set of token ids. Initially
+//! `H_T = {T}` and `H_D = ∅`; at each transition event `⟨T, D⟩` the two
+//! sets are merged: `H_T = H_D = H_T ∪ H_D`. The paper's lower-bound
+//! lemmas are statements about these sets:
+//!
+//! * **Lemma 3.1**: if `T` is the `a`-th token to exit on `Y_i` of a
+//!   `w`-output counting network, then `|H_T| >= w(a-1) + i + 1`.
+//! * **Lemma 3.2**: knowledge propagates at most one link per `c1`: at
+//!   an event in layer `g+1` at time `t`, every token in the merged set
+//!   entered the network by `t - g·c1`.
+//!
+//! [`KnowledgeAnalysis`] replays an [`Execution`] and records the
+//! knowledge set of each token at exit; [`verify_lemma_3_1`] and
+//! [`verify_lemma_3_2`] check the lemmas on the execution and report
+//! the first counterexample — none should ever exist, which makes them
+//! powerful differential tests of the executor.
+
+use std::error::Error;
+use std::fmt;
+
+use cnet_topology::Topology;
+
+use crate::execution::{Execution, Place};
+use crate::link::Time;
+
+/// A dense bitset over token ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TokenSet {
+    words: Vec<u64>,
+}
+
+impl TokenSet {
+    fn empty(n: usize) -> Self {
+        TokenSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    fn singleton(n: usize, i: usize) -> Self {
+        let mut s = Self::empty(n);
+        s.insert(i);
+        s
+    }
+
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn union_into(&mut self, other: &TokenSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// A violated knowledge lemma — produced only if the executor and the
+/// paper's model disagree, i.e. never for a correct implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KnowledgeViolation {
+    /// Lemma 3.1 failed for a token at exit.
+    Lemma31 {
+        /// The exiting token.
+        token: usize,
+        /// Its exit counter `Y_i`.
+        counter: usize,
+        /// Its exit rank `a` on that counter (1-based).
+        rank: u64,
+        /// The measured knowledge-set size.
+        knowledge: usize,
+        /// The lemma's lower bound `w(a-1) + i + 1`.
+        bound: u64,
+    },
+    /// Lemma 3.2 failed at an event.
+    Lemma32 {
+        /// The transitioning token.
+        token: usize,
+        /// A token in the merged knowledge set that entered too late.
+        known_token: usize,
+        /// That token's entry time.
+        entered_at: Time,
+        /// The latest entry time the lemma permits, `t - g·c1`.
+        latest_allowed: Time,
+    },
+}
+
+impl fmt::Display for KnowledgeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnowledgeViolation::Lemma31 {
+                token,
+                counter,
+                rank,
+                knowledge,
+                bound,
+            } => write!(
+                f,
+                "lemma 3.1 violated: token {token} exits rank {rank} on Y{counter} \
+                 knowing {knowledge} tokens, bound is {bound}"
+            ),
+            KnowledgeViolation::Lemma32 {
+                token,
+                known_token,
+                entered_at,
+                latest_allowed,
+            } => {
+                write!(
+                    f,
+                    "lemma 3.2 violated: token {token} knows token {known_token} which \
+                     entered at {entered_at}, after the allowed {latest_allowed}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for KnowledgeViolation {}
+
+/// The knowledge sets of an execution, computed by replaying its
+/// events.
+#[derive(Debug, Clone)]
+pub struct KnowledgeAnalysis {
+    /// `|H_T|` for each token at the moment it exits (passes its
+    /// counter), indexed by token id.
+    exit_knowledge: Vec<usize>,
+}
+
+impl KnowledgeAnalysis {
+    /// Replays `execution` over `topology` and records each token's
+    /// knowledge-set size at exit.
+    #[must_use]
+    pub fn compute(topology: &Topology, execution: &Execution) -> Self {
+        let n = execution.operations().len();
+        let mut token_know: Vec<TokenSet> = (0..n).map(|i| TokenSet::singleton(n, i)).collect();
+        let mut node_know: Vec<TokenSet> = (0..topology.node_count())
+            .map(|_| TokenSet::empty(n))
+            .collect();
+        let mut counter_know: Vec<TokenSet> = (0..topology.output_width())
+            .map(|_| TokenSet::empty(n))
+            .collect();
+        let mut exit_knowledge = vec![0usize; n];
+
+        for ev in execution.events() {
+            let place_set = match ev.place {
+                Place::Node(id) => &mut node_know[id.index()],
+                Place::Counter(i) => &mut counter_know[i],
+            };
+            let tok_set = &mut token_know[ev.token];
+            tok_set.union_into(place_set);
+            place_set.union_into(tok_set);
+            if let Place::Counter(_) = ev.place {
+                exit_knowledge[ev.token] = tok_set.len();
+            }
+        }
+        KnowledgeAnalysis { exit_knowledge }
+    }
+
+    /// `|H_T|` at exit for each token, indexed by token id.
+    #[must_use]
+    pub fn exit_knowledge(&self) -> &[usize] {
+        &self.exit_knowledge
+    }
+}
+
+/// Checks Lemma 3.1 on every token of the execution.
+///
+/// # Errors
+///
+/// Returns the first violation (which indicates an executor bug, never
+/// a property of a valid counting network).
+pub fn verify_lemma_3_1(
+    topology: &Topology,
+    execution: &Execution,
+) -> Result<(), KnowledgeViolation> {
+    let analysis = KnowledgeAnalysis::compute(topology, execution);
+    let w = topology.output_width() as u64;
+    let mut rank = vec![0u64; topology.output_width()];
+    for ev in execution.events() {
+        if let Place::Counter(i) = ev.place {
+            rank[i] += 1;
+            let a = rank[i];
+            let bound = w * (a - 1) + i as u64 + 1;
+            let knowledge = analysis.exit_knowledge[ev.token];
+            if (knowledge as u64) < bound {
+                return Err(KnowledgeViolation::Lemma31 {
+                    token: ev.token,
+                    counter: i,
+                    rank: a,
+                    knowledge,
+                    bound,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Lemma 3.2 on every event of the execution: information never
+/// travels faster than one link per `c1`.
+///
+/// # Errors
+///
+/// Returns the first violation (which indicates an executor bug or an
+/// inadmissible schedule, never a property of a valid execution).
+pub fn verify_lemma_3_2(
+    topology: &Topology,
+    execution: &Execution,
+    c1: Time,
+) -> Result<(), KnowledgeViolation> {
+    let n = execution.operations().len();
+    let entry: Vec<Time> = {
+        let mut e = vec![0; n];
+        for op in execution.operations() {
+            e[op.token] = op.start;
+        }
+        e
+    };
+    let mut token_know: Vec<TokenSet> = (0..n).map(|i| TokenSet::singleton(n, i)).collect();
+    let mut node_know: Vec<TokenSet> = (0..topology.node_count())
+        .map(|_| TokenSet::empty(n))
+        .collect();
+    let mut counter_know: Vec<TokenSet> = (0..topology.output_width())
+        .map(|_| TokenSet::empty(n))
+        .collect();
+
+    for ev in execution.events() {
+        // g = number of links the token has traversed to reach this
+        // place: layer l node => g = l - 1; counter => g = depth.
+        let g = match ev.place {
+            Place::Node(id) => topology.layer_of(id) - 1,
+            Place::Counter(_) => topology.depth(),
+        } as Time;
+        let place_set = match ev.place {
+            Place::Node(id) => &mut node_know[id.index()],
+            Place::Counter(i) => &mut counter_know[i],
+        };
+        let tok_set = &mut token_know[ev.token];
+        tok_set.union_into(place_set);
+        place_set.union_into(tok_set);
+
+        let latest_allowed = ev.time.saturating_sub(g * c1);
+        for known in tok_set.iter() {
+            if entry[known] > latest_allowed {
+                return Err(KnowledgeViolation::Lemma32 {
+                    token: ev.token,
+                    known_token: known,
+                    entered_at: entry[known],
+                    latest_allowed,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::TimedExecutor;
+    use crate::link::LinkTiming;
+    use crate::random;
+    use cnet_topology::constructions;
+
+    #[test]
+    fn tokenset_basics() {
+        let mut a = TokenSet::empty(130);
+        a.insert(0);
+        a.insert(64);
+        a.insert(129);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        let b = TokenSet::singleton(130, 7);
+        a.union_into(&b);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn solo_token_knows_only_itself() {
+        let net = constructions::bitonic(4).unwrap();
+        let h = net.depth();
+        let mut s = crate::TimingSchedule::new(h);
+        s.push_delays(0, 0, &vec![5; h]).unwrap();
+        let exec = TimedExecutor::new(&net).run(&s).unwrap();
+        let k = KnowledgeAnalysis::compute(&net, &exec);
+        assert_eq!(k.exit_knowledge(), &[1]);
+    }
+
+    #[test]
+    fn lemmas_hold_on_random_executions() {
+        let net = constructions::bitonic(8).unwrap();
+        let timing = LinkTiming::new(3, 9).unwrap();
+        for seed in 0..5 {
+            let s = random::uniform_schedule(&net, timing, 60, 4, seed).unwrap();
+            let exec = TimedExecutor::new(&net).run(&s).unwrap();
+            verify_lemma_3_1(&net, &exec).unwrap();
+            verify_lemma_3_2(&net, &exec, timing.c1()).unwrap();
+        }
+    }
+
+    #[test]
+    fn lemmas_hold_on_tree_executions() {
+        let net = constructions::counting_tree(8).unwrap();
+        let timing = LinkTiming::new(2, 20).unwrap();
+        let s = random::uniform_schedule(&net, timing, 80, 3, 11).unwrap();
+        let exec = TimedExecutor::new(&net).run(&s).unwrap();
+        verify_lemma_3_1(&net, &exec).unwrap();
+        verify_lemma_3_2(&net, &exec, timing.c1()).unwrap();
+    }
+
+    #[test]
+    fn second_sequential_token_knows_the_first() {
+        // Token 1 exits with rank 2 on Y... it must know >= w+? tokens?
+        // With only two tokens, lemma 3.1 gives |H| >= 0*w + i + 1; the
+        // interesting check: the token exiting on Y1 (i = 1) knows both.
+        let net = constructions::single_balancer();
+        let mut s = crate::TimingSchedule::new(1);
+        s.push_delays(0, 0, &[2]).unwrap();
+        s.push_delays(0, 5, &[2]).unwrap();
+        let exec = TimedExecutor::new(&net).run(&s).unwrap();
+        let k = KnowledgeAnalysis::compute(&net, &exec);
+        assert_eq!(
+            k.exit_knowledge()[1],
+            2,
+            "second token learned of the first"
+        );
+        verify_lemma_3_1(&net, &exec).unwrap();
+    }
+
+    #[test]
+    fn violation_display_mentions_lemma() {
+        let v = KnowledgeViolation::Lemma31 {
+            token: 3,
+            counter: 1,
+            rank: 2,
+            knowledge: 1,
+            bound: 4,
+        };
+        assert!(v.to_string().contains("lemma 3.1"));
+    }
+}

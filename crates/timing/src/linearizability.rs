@@ -1,0 +1,405 @@
+//! The linearizability checker for counting executions.
+//!
+//! Definition 2.3: a counting network is *linearizable* if whenever two
+//! tokens traverse the network one after another without overlap, the
+//! earlier token obtains a smaller value. Definition 2.4 grades a
+//! single execution: an operation `O` is *non-linearizable* if some
+//! operation `O'` completely precedes `O` in time yet returned a
+//! *higher* counter value; the *fraction of non-linearizable
+//! operations* is the paper's measured quantity (Figures 5 and 6).
+//!
+//! [`count_nonlinearizable`] runs in `O(n log n)` with a sweep: sort by
+//! start time, walk a second ordering by end time, and maintain the
+//! maximum value among operations already finished — `O` is
+//! non-linearizable exactly when that running maximum (over strictly
+//! earlier finishers) exceeds `O`'s value. [`count_nonlinearizable_naive`]
+//! is the quadratic reference implementation used to property-test the
+//! sweep.
+
+use crate::execution::Operation;
+
+/// Counts non-linearizable operations (Definition 2.4) in
+/// `O(n log n)`.
+///
+/// # Example
+///
+/// ```
+/// use cnet_timing::{linearizability, Operation};
+///
+/// let ops = [
+///     Operation { token: 0, input: 0, start: 0, end: 3, value: 1, counter: 1 },
+///     Operation { token: 1, input: 0, start: 4, end: 6, value: 0, counter: 0 },
+/// ];
+/// // token 0 finished before token 1 started, but returned a larger
+/// // value, so token 1's operation is non-linearizable.
+/// assert_eq!(linearizability::count_nonlinearizable(&ops), 1);
+/// ```
+#[must_use]
+pub fn count_nonlinearizable(ops: &[Operation]) -> usize {
+    nonlinearizable_tokens(ops).len()
+}
+
+/// The tokens whose operations are non-linearizable, in no particular
+/// order.
+#[must_use]
+pub fn nonlinearizable_tokens(ops: &[Operation]) -> Vec<usize> {
+    let mut by_start: Vec<&Operation> = ops.iter().collect();
+    by_start.sort_unstable_by_key(|o| o.start);
+    let mut by_end: Vec<&Operation> = ops.iter().collect();
+    by_end.sort_unstable_by_key(|o| o.end);
+
+    let mut bad = Vec::new();
+    let mut finished = 0usize; // index into by_end
+    let mut max_finished_value: Option<u64> = None;
+    for op in by_start {
+        while finished < by_end.len() && by_end[finished].end < op.start {
+            let v = by_end[finished].value;
+            max_finished_value = Some(max_finished_value.map_or(v, |m| m.max(v)));
+            finished += 1;
+        }
+        if let Some(m) = max_finished_value {
+            if m > op.value {
+                bad.push(op.token);
+            }
+        }
+    }
+    bad
+}
+
+/// Quadratic reference implementation of [`count_nonlinearizable`],
+/// used for differential testing.
+#[must_use]
+pub fn count_nonlinearizable_naive(ops: &[Operation]) -> usize {
+    ops.iter()
+        .filter(|o| ops.iter().any(|p| p.end < o.start && p.value > o.value))
+        .count()
+}
+
+/// The fraction of non-linearizable operations (`0.0` for an empty
+/// execution).
+#[must_use]
+pub fn nonlinearizable_ratio(ops: &[Operation]) -> f64 {
+    if ops.is_empty() {
+        return 0.0;
+    }
+    count_nonlinearizable(ops) as f64 / ops.len() as f64
+}
+
+/// All violating pairs `(earlier, later)`: `earlier` completely
+/// precedes `later` and returned a higher value.
+///
+/// This enumerates every pair (quadratic) and is meant for diagnostics
+/// and small executions; use [`count_nonlinearizable`] for measurement.
+#[must_use]
+pub fn violations(ops: &[Operation]) -> Vec<(Operation, Operation)> {
+    let mut out = Vec::new();
+    for o in ops {
+        for p in ops {
+            if p.end < o.start && p.value > o.value {
+                out.push((*p, *o));
+            }
+        }
+    }
+    out
+}
+
+/// For one non-linearizable operation, the witness with the largest
+/// value among its violating predecessors, if any.
+#[must_use]
+pub fn worst_witness(ops: &[Operation], op: &Operation) -> Option<Operation> {
+    ops.iter()
+        .filter(|p| p.end < op.start && p.value > op.value)
+        .max_by_key(|p| p.value)
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn op(token: usize, start: u64, end: u64, value: u64) -> Operation {
+        Operation {
+            token,
+            input: 0,
+            start,
+            end,
+            counter: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_are_linearizable() {
+        assert_eq!(count_nonlinearizable(&[]), 0);
+        assert_eq!(nonlinearizable_ratio(&[]), 0.0);
+        assert_eq!(count_nonlinearizable(&[op(0, 0, 1, 5)]), 0);
+    }
+
+    #[test]
+    fn overlapping_operations_never_violate() {
+        // identical intervals, any values
+        let ops = [op(0, 0, 10, 5), op(1, 5, 15, 0), op(2, 9, 30, 2)];
+        assert_eq!(count_nonlinearizable(&ops), 0);
+    }
+
+    #[test]
+    fn touching_intervals_do_not_violate() {
+        // end == start means overlap under the strict definition
+        let ops = [op(0, 0, 5, 9), op(1, 5, 8, 0)];
+        assert_eq!(count_nonlinearizable(&ops), 0);
+    }
+
+    #[test]
+    fn simple_violation_detected() {
+        let ops = [op(0, 0, 3, 7), op(1, 4, 6, 2)];
+        assert_eq!(count_nonlinearizable(&ops), 1);
+        assert_eq!(nonlinearizable_tokens(&ops), vec![1]);
+        let v = violations(&ops);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0.token, 0);
+        assert_eq!(v[0].1.token, 1);
+    }
+
+    #[test]
+    fn one_bad_op_counted_once_despite_many_witnesses() {
+        let ops = [op(0, 0, 1, 9), op(1, 0, 2, 8), op(2, 5, 6, 3)];
+        assert_eq!(count_nonlinearizable(&ops), 1);
+        assert_eq!(worst_witness(&ops, &ops[2]).unwrap().token, 0);
+    }
+
+    #[test]
+    fn cascade_counts_each_bad_op() {
+        // token 0 returns the largest value first; everything after it
+        // is non-linearizable.
+        let ops = [
+            op(0, 0, 1, 10),
+            op(1, 2, 3, 1),
+            op(2, 4, 5, 2),
+            op(3, 6, 7, 3),
+        ];
+        assert_eq!(count_nonlinearizable(&ops), 3);
+        assert!((nonlinearizable_ratio(&ops) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_witness_none_when_clean() {
+        let ops = [op(0, 0, 1, 0), op(1, 2, 3, 1)];
+        assert_eq!(worst_witness(&ops, &ops[1]), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The sweep agrees with the quadratic reference on arbitrary
+        /// operation sets (including ties in starts, ends, and values).
+        #[test]
+        fn sweep_matches_naive(
+            raw in proptest::collection::vec((0u64..50, 1u64..20, 0u64..30), 0..60)
+        ) {
+            let ops: Vec<Operation> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(start, len, value))| op(i, start, start + len, value))
+                .collect();
+            prop_assert_eq!(
+                count_nonlinearizable(&ops),
+                count_nonlinearizable_naive(&ops)
+            );
+        }
+
+        /// Sequential executions (each op starts after the previous
+        /// ends) with increasing values are always linearizable.
+        #[test]
+        fn sequential_increasing_is_clean(lens in proptest::collection::vec(1u64..10, 1..40)) {
+            let mut t = 0u64;
+            let mut ops = Vec::new();
+            for (i, len) in lens.iter().enumerate() {
+                ops.push(op(i, t, t + len, i as u64));
+                t += len + 1;
+            }
+            prop_assert_eq!(count_nonlinearizable(&ops), 0);
+        }
+    }
+}
+
+/// An online (streaming) violation counter.
+///
+/// Feed operations in *completion order* (non-decreasing `end`); the
+/// checker counts Definition 2.4 victims incrementally with O(pending)
+/// memory — operations are buffered only until everything that could
+/// still precede them has been seen.
+///
+/// # Example
+///
+/// ```
+/// use cnet_timing::linearizability::OnlineChecker;
+/// use cnet_timing::Operation;
+///
+/// let mut checker = OnlineChecker::new();
+/// checker.observe(Operation { token: 0, input: 0, start: 0, end: 3, counter: 0, value: 9 });
+/// checker.observe(Operation { token: 1, input: 0, start: 4, end: 6, counter: 0, value: 1 });
+/// assert_eq!(checker.finish(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct OnlineChecker {
+    /// Operations whose verdict may still depend on unseen completions:
+    /// an op with `start > last_end` could still be preceded by a
+    /// not-yet-completed op… no — completions arrive in order, so any
+    /// *future* completion ends later than `last_end` and can only
+    /// precede ops starting after it. Ops become decidable once
+    /// `last_end >= start`.
+    pending: Vec<Operation>,
+    /// Largest value among operations with `end < t` as a running
+    /// prefix structure: (end, running max value) pairs, ends ascending.
+    finished: Vec<(Time, u64)>,
+    last_end: Time,
+    violations: usize,
+    observed: usize,
+}
+
+use crate::link::Time;
+
+impl OnlineChecker {
+    /// Creates an empty checker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Operations observed so far.
+    #[must_use]
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Feeds the next completed operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op.end` is smaller than a previously observed end
+    /// (completion order violated).
+    pub fn observe(&mut self, op: Operation) {
+        assert!(
+            op.end >= self.last_end,
+            "operations must be observed in completion order"
+        );
+        self.last_end = op.end;
+        self.observed += 1;
+
+        // settle pending ops whose start is now in the past: every
+        // operation that could precede them has been recorded
+        self.settle(op.end);
+
+        self.pending.push(op);
+
+        // record this completion in the prefix-max structure
+        let running = self
+            .finished
+            .last()
+            .map_or(op.value, |&(_, m)| m.max(op.value));
+        self.finished.push((op.end, running));
+    }
+
+    /// Decides every pending op with `start <= horizon` — wait,
+    /// precedence is strict (`end < start`), and future completions
+    /// have `end >= horizon`, so an op is decidable once
+    /// `horizon >= start`.
+    fn settle(&mut self, horizon: Time) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].start <= horizon {
+                let op = self.pending.swap_remove(i);
+                if self.max_value_before(op.start) > Some(op.value) {
+                    self.violations += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Largest value among recorded completions with `end < t`.
+    fn max_value_before(&self, t: Time) -> Option<u64> {
+        // binary search the first end >= t; the prefix max sits just
+        // before it
+        let idx = self.finished.partition_point(|&(end, _)| end < t);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.finished[idx - 1].1)
+        }
+    }
+
+    /// Settles every remaining operation and returns the final
+    /// violation count.
+    #[must_use]
+    pub fn finish(mut self) -> usize {
+        self.settle(Time::MAX);
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod online_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn op(token: usize, start: u64, end: u64, value: u64) -> Operation {
+        Operation {
+            token,
+            input: 0,
+            start,
+            end,
+            counter: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn empty_is_clean() {
+        assert_eq!(OnlineChecker::new().finish(), 0);
+    }
+
+    #[test]
+    fn detects_the_intro_violation() {
+        let mut c = OnlineChecker::new();
+        c.observe(op(1, 1, 3, 1));
+        c.observe(op(2, 4, 6, 0));
+        c.observe(op(0, 0, 8, 2));
+        assert_eq!(c.observed(), 3);
+        assert_eq!(c.finish(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "completion order")]
+    fn out_of_order_completion_panics() {
+        let mut c = OnlineChecker::new();
+        c.observe(op(0, 0, 10, 0));
+        c.observe(op(1, 0, 5, 1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The online checker agrees with the batch sweep on arbitrary
+        /// traces (fed in completion order).
+        #[test]
+        fn online_matches_batch(
+            raw in proptest::collection::vec((0u64..60, 1u64..25, 0u64..40), 0..80)
+        ) {
+            let mut ops: Vec<Operation> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(start, len, value))| op(i, start, start + len, value))
+                .collect();
+            let batch = count_nonlinearizable(&ops);
+            ops.sort_by_key(|o| o.end);
+            let mut online = OnlineChecker::new();
+            for o in &ops {
+                online.observe(*o);
+            }
+            prop_assert_eq!(online.finish(), batch);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's local timing measure: per-link traversal bounds.
+
+use std::fmt;
+
+use crate::error::TimingError;
+
+/// Discrete time, in abstract "cycles". All of the paper's statements
+/// are scale-invariant, so integer time keeps executions exactly
+/// reproducible without losing generality.
+pub type Time = u64;
+
+/// The local link-timing measure `⟨c1, c2⟩` of the paper.
+///
+/// `c1` is the minimum and `c2` the maximum time it takes a token to
+/// traverse a wire from balancer to balancer (balancer transitions are
+/// instantaneous). The paper's central results are phrased entirely in
+/// terms of the ratio `c2 / c1` and the network depth `h`:
+///
+/// * `c2 <= 2·c1` ⇒ every uniform counting network is linearizable
+///   (Corollary 3.9), *independent of depth*.
+/// * Otherwise two token traversals are still ordered if they are
+///   separated by enough time — see
+///   [`crate::measure::finish_start_separation`] and
+///   [`crate::measure::start_start_separation`].
+///
+/// # Example
+///
+/// ```
+/// use cnet_timing::LinkTiming;
+///
+/// let t = LinkTiming::new(10, 20)?;
+/// assert!(t.guarantees_linearizability());
+/// assert_eq!(t.ratio(), 2.0);
+///
+/// let t = LinkTiming::new(10, 45)?;
+/// assert!(!t.guarantees_linearizability());
+/// assert_eq!(t.min_integer_k(), 5); // smallest integer k with c2 < k·c1
+/// # Ok::<(), cnet_timing::TimingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkTiming {
+    c1: Time,
+    c2: Time,
+}
+
+impl LinkTiming {
+    /// Creates a link timing with lower bound `c1` and upper bound `c2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InvalidLinkTiming`] unless
+    /// `1 <= c1 <= c2`.
+    pub fn new(c1: Time, c2: Time) -> Result<Self, TimingError> {
+        if c1 == 0 || c2 < c1 {
+            return Err(TimingError::InvalidLinkTiming { c1, c2 });
+        }
+        Ok(LinkTiming { c1, c2 })
+    }
+
+    /// A timing with zero jitter: every link takes exactly `c` units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InvalidLinkTiming`] if `c == 0`.
+    pub fn exact(c: Time) -> Result<Self, TimingError> {
+        Self::new(c, c)
+    }
+
+    /// The minimum link traversal time `c1`.
+    #[must_use]
+    pub fn c1(self) -> Time {
+        self.c1
+    }
+
+    /// The maximum link traversal time `c2`.
+    #[must_use]
+    pub fn c2(self) -> Time {
+        self.c2
+    }
+
+    /// The ratio `c2 / c1` as a float.
+    #[must_use]
+    pub fn ratio(self) -> f64 {
+        self.c2 as f64 / self.c1 as f64
+    }
+
+    /// Whether `c2 <= 2·c1`, the condition under which *every* uniform
+    /// counting network is linearizable in *every* execution
+    /// (Corollary 3.9), regardless of depth.
+    #[must_use]
+    pub fn guarantees_linearizability(self) -> bool {
+        self.c2 <= 2 * self.c1
+    }
+
+    /// The smallest integer `k` such that `c2 < k·c1`, i.e.
+    /// `floor(c2/c1) + 1`. This is the constant Corollary 3.12 requires
+    /// a priori to build a linearizable network of depth `h·(k-1)`.
+    #[must_use]
+    pub fn min_integer_k(self) -> u64 {
+        self.c2 / self.c1 + 1
+    }
+
+    /// Fastest possible traversal of a depth-`h` network: `h·c1`.
+    #[must_use]
+    pub fn min_traversal(self, depth: usize) -> Time {
+        self.c1 * depth as Time
+    }
+
+    /// Slowest possible traversal of a depth-`h` network: `h·c2`.
+    #[must_use]
+    pub fn max_traversal(self, depth: usize) -> Time {
+        self.c2 * depth as Time
+    }
+
+    /// Whether a single link delay is admissible, i.e. in `[c1, c2]`.
+    #[must_use]
+    pub fn admits(self, delay: Time) -> bool {
+        (self.c1..=self.c2).contains(&delay)
+    }
+}
+
+impl fmt::Display for LinkTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c1={}, c2={} (ratio {:.3})",
+            self.c1,
+            self.c2,
+            self.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(LinkTiming::new(0, 5).is_err());
+        assert!(LinkTiming::new(6, 5).is_err());
+        assert!(LinkTiming::new(5, 5).is_ok());
+        assert!(LinkTiming::exact(0).is_err());
+    }
+
+    #[test]
+    fn boundary_ratio_two_guarantees() {
+        assert!(LinkTiming::new(5, 10).unwrap().guarantees_linearizability());
+        assert!(!LinkTiming::new(5, 11).unwrap().guarantees_linearizability());
+        assert!(LinkTiming::new(1, 1).unwrap().guarantees_linearizability());
+    }
+
+    #[test]
+    fn min_integer_k_examples() {
+        assert_eq!(LinkTiming::new(10, 10).unwrap().min_integer_k(), 2);
+        assert_eq!(LinkTiming::new(10, 20).unwrap().min_integer_k(), 3);
+        assert_eq!(LinkTiming::new(10, 21).unwrap().min_integer_k(), 3);
+        assert_eq!(LinkTiming::new(10, 29).unwrap().min_integer_k(), 3);
+        assert_eq!(LinkTiming::new(10, 30).unwrap().min_integer_k(), 4);
+    }
+
+    #[test]
+    fn traversal_bounds() {
+        let t = LinkTiming::new(3, 7).unwrap();
+        assert_eq!(t.min_traversal(4), 12);
+        assert_eq!(t.max_traversal(4), 28);
+        assert_eq!(t.min_traversal(0), 0);
+    }
+
+    #[test]
+    fn admits_range() {
+        let t = LinkTiming::new(3, 7).unwrap();
+        assert!(!t.admits(2));
+        assert!(t.admits(3));
+        assert!(t.admits(7));
+        assert!(!t.admits(8));
+    }
+
+    #[test]
+    fn display_includes_ratio() {
+        let t = LinkTiming::new(4, 10).unwrap();
+        assert!(t.to_string().contains("2.500"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Program-order (sequential-consistency-style) checking.
+//!
+//! The paper points out that linearizability "is related to (but not
+//! identical with)" sequential consistency. For a counting trace the
+//! natural program-order condition is: the successive operations of a
+//! single process must return increasing values (a process's operations
+//! never overlap each other, so this is the per-process restriction of
+//! Definition 2.4).
+//!
+//! When a process's operations are separated in real time (each starts
+//! strictly after the previous one's response), every program-order
+//! violation is also a Definition 2.4 violation, but not vice versa —
+//! two *different* processes can observe a real-time inversion that no
+//! single process ever sees. Comparing the two counts on the same
+//! trace quantifies how much of the non-linearizability is even
+//! *observable* without an external real-time clock. (On traces where
+//! consecutive operations of a process *abut* exactly — `end == next
+//! start` — program order still orders them while Definition 2.4's
+//! strict precedence does not, so the inclusion needs that strictness
+//! assumption.)
+
+use crate::execution::Operation;
+use crate::linearizability;
+
+/// A process id extractor: which process issued an operation.
+///
+/// The simulator and the stress harnesses record the processor/thread
+/// in [`Operation::input`]; traces with a different convention can
+/// supply their own extractor.
+pub type ProcessOf = fn(&Operation) -> usize;
+
+/// The default extractor: the `input` field.
+#[must_use]
+pub fn by_input(op: &Operation) -> usize {
+    op.input
+}
+
+/// Counts operations that return a *smaller* value than an earlier
+/// operation of the same process (the later operation is the one
+/// counted, mirroring Definition 2.4).
+#[must_use]
+pub fn count_program_order_violations(ops: &[Operation], process_of: ProcessOf) -> usize {
+    use std::collections::HashMap;
+    // group by process, order by start time (per-process ops are
+    // non-overlapping, so start order is program order)
+    let mut per_process: HashMap<usize, Vec<&Operation>> = HashMap::new();
+    for op in ops {
+        per_process.entry(process_of(op)).or_default().push(op);
+    }
+    let mut violations = 0;
+    for (_, mut seq) in per_process {
+        seq.sort_unstable_by_key(|o| o.start);
+        let mut max_value: Option<u64> = None;
+        for op in seq {
+            if let Some(m) = max_value {
+                if op.value < m {
+                    violations += 1;
+                }
+            }
+            max_value = Some(max_value.map_or(op.value, |m| m.max(op.value)));
+        }
+    }
+    violations
+}
+
+/// Program-order violations as a fraction of all operations.
+#[must_use]
+pub fn program_order_violation_ratio(ops: &[Operation], process_of: ProcessOf) -> f64 {
+    if ops.is_empty() {
+        return 0.0;
+    }
+    count_program_order_violations(ops, process_of) as f64 / ops.len() as f64
+}
+
+/// Both counts side by side: the full Definition 2.4 count and its
+/// per-process restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsistencyBreakdown {
+    /// Operations violating real-time order across all processes
+    /// (Definition 2.4).
+    pub linearizability_violations: usize,
+    /// Operations violating their own process's program order.
+    pub program_order_violations: usize,
+    /// Total operations.
+    pub operations: usize,
+}
+
+impl ConsistencyBreakdown {
+    /// Computes both counts for a trace.
+    #[must_use]
+    pub fn compute(ops: &[Operation], process_of: ProcessOf) -> Self {
+        ConsistencyBreakdown {
+            linearizability_violations: linearizability::count_nonlinearizable(ops),
+            program_order_violations: count_program_order_violations(ops, process_of),
+            operations: ops.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(input: usize, start: u64, end: u64, value: u64) -> Operation {
+        Operation {
+            token: 0,
+            input,
+            start,
+            end,
+            counter: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn empty_and_single_process_increasing() {
+        assert_eq!(count_program_order_violations(&[], by_input), 0);
+        let ops = [op(0, 0, 1, 0), op(0, 2, 3, 1), op(0, 4, 5, 2)];
+        assert_eq!(count_program_order_violations(&ops, by_input), 0);
+    }
+
+    #[test]
+    fn decreasing_value_within_a_process_is_flagged() {
+        let ops = [op(0, 0, 1, 5), op(0, 2, 3, 2)];
+        assert_eq!(count_program_order_violations(&ops, by_input), 1);
+    }
+
+    #[test]
+    fn cross_process_inversion_is_not_program_order() {
+        // process 0 returns 5, process 1 later returns 2: linearizability
+        // violation, but neither process sees its own order break
+        let ops = [op(0, 0, 1, 5), op(1, 2, 3, 2)];
+        assert_eq!(count_program_order_violations(&ops, by_input), 0);
+        let b = ConsistencyBreakdown::compute(&ops, by_input);
+        assert_eq!(b.linearizability_violations, 1);
+        assert_eq!(b.program_order_violations, 0);
+        assert_eq!(b.operations, 2);
+    }
+
+    #[test]
+    fn program_order_violations_are_linearizability_violations() {
+        // same process: both checkers flag it
+        let ops = [op(3, 0, 1, 5), op(3, 2, 3, 2)];
+        let b = ConsistencyBreakdown::compute(&ops, by_input);
+        assert_eq!(b.program_order_violations, 1);
+        assert!(b.linearizability_violations >= 1);
+    }
+
+    #[test]
+    fn each_later_dip_counts_once() {
+        let ops = [
+            op(0, 0, 1, 9),
+            op(0, 2, 3, 1), // dip 1
+            op(0, 4, 5, 2), // still below 9: dip 2
+            op(0, 6, 7, 10),
+        ];
+        assert_eq!(count_program_order_violations(&ops, by_input), 2);
+    }
+
+    #[test]
+    fn ratio_is_fractional() {
+        let ops = [op(0, 0, 1, 5), op(0, 2, 3, 2)];
+        assert!((program_order_violation_ratio(&ops, by_input) - 0.5).abs() < 1e-12);
+        assert_eq!(program_order_violation_ratio(&[], by_input), 0.0);
+    }
+}

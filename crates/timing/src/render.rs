@@ -1,0 +1,178 @@
+//! Execution timelines as text or SVG.
+//!
+//! A picture of an execution makes non-linearizability visible at a
+//! glance: each operation is a horizontal bar from entry to exit,
+//! labeled with its returned value; bars of non-linearizable operations
+//! are highlighted. The text renderer targets terminals and test
+//! assertions, the SVG renderer documentation and reports.
+
+use std::fmt::Write as _;
+
+use crate::execution::Execution;
+use crate::linearizability;
+
+/// Renders the execution as a fixed-width text Gantt chart, one row
+/// per token (in token order), `width` characters across. Violating
+/// operations are drawn with `!`, clean ones with `=`.
+#[must_use]
+pub fn text_timeline(execution: &Execution, width: usize) -> String {
+    let ops = execution.operations();
+    if ops.is_empty() {
+        return String::from("(empty execution)\n");
+    }
+    let width = width.max(10);
+    let t_min = ops.iter().map(|o| o.start).min().expect("non-empty");
+    let t_max = ops.iter().map(|o| o.end).max().expect("non-empty");
+    let span = (t_max - t_min).max(1) as f64;
+    let scale = |t: u64| (((t - t_min) as f64 / span) * (width - 1) as f64) as usize;
+    let bad = linearizability::nonlinearizable_tokens(ops);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "time {t_min}..{t_max} ({} ops, {} violating)",
+        ops.len(),
+        bad.len()
+    );
+    for op in ops {
+        let s = scale(op.start);
+        let e = scale(op.end).max(s + 1);
+        let fill = if bad.contains(&op.token) { '!' } else { '=' };
+        let mut row: Vec<char> = vec![' '; width];
+        row[s] = '|';
+        for c in row.iter_mut().take(e).skip(s + 1) {
+            *c = fill;
+        }
+        if e < width {
+            row[e] = '|';
+        }
+        let _ = writeln!(
+            out,
+            "T{:<4} {}  v={:<4} Y{}",
+            op.token,
+            row.into_iter().collect::<String>(),
+            op.value,
+            op.counter
+        );
+    }
+    out
+}
+
+/// Renders the execution as a standalone SVG document.
+///
+/// One bar per operation; violating operations are red, others steel
+/// blue; each bar is labeled with its value.
+#[must_use]
+pub fn svg_timeline(execution: &Execution) -> String {
+    const ROW_H: u64 = 18;
+    const BAR_H: u64 = 12;
+    const LEFT: f64 = 60.0;
+    const PLOT_W: f64 = 720.0;
+
+    let ops = execution.operations();
+    let bad = linearizability::nonlinearizable_tokens(ops);
+    let t_min = ops.iter().map(|o| o.start).min().unwrap_or(0);
+    let t_max = ops.iter().map(|o| o.end).max().unwrap_or(1);
+    let span = (t_max.saturating_sub(t_min)).max(1) as f64;
+    let x = |t: u64| LEFT + ((t - t_min) as f64 / span) * PLOT_W;
+
+    let height = ROW_H * ops.len() as u64 + 30;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"10\">",
+        LEFT + PLOT_W + 80.0
+    );
+    let _ = writeln!(
+        svg,
+        "  <text x=\"4\" y=\"12\">execution timeline: {} ops, {} violating</text>",
+        ops.len(),
+        bad.len()
+    );
+    for (row, op) in ops.iter().enumerate() {
+        let y = 20 + row as u64 * ROW_H;
+        let color = if bad.contains(&op.token) {
+            "#c0392b"
+        } else {
+            "#4682b4"
+        };
+        let x0 = x(op.start);
+        let w = (x(op.end) - x0).max(1.0);
+        let _ = writeln!(
+            svg,
+            "  <text x=\"4\" y=\"{}\">T{}</text>",
+            y + BAR_H - 2,
+            op.token
+        );
+        let _ = writeln!(
+            svg,
+            "  <rect x=\"{x0:.1}\" y=\"{y}\" width=\"{w:.1}\" height=\"{BAR_H}\" \
+             fill=\"{color}\" rx=\"2\"><title>token {} [{}..{}] value {} on Y{}</title></rect>",
+            op.token, op.start, op.end, op.value, op.counter
+        );
+        let _ = writeln!(
+            svg,
+            "  <text x=\"{:.1}\" y=\"{}\">{}</text>",
+            x0 + w + 4.0,
+            y + BAR_H - 2,
+            op.value
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::TimedExecutor;
+    use crate::TimingSchedule;
+    use cnet_topology::constructions;
+
+    fn intro_execution() -> Execution {
+        let net = constructions::single_balancer();
+        let mut s = TimingSchedule::new(1);
+        s.push_delays(0, 0, &[8]).unwrap();
+        s.push_delays(0, 1, &[2]).unwrap();
+        s.push_delays(0, 4, &[2]).unwrap();
+        TimedExecutor::new(&net).run(&s).unwrap()
+    }
+
+    #[test]
+    fn text_timeline_marks_the_violation() {
+        let exec = intro_execution();
+        let text = text_timeline(&exec, 40);
+        assert!(text.contains("3 ops, 1 violating"));
+        assert!(text.contains('!'), "violating bar uses !");
+        assert!(text.contains('='), "clean bars use =");
+        assert_eq!(text.lines().count(), 4, "header + one row per token");
+    }
+
+    #[test]
+    fn svg_timeline_is_wellformed_and_colored() {
+        let exec = intro_execution();
+        let svg = svg_timeline(&exec);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("#c0392b"), "violation colored red");
+        assert!(svg.contains("#4682b4"), "clean ops colored blue");
+    }
+
+    #[test]
+    fn empty_execution_renders() {
+        use cnet_topology::OutputCounts;
+        let exec = Execution::new(Vec::new(), Vec::new(), OutputCounts::zeros(2));
+        assert!(text_timeline(&exec, 30).contains("empty"));
+        let svg = svg_timeline(&exec);
+        assert!(svg.contains("0 ops"));
+    }
+
+    #[test]
+    fn narrow_width_is_clamped() {
+        let exec = intro_execution();
+        let text = text_timeline(&exec, 1);
+        assert!(text.lines().count() >= 4);
+    }
+}

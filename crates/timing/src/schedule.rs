@@ -1,0 +1,312 @@
+//! Timing schedules — the triple `⟨K, L, Q⟩` of Definition 2.2.
+//!
+//! A [`TimingSchedule`] fully determines a timed execution of a uniform
+//! network of depth `h`: it lists the tokens `K`, the input each enters
+//! on (`L`), and for each token the real-time instants `Q(k, j)` at
+//! which it passes through a node of layer `j`, for `j = 1..=h+1`
+//! (layer `h + 1` being the arrival at the output counter).
+//!
+//! The schedule does *not* say which node of each layer the token
+//! visits — that is determined by the balancer states, i.e. by the
+//! relative order of the events, which the
+//! [executor](crate::executor::TimedExecutor) resolves.
+
+use cnet_topology::Topology;
+
+use crate::error::TimingError;
+use crate::link::{LinkTiming, Time};
+
+/// One token's row of the schedule: its entry input `L(k)` and its
+/// per-layer pass times `Q(k, 1..=h+1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenSchedule {
+    /// The network input `x_{input}` on which the token enters.
+    pub input: usize,
+    /// `times[j - 1]` is `Q(k, j)`: the instant the token transitions
+    /// through its layer-`j` node. The final entry is the counter
+    /// arrival. Length must be `depth + 1`.
+    pub times: Vec<Time>,
+}
+
+impl TokenSchedule {
+    /// Builds a token row from an entry time and the `h + 1` link
+    /// delays along its path (the last delay is the balancer-to-counter
+    /// link)... more precisely, a depth-`h` network has `h` links
+    /// *after* the entry node: entering the network *is* passing the
+    /// layer-1 node, so `delays` must have length `h`.
+    #[must_use]
+    pub fn from_delays(input: usize, entry: Time, delays: &[Time]) -> Self {
+        let mut times = Vec::with_capacity(delays.len() + 1);
+        let mut t = entry;
+        times.push(t);
+        for d in delays {
+            t += d;
+            times.push(t);
+        }
+        TokenSchedule { input, times }
+    }
+
+    /// The entry time `Q(k, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is empty (an invalid row).
+    #[must_use]
+    pub fn entry(&self) -> Time {
+        self.times[0]
+    }
+
+    /// The exit (counter-arrival) time `Q(k, h + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is empty (an invalid row).
+    #[must_use]
+    pub fn exit(&self) -> Time {
+        *self
+            .times
+            .last()
+            .expect("token schedule has at least one time")
+    }
+}
+
+/// A complete timing schedule `⟨K, L, Q⟩` for a network of known depth.
+///
+/// Token ids are the indices into the schedule; the paper's convention
+/// of numbering tokens by entry time is a property random generators
+/// uphold but is not required (ids are arbitrary labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingSchedule {
+    depth: usize,
+    tokens: Vec<TokenSchedule>,
+}
+
+impl TimingSchedule {
+    /// Creates an empty schedule for a network of the given depth.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        TimingSchedule {
+            depth,
+            tokens: Vec::new(),
+        }
+    }
+
+    /// The network depth `h` this schedule is built for.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The number of tokens `|K|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the schedule has no tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Appends a token row, returning its token id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::DepthMismatch`] if the row does not have
+    /// exactly `depth + 1` times, or
+    /// [`TimingError::NonMonotonicTimes`] if they are not strictly
+    /// increasing.
+    pub fn push(&mut self, token: TokenSchedule) -> Result<usize, TimingError> {
+        let id = self.tokens.len();
+        if token.times.len() != self.depth + 1 {
+            return Err(TimingError::DepthMismatch {
+                token: id,
+                got: token.times.len(),
+                expected: self.depth + 1,
+            });
+        }
+        for (link, w) in token.times.windows(2).enumerate() {
+            if w[1] <= w[0] {
+                return Err(TimingError::NonMonotonicTimes { token: id, link });
+            }
+        }
+        self.tokens.push(token);
+        Ok(id)
+    }
+
+    /// Convenience wrapper: appends a token built from `entry` and `h`
+    /// link delays.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::push`].
+    pub fn push_delays(
+        &mut self,
+        input: usize,
+        entry: Time,
+        delays: &[Time],
+    ) -> Result<usize, TimingError> {
+        self.push(TokenSchedule::from_delays(input, entry, delays))
+    }
+
+    /// The rows of the schedule, indexed by token id.
+    #[must_use]
+    pub fn tokens(&self) -> &[TokenSchedule] {
+        &self.tokens
+    }
+
+    /// The row for one token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of range.
+    #[must_use]
+    pub fn token(&self, token: usize) -> &TokenSchedule {
+        &self.tokens[token]
+    }
+
+    /// Validates the schedule against a network and (optionally) a link
+    /// timing: inputs must exist, and with a timing every link delay
+    /// must be within `[c1, c2]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(
+        &self,
+        topology: &Topology,
+        timing: Option<LinkTiming>,
+    ) -> Result<(), TimingError> {
+        if self.tokens.is_empty() {
+            return Err(TimingError::EmptySchedule);
+        }
+        for (id, tok) in self.tokens.iter().enumerate() {
+            if tok.input >= topology.input_width() {
+                return Err(TimingError::InputOutOfRange {
+                    token: id,
+                    input: tok.input,
+                    width: topology.input_width(),
+                });
+            }
+            if tok.times.len() != topology.depth() + 1 {
+                return Err(TimingError::DepthMismatch {
+                    token: id,
+                    got: tok.times.len(),
+                    expected: topology.depth() + 1,
+                });
+            }
+            if let Some(t) = timing {
+                for (link, w) in tok.times.windows(2).enumerate() {
+                    let delay = w[1] - w[0];
+                    if !t.admits(delay) {
+                        return Err(TimingError::DelayOutOfBounds {
+                            token: id,
+                            link,
+                            delay,
+                            c1: t.c1(),
+                            c2: t.c2(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_topology::constructions;
+
+    #[test]
+    fn from_delays_accumulates() {
+        let t = TokenSchedule::from_delays(3, 100, &[5, 7, 2]);
+        assert_eq!(t.times, vec![100, 105, 112, 114]);
+        assert_eq!(t.entry(), 100);
+        assert_eq!(t.exit(), 114);
+        assert_eq!(t.input, 3);
+    }
+
+    #[test]
+    fn push_checks_depth() {
+        let mut s = TimingSchedule::new(2);
+        let err = s
+            .push(TokenSchedule {
+                input: 0,
+                times: vec![0, 1],
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TimingError::DepthMismatch {
+                token: 0,
+                got: 2,
+                expected: 3
+            }
+        );
+    }
+
+    #[test]
+    fn push_checks_monotonicity() {
+        let mut s = TimingSchedule::new(2);
+        let err = s
+            .push(TokenSchedule {
+                input: 0,
+                times: vec![5, 5, 9],
+            })
+            .unwrap_err();
+        assert_eq!(err, TimingError::NonMonotonicTimes { token: 0, link: 0 });
+    }
+
+    #[test]
+    fn validate_against_topology_and_timing() {
+        let net = constructions::single_balancer(); // depth 1
+        let timing = LinkTiming::new(2, 4).unwrap();
+
+        let mut s = TimingSchedule::new(1);
+        s.push_delays(0, 0, &[3]).unwrap();
+        assert!(s.validate(&net, Some(timing)).is_ok());
+
+        let mut s = TimingSchedule::new(1);
+        s.push_delays(0, 0, &[5]).unwrap();
+        assert_eq!(
+            s.validate(&net, Some(timing)).unwrap_err(),
+            TimingError::DelayOutOfBounds {
+                token: 0,
+                link: 0,
+                delay: 5,
+                c1: 2,
+                c2: 4
+            }
+        );
+
+        let mut s = TimingSchedule::new(1);
+        s.push_delays(9, 0, &[3]).unwrap();
+        assert!(matches!(
+            s.validate(&net, None).unwrap_err(),
+            TimingError::InputOutOfRange { input: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_schedule_invalid() {
+        let net = constructions::single_balancer();
+        let s = TimingSchedule::new(1);
+        assert_eq!(
+            s.validate(&net, None).unwrap_err(),
+            TimingError::EmptySchedule
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn token_ids_are_sequential() {
+        let mut s = TimingSchedule::new(1);
+        assert_eq!(s.push_delays(0, 0, &[1]).unwrap(), 0);
+        assert_eq!(s.push_delays(1, 5, &[2]).unwrap(), 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.token(1).entry(), 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Violation density over time: where in an execution do the
+//! non-linearizable operations cluster?
+//!
+//! Figures 5 and 6 report a single ratio per run; this module slices
+//! the run into fixed-width windows of simulated time and reports the
+//! per-window operation and violation counts, which reveals whether
+//! violations are uniform or bursty (in the Section 5 benchmark they
+//! cluster around the moments delayed tokens land).
+
+use crate::execution::Operation;
+use crate::linearizability;
+use crate::link::Time;
+
+/// One time window's tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Window start (inclusive).
+    pub start: Time,
+    /// Window end (exclusive).
+    pub end: Time,
+    /// Operations *completing* in the window.
+    pub operations: usize,
+    /// Non-linearizable operations (per the whole-trace check)
+    /// completing in the window.
+    pub violations: usize,
+}
+
+impl Window {
+    /// The window's violation ratio (0 for an empty window).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.operations as f64
+        }
+    }
+}
+
+/// Buckets a trace's operations into windows of `width` time units (by
+/// completion time) and tallies the violations per window.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn violation_density(ops: &[Operation], width: Time) -> Vec<Window> {
+    assert!(width > 0, "window width must be positive");
+    if ops.is_empty() {
+        return Vec::new();
+    }
+    let bad: std::collections::HashSet<usize> = linearizability::nonlinearizable_tokens(ops)
+        .into_iter()
+        .collect();
+    let t_min = ops.iter().map(|o| o.end).min().expect("non-empty");
+    let t_max = ops.iter().map(|o| o.end).max().expect("non-empty");
+    let first = t_min / width;
+    let count = (t_max / width - first + 1) as usize;
+    let mut windows: Vec<Window> = (0..count)
+        .map(|i| Window {
+            start: (first + i as Time) * width,
+            end: (first + i as Time + 1) * width,
+            operations: 0,
+            violations: 0,
+        })
+        .collect();
+    for op in ops {
+        let w = &mut windows[(op.end / width - first) as usize];
+        w.operations += 1;
+        if bad.contains(&op.token) {
+            w.violations += 1;
+        }
+    }
+    windows
+}
+
+/// Renders a density profile as a one-line-per-window text sparkline:
+/// `#` for violations, `.` for clean operations (square-root scaled).
+#[must_use]
+pub fn density_profile(windows: &[Window]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for w in windows {
+        let clean = ((w.operations - w.violations) as f64).sqrt().round() as usize;
+        let bad = (w.violations as f64).sqrt().round() as usize;
+        let _ = writeln!(
+            out,
+            "[{:>8}..{:>8}) {:>5} ops {:>4} bad |{}{}|",
+            w.start,
+            w.end,
+            w.operations,
+            w.violations,
+            "#".repeat(bad),
+            ".".repeat(clean),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(token: usize, start: u64, end: u64, value: u64) -> Operation {
+        Operation {
+            token,
+            input: 0,
+            start,
+            end,
+            counter: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_no_windows() {
+        assert!(violation_density(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn buckets_by_completion_time() {
+        let ops = [op(0, 0, 5, 0), op(1, 0, 15, 1), op(2, 0, 25, 2)];
+        let w = violation_density(&ops, 10);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].operations, 1);
+        assert_eq!(w[1].operations, 1);
+        assert_eq!(w[2].operations, 1);
+        assert_eq!(w[0].start, 0);
+        assert_eq!(w[2].end, 30);
+    }
+
+    #[test]
+    fn violations_land_in_their_window() {
+        // token 1 finishes before token 2 starts but has a higher value
+        let ops = [op(0, 0, 5, 0), op(1, 0, 8, 9), op(2, 9, 25, 1)];
+        let w = violation_density(&ops, 10);
+        assert_eq!(w[0].violations, 0);
+        assert_eq!(w[2].violations, 1);
+        assert!((w[2].ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_match_whole_trace_check() {
+        let ops: Vec<Operation> = (0..50)
+            .map(|i| op(i, i as u64 * 3, i as u64 * 3 + 2, (50 - i) as u64))
+            .collect();
+        let windows = violation_density(&ops, 17);
+        let total_ops: usize = windows.iter().map(|w| w.operations).sum();
+        let total_bad: usize = windows.iter().map(|w| w.violations).sum();
+        assert_eq!(total_ops, 50);
+        assert_eq!(total_bad, linearizability::count_nonlinearizable(&ops));
+    }
+
+    #[test]
+    fn profile_renders_rows() {
+        let ops = [op(0, 0, 5, 0), op(1, 0, 8, 9), op(2, 9, 15, 1)];
+        let text = density_profile(&violation_density(&ops, 10));
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains('#'));
+        assert!(text.contains('.'));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = violation_density(&[], 0);
+    }
+}

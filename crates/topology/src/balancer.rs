@@ -1,0 +1,190 @@
+//! The state of a single balancing node.
+//!
+//! A balancer with `d` ordered outputs routes its `t`-th token (counting
+//! from zero, over all inputs) to output `t mod d`. This is exactly the
+//! behaviour of the toggle-bit balancer of Aspnes, Herlihy, and Shavit
+//! for `d = 2`, generalized to arbitrary fan-out in the style of
+//! Aharonson and Attiya, and it preserves the *step property* on the
+//! node's outputs in every state:
+//!
+//! > `0 <= y_i - y_j <= 1` for any `i < j`.
+
+use std::fmt;
+
+/// Mutable routing state of one balancing node.
+///
+/// The node's transition is modeled as instantaneous (the paper's
+/// Section 2): a token arrives on any input port, the state advances
+/// atomically, and the token leaves on the selected output port.
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::BalancerState;
+///
+/// let mut b = BalancerState::new(2);
+/// assert_eq!(b.route(), 0);
+/// assert_eq!(b.route(), 1);
+/// assert_eq!(b.route(), 0);
+/// assert!(b.output_counts().iter().sum::<u64>() == 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BalancerState {
+    fan_out: usize,
+    routed: u64,
+}
+
+impl BalancerState {
+    /// Creates a fresh balancer with the given fan-out, with all output
+    /// counts zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_out` is zero.
+    #[must_use]
+    pub fn new(fan_out: usize) -> Self {
+        assert!(fan_out > 0, "balancer fan-out must be positive");
+        BalancerState { fan_out, routed: 0 }
+    }
+
+    /// The number of ordered output ports.
+    #[must_use]
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+
+    /// Total number of tokens routed through this balancer so far.
+    #[must_use]
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Routes one token, returning the output port it exits on.
+    ///
+    /// The `t`-th token (zero-based) exits on port `t mod fan_out`,
+    /// which maintains the step property on the outputs.
+    pub fn route(&mut self) -> usize {
+        let out = (self.routed % self.fan_out as u64) as usize;
+        self.routed += 1;
+        out
+    }
+
+    /// The output port the *next* token would take, without routing it.
+    #[must_use]
+    pub fn peek(&self) -> usize {
+        (self.routed % self.fan_out as u64) as usize
+    }
+
+    /// Per-output token counts `y_0, ..., y_{d-1}` in the current state.
+    #[must_use]
+    pub fn output_counts(&self) -> Vec<u64> {
+        let d = self.fan_out as u64;
+        (0..self.fan_out)
+            .map(|i| {
+                let i = i as u64;
+                // tokens 0..routed with index ≡ i (mod d)
+                if self.routed > i {
+                    (self.routed - i - 1) / d + 1
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Resets the balancer to its initial state.
+    pub fn reset(&mut self) {
+        self.routed = 0;
+    }
+}
+
+impl fmt::Display for BalancerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "balancer(fan_out={}, routed={}, next={})",
+            self.fan_out,
+            self.routed,
+            self.peek()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_routing() {
+        let mut b = BalancerState::new(4);
+        let outs: Vec<usize> = (0..10).map(|_| b.route()).collect();
+        assert_eq!(outs, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn step_property_holds_in_every_state() {
+        let mut b = BalancerState::new(3);
+        for _ in 0..20 {
+            let counts = b.output_counts();
+            for i in 0..counts.len() {
+                for j in (i + 1)..counts.len() {
+                    let diff = counts[i] as i64 - counts[j] as i64;
+                    assert!((0..=1).contains(&diff), "step violated: {counts:?}");
+                }
+            }
+            b.route();
+        }
+    }
+
+    #[test]
+    fn output_counts_sum_to_routed() {
+        let mut b = BalancerState::new(5);
+        for t in 0..37 {
+            assert_eq!(b.output_counts().iter().sum::<u64>(), t);
+            b.route();
+        }
+    }
+
+    #[test]
+    fn peek_matches_route() {
+        let mut b = BalancerState::new(2);
+        for _ in 0..8 {
+            let p = b.peek();
+            assert_eq!(b.route(), p);
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut b = BalancerState::new(2);
+        b.route();
+        b.route();
+        b.route();
+        b.reset();
+        assert_eq!(b.routed(), 0);
+        assert_eq!(b.peek(), 0);
+    }
+
+    #[test]
+    fn fan_out_one_always_routes_to_zero() {
+        let mut b = BalancerState::new(1);
+        for _ in 0..5 {
+            assert_eq!(b.route(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out must be positive")]
+    fn zero_fan_out_panics() {
+        let _ = BalancerState::new(0);
+    }
+
+    #[test]
+    fn display_mentions_state() {
+        let mut b = BalancerState::new(2);
+        b.route();
+        let s = b.to_string();
+        assert!(s.contains("routed=1"));
+        assert!(s.contains("next=1"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Comparator-network representation used by the recursive
+//! constructions.
+//!
+//! Bitonic and periodic networks are *layered* networks in which every
+//! layer pairs up all `w` wires into `w/2` two-input balancers. This
+//! module represents such a network abstractly as a list of layers of
+//! wire pairs, then *realizes* it as a validated [`Topology`]. A
+//! balancer on the pair `(i, j)` routes its first output back onto wire
+//! `i` and its second onto wire `j`, so a wire keeps its identity
+//! through the whole network; the construction's output ordering is a
+//! permutation of wires handed to [`realize`].
+
+use crate::error::TopologyError;
+use crate::topology::{NodeId, Topology, TopologyBuilder};
+
+/// A logical wire index, stable through the whole construction.
+pub(super) type Wire = usize;
+
+/// One layer: the set of balancers `(first wire, second wire)` acting
+/// in parallel. Every wire of the network appears exactly once.
+pub(super) type Layer = Vec<(Wire, Wire)>;
+
+/// An ordered list of layers under construction.
+#[derive(Debug, Clone, Default)]
+pub(super) struct LayerList {
+    layers: Vec<Layer>,
+}
+
+impl LayerList {
+    pub(super) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a complete layer.
+    pub(super) fn push(&mut self, layer: Layer) {
+        self.layers.push(layer);
+    }
+
+    /// Appends a layer consisting of a single balancer.
+    pub(super) fn push_single(&mut self, a: Wire, b: Wire) {
+        self.layers.push(vec![(a, b)]);
+    }
+
+    /// Appends two equally deep sub-networks side by side: layer `i` of
+    /// the result is the union of layer `i` of each part. The recursive
+    /// constructions only ever compose sub-networks of equal depth;
+    /// unequal depths would break uniformity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two parts have different depths.
+    pub(super) fn extend_parallel(&mut self, a: LayerList, b: LayerList) {
+        assert_eq!(
+            a.layers.len(),
+            b.layers.len(),
+            "parallel sub-networks must have equal depth"
+        );
+        for (mut la, lb) in a.layers.into_iter().zip(b.layers) {
+            la.extend(lb);
+            self.layers.push(la);
+        }
+    }
+
+    pub(super) fn iter(&self) -> impl Iterator<Item = &Layer> {
+        self.layers.iter()
+    }
+
+    pub(super) fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Materializes a layered pair network as a validated [`Topology`].
+///
+/// `width` is the number of wires; `outs` gives, for each network
+/// output position `k`, the wire whose final value feeds counter `k`
+/// (a permutation of `0..width`).
+pub(super) fn realize(
+    width: usize,
+    layers: &LayerList,
+    outs: &[Wire],
+) -> Result<Topology, TopologyError> {
+    debug_assert_eq!(outs.len(), width);
+    debug_assert!(layers.depth() > 0, "a network needs at least one layer");
+
+    let mut b = TopologyBuilder::new();
+
+    // The node currently producing each wire's value, as
+    // (node, out_port); None before the first layer.
+    let mut producer: Vec<Option<(NodeId, usize)>> = vec![None; width];
+    // Input ports consuming each wire in layer 1, recorded so network
+    // inputs can be declared in wire order afterwards.
+    let mut first_layer_consumer: Vec<Option<(NodeId, usize)>> = vec![None; width];
+
+    for (depth, layer) in layers.iter().enumerate() {
+        debug_assert_eq!(
+            layer.len() * 2,
+            width,
+            "layer {depth} must cover every wire exactly once"
+        );
+        let mut new_producer = producer.clone();
+        for &(wa, wb) in layer {
+            let node = b.add_node(2, 2);
+            for (in_port, wire) in [(0usize, wa), (1usize, wb)] {
+                match producer[wire] {
+                    Some((src, src_port)) => b.connect(src, src_port, node, in_port)?,
+                    None => {
+                        debug_assert_eq!(depth, 0, "wire {wire} first consumed after layer 1");
+                        first_layer_consumer[wire] = Some((node, in_port));
+                    }
+                }
+            }
+            new_producer[wa] = Some((node, 0));
+            new_producer[wb] = Some((node, 1));
+        }
+        producer = new_producer;
+
+        if depth == 0 {
+            // Declare network inputs x_0..x_{w-1} in wire order.
+            for consumer in &first_layer_consumer {
+                let (node, port) =
+                    consumer.expect("every wire is consumed in layer 1 of a full-cover network");
+                b.add_input(node, port)?;
+            }
+        }
+    }
+
+    for (k, &wire) in outs.iter().enumerate() {
+        let (node, port) = producer[wire].expect("all wires produced after the last layer");
+        b.connect_counter(node, port, k)?;
+    }
+
+    b.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realize_single_layer() {
+        let mut layers = LayerList::new();
+        layers.push(vec![(0, 1), (2, 3)]);
+        let t = realize(4, &layers, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.input_width(), 4);
+        assert_eq!(t.output_width(), 4);
+    }
+
+    #[test]
+    fn realize_respects_output_permutation() {
+        use crate::router::SequentialRouter;
+        let mut layers = LayerList::new();
+        layers.push(vec![(0, 1)]);
+        // counters swapped relative to wires: out0 <- wire 1, out1 <- wire 0
+        let t = realize(2, &layers, &[1, 0]).unwrap();
+        let mut r = SequentialRouter::new(&t);
+        // the balancer's first token leaves on its port 0 = wire 0,
+        // which now feeds counter 1
+        let p = r.route(0).unwrap();
+        assert_eq!(p.counter, 1);
+    }
+
+    #[test]
+    fn extend_parallel_merges_layers() {
+        let mut a = LayerList::new();
+        a.push(vec![(0, 1)]);
+        let mut b = LayerList::new();
+        b.push(vec![(2, 3)]);
+        let mut all = LayerList::new();
+        all.extend_parallel(a, b);
+        assert_eq!(all.depth(), 1);
+        assert_eq!(all.iter().next().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal depth")]
+    fn extend_parallel_rejects_unequal_depths() {
+        let mut a = LayerList::new();
+        a.push(vec![(0, 1)]);
+        let b = LayerList::new();
+        let mut all = LayerList::new();
+        all.extend_parallel(a, b);
+    }
+}

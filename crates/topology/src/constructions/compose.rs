@@ -1,0 +1,241 @@
+//! Serial composition of balancing networks.
+//!
+//! Wiring network `front`'s outputs to network `back`'s inputs yields a
+//! uniform balancing network of depth `front.depth() + back.depth()`.
+//! If `back` is a counting network the composition is one too (a
+//! counting network's outputs form a step in quiescent states
+//! *whatever* its input distribution), which is exactly how the
+//! periodic network chains its `Block[w]` stages and how the
+//! linearizing prefix of Corollary 3.12 is a composition of unary
+//! chains with the original network.
+
+use crate::error::TopologyError;
+use crate::topology::{NodeId, Topology, TopologyBuilder, WireEnd};
+
+/// Wires output counter `i` of `front` into network input `x_i` of
+/// `back`, producing one combined network.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::WidthNotPowerOfTwo`] (with the mismatched
+/// width) if `front.output_width() != back.input_width()`; otherwise
+/// only propagates internal builder errors, which cannot occur for
+/// validated inputs.
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::constructions::{block, compose, periodic};
+/// use cnet_topology::router::SequentialRouter;
+///
+/// // Periodic[4] is Block[4] ∘ Block[4]:
+/// let chained = compose(&block(4)?, &block(4)?)?;
+/// let reference = periodic(4)?;
+/// assert_eq!(chained.depth(), reference.depth());
+///
+/// let mut a = SequentialRouter::new(&chained);
+/// let mut b = SequentialRouter::new(&reference);
+/// for i in 0..40 {
+///     assert_eq!(a.route(i % 4)?.value, b.route(i % 4)?.value);
+/// }
+/// # Ok::<(), cnet_topology::TopologyError>(())
+/// ```
+pub fn compose(front: &Topology, back: &Topology) -> Result<Topology, TopologyError> {
+    if front.output_width() != back.input_width() {
+        return Err(TopologyError::WidthNotPowerOfTwo {
+            width: back.input_width(),
+        });
+    }
+    let mut b = TopologyBuilder::new();
+
+    let mut front_ids: Vec<Option<NodeId>> = vec![None; front.node_count()];
+    for old in front.iter_nodes() {
+        front_ids[old.index()] = Some(b.add_node(front.fan_in(old), front.fan_out(old)));
+    }
+    let mut back_ids: Vec<Option<NodeId>> = vec![None; back.node_count()];
+    for old in back.iter_nodes() {
+        back_ids[old.index()] = Some(b.add_node(back.fan_in(old), back.fan_out(old)));
+    }
+    let ft = |old: NodeId| front_ids[old.index()].expect("front nodes pre-created");
+    let bt = |old: NodeId| back_ids[old.index()].expect("back nodes pre-created");
+
+    // front wiring; counter i becomes back's input x_i
+    for old in front.iter_nodes() {
+        for port in 0..front.fan_out(old) {
+            match front.output_wire(old, port) {
+                WireEnd::Node {
+                    node,
+                    port: in_port,
+                } => {
+                    b.connect(ft(old), port, ft(node), in_port)?;
+                }
+                WireEnd::Counter { index } => {
+                    let entry = back.input(index);
+                    b.connect(ft(old), port, bt(entry.node), entry.port)?;
+                }
+            }
+        }
+    }
+    // back wiring, counters preserved
+    for old in back.iter_nodes() {
+        for port in 0..back.fan_out(old) {
+            match back.output_wire(old, port) {
+                WireEnd::Node {
+                    node,
+                    port: in_port,
+                } => {
+                    b.connect(bt(old), port, bt(node), in_port)?;
+                }
+                WireEnd::Counter { index } => {
+                    b.connect_counter(bt(old), port, index)?;
+                }
+            }
+        }
+    }
+    // the combined network's inputs are front's inputs, in order
+    for x in 0..front.input_width() {
+        let entry = front.input(x);
+        b.add_input(ft(entry.node), entry.port)?;
+    }
+    b.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions::{bitonic, block, counting_tree, periodic, single_balancer};
+    use crate::router::SequentialRouter;
+    use proptest::prelude::*;
+
+    #[test]
+    fn compose_depths_and_widths_add_up() {
+        let a = bitonic(4).unwrap();
+        let b = bitonic(4).unwrap();
+        let c = compose(&a, &b).unwrap();
+        assert_eq!(c.depth(), a.depth() + b.depth());
+        assert_eq!(c.input_width(), 4);
+        assert_eq!(c.output_width(), 4);
+        assert_eq!(c.node_count(), a.node_count() + b.node_count());
+    }
+
+    #[test]
+    fn periodic_equals_chained_blocks() {
+        let reference = periodic(8).unwrap();
+        let blocks = compose(
+            &compose(&block(8).unwrap(), &block(8).unwrap()).unwrap(),
+            &block(8).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(blocks.depth(), reference.depth());
+        let mut a = SequentialRouter::new(&blocks);
+        let mut r = SequentialRouter::new(&reference);
+        for i in 0..64usize {
+            let pa = a.route(i * 5 % 8).unwrap();
+            let pr = r.route(i * 5 % 8).unwrap();
+            assert_eq!(pa.counter, pr.counter, "token {i}");
+        }
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let a = bitonic(4).unwrap();
+        let b = bitonic(8).unwrap();
+        assert!(compose(&a, &b).is_err());
+        // a tree has a single input: nothing with width > 1 composes into it
+        let t = counting_tree(4).unwrap();
+        assert!(compose(&a, &t).is_err());
+    }
+
+    #[test]
+    fn tree_composes_into_wide_network() {
+        // tree outputs (4) -> bitonic inputs (4): a counting network
+        let t = counting_tree(4).unwrap();
+        let net = compose(&t, &bitonic(4).unwrap()).unwrap();
+        assert_eq!(net.input_width(), 1);
+        let mut r = SequentialRouter::new(&net);
+        for expect in 0..32u64 {
+            assert_eq!(r.route(0).unwrap().value, expect);
+        }
+        assert!(r.output_counts().is_step());
+    }
+
+    #[test]
+    fn compose_with_single_balancer_back() {
+        // anything with 2 outputs composes into the width-2 balancer
+        let front = single_balancer();
+        let back = single_balancer();
+        let net = compose(&front, &back).unwrap();
+        assert_eq!(net.depth(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// front ∘ counting-network is a counting network, whatever the
+        /// front half is.
+        #[test]
+        fn composition_counts(
+            tokens in proptest::collection::vec(0usize..8, 0..120),
+        ) {
+            // a *single block* is not a counting network; composing a
+            // bitonic behind it must still count
+            let net = compose(&block(8).unwrap(), &bitonic(8).unwrap()).unwrap();
+            let mut r = SequentialRouter::new(&net);
+            for t in &tokens {
+                r.route(t % 8).unwrap();
+            }
+            prop_assert!(r.output_counts().is_step());
+        }
+    }
+}
+
+#[cfg(test)]
+mod algebra_tests {
+    use super::*;
+    use crate::constructions::{bitonic, block, pad_inputs};
+    use crate::router::SequentialRouter;
+    use proptest::prelude::*;
+
+    /// Routes the same token feed through two topologies and compares
+    /// values.
+    fn behaviourally_equal(a: &Topology, b: &Topology, feeds: &[usize]) -> bool {
+        assert_eq!(a.input_width(), b.input_width());
+        let mut ra = SequentialRouter::new(a);
+        let mut rb = SequentialRouter::new(b);
+        feeds.iter().all(|&x| {
+            let pa = ra.route(x % a.input_width()).unwrap();
+            let pb = rb.route(x % b.input_width()).unwrap();
+            pa.value == pb.value && pa.counter == pb.counter
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Serial composition is behaviourally associative.
+        #[test]
+        fn compose_is_associative(feeds in proptest::collection::vec(0usize..4, 1..60)) {
+            let a = block(4).unwrap();
+            let b = block(4).unwrap();
+            let c = bitonic(4).unwrap();
+            let left = compose(&compose(&a, &b).unwrap(), &c).unwrap();
+            let right = compose(&a, &compose(&b, &c).unwrap()).unwrap();
+            prop_assert_eq!(left.depth(), right.depth());
+            prop_assert!(behaviourally_equal(&left, &right, &feeds));
+        }
+
+        /// Padding composes additively: pad(pad(net, a), b) ≡ pad(net, a+b).
+        #[test]
+        fn padding_is_additive(
+            a in 0usize..4,
+            b in 0usize..4,
+            feeds in proptest::collection::vec(0usize..4, 1..40),
+        ) {
+            let net = bitonic(4).unwrap();
+            let two_step = pad_inputs(&pad_inputs(&net, a).unwrap(), b).unwrap();
+            let one_step = pad_inputs(&net, a + b).unwrap();
+            prop_assert_eq!(two_step.depth(), one_step.depth());
+            prop_assert!(behaviourally_equal(&two_step, &one_step, &feeds));
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Constructions of the counting networks studied in the paper.
+//!
+//! * [`bitonic`] / [`merger`] — Aspnes–Herlihy–Shavit bitonic counting
+//!   network `Bitonic[w]` of depth `log w (log w + 1) / 2` and its
+//!   merging network `Merger[w]` of depth `log w`.
+//! * [`periodic`] / [`block`] — the AHS periodic counting network of
+//!   depth `(log w)^2` built from `log w` copies of `Block[w]`.
+//! * [`counting_tree`] — the counting-tree shape underlying diffracting
+//!   trees (Shavit–Zemach): a binary tree of 1-in/2-out balancers of
+//!   depth `log w`.
+//! * [`single_balancer`] — the width-2 network of the paper's
+//!   introductory example.
+//! * [`pad_inputs`] / [`linearizing_prefix`] — Corollary 3.12: prefix
+//!   every input with a path of 1-in/1-out balancers so that the padded
+//!   network is linearizable whenever `c2 < k·c1`.
+//!
+//! All constructions produce validated, uniform [`Topology`] values.
+
+mod comparator;
+mod compose;
+mod prefix;
+mod tree;
+
+pub use compose::compose;
+pub use prefix::{linearizing_prefix, pad_inputs};
+pub use tree::{counting_tree, counting_tree_d};
+
+use crate::error::TopologyError;
+use crate::topology::{Topology, TopologyBuilder};
+
+use comparator::{Layer, LayerList, Wire};
+
+/// The width-2 counting network of the paper's introduction: a single
+/// 2-in/2-out balancer feeding two counters.
+///
+/// # Example
+///
+/// ```
+/// let net = cnet_topology::constructions::single_balancer();
+/// assert_eq!(net.depth(), 1);
+/// ```
+#[must_use]
+pub fn single_balancer() -> Topology {
+    let mut b = TopologyBuilder::new();
+    let n = b.add_node(2, 2);
+    b.add_input(n, 0).expect("fresh node");
+    b.add_input(n, 1).expect("fresh node");
+    b.connect_counter(n, 0, 0).expect("fresh node");
+    b.connect_counter(n, 1, 1).expect("fresh node");
+    b.finalize()
+        .expect("single balancer is a valid uniform network")
+}
+
+/// Checks a width argument is a power of two at least 2.
+fn check_width(width: usize) -> Result<(), TopologyError> {
+    if width < 2 || !width.is_power_of_two() {
+        return Err(TopologyError::WidthNotPowerOfTwo { width });
+    }
+    Ok(())
+}
+
+/// Builds `Bitonic[width]`, the bitonic counting network of Aspnes,
+/// Herlihy, and Shavit.
+///
+/// `Bitonic[w]` has `w` inputs, `w` outputs, and depth
+/// `log w (log w + 1) / 2`.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::WidthNotPowerOfTwo`] unless `width` is a
+/// power of two `>= 2`.
+///
+/// # Example
+///
+/// ```
+/// let net = cnet_topology::constructions::bitonic(16)?;
+/// assert_eq!(net.depth(), 10);
+/// # Ok::<(), cnet_topology::TopologyError>(())
+/// ```
+pub fn bitonic(width: usize) -> Result<Topology, TopologyError> {
+    check_width(width)?;
+    let wires: Vec<Wire> = (0..width).collect();
+    let mut layers = LayerList::new();
+    let outs = bitonic_rec(&wires, &mut layers);
+    comparator::realize(width, &layers, &outs)
+}
+
+/// Recursively appends the layers of `Bitonic[len(ins)]` operating on
+/// the given wires, returning the ordered output wires.
+fn bitonic_rec(ins: &[Wire], layers: &mut LayerList) -> Vec<Wire> {
+    let w = ins.len();
+    if w == 1 {
+        return ins.to_vec();
+    }
+    let (lo, hi) = ins.split_at(w / 2);
+    let mut upper = LayerList::new();
+    let mut lower = LayerList::new();
+    let a = bitonic_rec(lo, &mut upper);
+    let b = bitonic_rec(hi, &mut lower);
+    layers.extend_parallel(upper, lower);
+    let merged_in: Vec<Wire> = a.into_iter().chain(b).collect();
+    merger_rec(&merged_in, layers)
+}
+
+/// Builds the merging network `Merger[width]` as a standalone topology.
+///
+/// `Merger[w]` has depth `log w`; it merges two step sequences (its
+/// first and second `w/2` inputs) into one. As a balancing network it
+/// is not by itself a counting network, but it is uniform and useful
+/// for testing the bitonic recursion.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::WidthNotPowerOfTwo`] unless `width` is a
+/// power of two `>= 2`.
+pub fn merger(width: usize) -> Result<Topology, TopologyError> {
+    check_width(width)?;
+    let wires: Vec<Wire> = (0..width).collect();
+    let mut layers = LayerList::new();
+    let outs = merger_rec(&wires, &mut layers);
+    comparator::realize(width, &layers, &outs)
+}
+
+/// Recursively appends the layers of `Merger[len(ins)]`, returning the
+/// ordered output wires.
+///
+/// For `w > 2` the construction follows the paper's Figure 4 / the AHS
+/// recursion: `Merger_1[w/2]` merges the even-indexed wires of the
+/// first half with the odd-indexed wires of the second half,
+/// `Merger_2[w/2]` the remaining wires; a final row of `w/2` balancers
+/// combines output `i` of each sub-merger into outputs `2i`, `2i + 1`.
+fn merger_rec(ins: &[Wire], layers: &mut LayerList) -> Vec<Wire> {
+    let w = ins.len();
+    debug_assert!(w >= 2 && w.is_power_of_two());
+    if w == 2 {
+        layers.push_single(ins[0], ins[1]);
+        return vec![ins[0], ins[1]];
+    }
+    let (x, xp) = ins.split_at(w / 2);
+    let m1_in: Vec<Wire> = even(x).chain(odd(xp)).collect();
+    let m2_in: Vec<Wire> = odd(x).chain(even(xp)).collect();
+    let mut l1 = LayerList::new();
+    let mut l2 = LayerList::new();
+    let z = merger_rec(&m1_in, &mut l1);
+    let zp = merger_rec(&m2_in, &mut l2);
+    layers.extend_parallel(l1, l2);
+    let mut final_layer = Vec::with_capacity(w / 2);
+    let mut outs = Vec::with_capacity(w);
+    for i in 0..w / 2 {
+        final_layer.push((z[i], zp[i]));
+        outs.push(z[i]);
+        outs.push(zp[i]);
+    }
+    layers.push(final_layer);
+    outs
+}
+
+/// Builds the periodic counting network of Aspnes, Herlihy, and Shavit:
+/// `log width` consecutive copies of [`block`], total depth
+/// `(log width)^2`.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::WidthNotPowerOfTwo`] unless `width` is a
+/// power of two `>= 2`.
+///
+/// # Example
+///
+/// ```
+/// let net = cnet_topology::constructions::periodic(8)?;
+/// assert_eq!(net.depth(), 9);
+/// # Ok::<(), cnet_topology::TopologyError>(())
+/// ```
+pub fn periodic(width: usize) -> Result<Topology, TopologyError> {
+    check_width(width)?;
+    let mut wires: Vec<Wire> = (0..width).collect();
+    let mut layers = LayerList::new();
+    let rounds = width.trailing_zeros();
+    for _ in 0..rounds {
+        wires = block_rec(&wires, &mut layers);
+    }
+    comparator::realize(width, &layers, &wires)
+}
+
+/// Builds a single `Block[width]` network (depth `log width`) as a
+/// standalone topology. One block is *not* a counting network; the
+/// periodic network chains `log width` of them.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::WidthNotPowerOfTwo`] unless `width` is a
+/// power of two `>= 2`.
+pub fn block(width: usize) -> Result<Topology, TopologyError> {
+    check_width(width)?;
+    let wires: Vec<Wire> = (0..width).collect();
+    let mut layers = LayerList::new();
+    let outs = block_rec(&wires, &mut layers);
+    comparator::realize(width, &layers, &outs)
+}
+
+/// Recursively appends the layers of `Block[len(ins)]` — the *balanced*
+/// block of Dowd, Perl, Rudolph, and Saks that the AHS periodic network
+/// is built from: a reflection layer pairing wire `i` with wire
+/// `w - 1 - i`, followed by two parallel `Block[w/2]` networks on the
+/// two halves.
+fn block_rec(ins: &[Wire], layers: &mut LayerList) -> Vec<Wire> {
+    let w = ins.len();
+    debug_assert!(w >= 2 && w.is_power_of_two());
+    if w == 2 {
+        layers.push_single(ins[0], ins[1]);
+        return vec![ins[0], ins[1]];
+    }
+    let reflection: Layer = (0..w / 2).map(|i| (ins[i], ins[w - 1 - i])).collect();
+    layers.push(reflection);
+    let mut la = LayerList::new();
+    let mut lb = LayerList::new();
+    let a = block_rec(&ins[..w / 2], &mut la);
+    let b = block_rec(&ins[w / 2..], &mut lb);
+    layers.extend_parallel(la, lb);
+    a.into_iter().chain(b).collect()
+}
+
+fn even(xs: &[Wire]) -> impl Iterator<Item = Wire> + '_ {
+    xs.iter().step_by(2).copied()
+}
+
+fn odd(xs: &[Wire]) -> impl Iterator<Item = Wire> + '_ {
+    xs.iter().skip(1).step_by(2).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::SequentialRouter;
+    use proptest::prelude::*;
+
+    fn expected_bitonic_depth(w: usize) -> usize {
+        let lg = w.trailing_zeros() as usize;
+        lg * (lg + 1) / 2
+    }
+
+    #[test]
+    fn bitonic_shapes() {
+        for w in [2usize, 4, 8, 16, 32] {
+            let net = bitonic(w).unwrap();
+            assert_eq!(net.input_width(), w, "width {w}");
+            assert_eq!(net.output_width(), w, "width {w}");
+            assert_eq!(net.depth(), expected_bitonic_depth(w), "width {w}");
+            // Bitonic[w] has w/2 balancers per layer
+            for l in 1..=net.depth() {
+                assert_eq!(net.layer(l).len(), w / 2, "width {w} layer {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn merger_shapes() {
+        for w in [2usize, 4, 8, 16] {
+            let net = merger(w).unwrap();
+            assert_eq!(net.depth(), w.trailing_zeros() as usize, "width {w}");
+            assert_eq!(net.input_width(), w);
+            assert_eq!(net.output_width(), w);
+        }
+    }
+
+    #[test]
+    fn periodic_shapes() {
+        for w in [2usize, 4, 8, 16] {
+            let net = periodic(w).unwrap();
+            let lg = w.trailing_zeros() as usize;
+            assert_eq!(net.depth(), lg * lg, "width {w}");
+        }
+    }
+
+    #[test]
+    fn block_shape() {
+        let net = block(8).unwrap();
+        assert_eq!(net.depth(), 3);
+    }
+
+    #[test]
+    fn invalid_widths_rejected() {
+        for w in [0usize, 1, 3, 6, 12] {
+            assert!(matches!(
+                bitonic(w),
+                Err(TopologyError::WidthNotPowerOfTwo { .. })
+            ));
+            assert!(matches!(
+                periodic(w),
+                Err(TopologyError::WidthNotPowerOfTwo { .. })
+            ));
+        }
+    }
+
+    /// The defining property: in any quiescent state (here: after
+    /// routing any token mix sequentially) the output counts form a
+    /// step.
+    #[test]
+    fn bitonic_step_property_uneven_inputs() {
+        let net = bitonic(8).unwrap();
+        let mut r = SequentialRouter::new(&net);
+        // all tokens on input 0
+        for _ in 0..13 {
+            r.route(0).unwrap();
+        }
+        assert!(r.output_counts().is_step(), "{}", r.output_counts());
+        // then a burst on input 5
+        for _ in 0..29 {
+            r.route(5).unwrap();
+        }
+        assert!(r.output_counts().is_step(), "{}", r.output_counts());
+    }
+
+    #[test]
+    fn periodic_step_property_uneven_inputs() {
+        let net = periodic(8).unwrap();
+        let mut r = SequentialRouter::new(&net);
+        for i in 0..37 {
+            r.route((i * 3) % 8).unwrap();
+        }
+        assert!(r.output_counts().is_step(), "{}", r.output_counts());
+    }
+
+    /// Lemma 4.2(b): after a solo token through input x0 exits on y0,
+    /// the next two tokens through x0 exit on y1 and y2 (mod w).
+    #[test]
+    fn bitonic_lemma_4_2_exit_pattern() {
+        for w in [2usize, 4, 8, 16, 32] {
+            let net = bitonic(w).unwrap();
+            let mut r = SequentialRouter::new(&net);
+            let t0 = r.route(0).unwrap();
+            let t1 = r.route(0).unwrap();
+            let t2 = r.route(0).unwrap();
+            assert_eq!(t0.counter, 0, "width {w}");
+            assert_eq!(t1.counter, 1 % w, "width {w}");
+            assert_eq!(t2.counter, 2 % w, "width {w}");
+        }
+    }
+
+    /// Lemma 4.2(a): T1 and T2 (the two tokens after the solo token)
+    /// share only their entry balancer.
+    #[test]
+    fn bitonic_lemma_4_2_disjoint_paths() {
+        for w in [4usize, 8, 16, 32] {
+            let net = bitonic(w).unwrap();
+            let mut r = SequentialRouter::new(&net);
+            let _t0 = r.route(0).unwrap();
+            let t1 = r.route(0).unwrap();
+            let t2 = r.route(0).unwrap();
+            let shared: Vec<_> = t1
+                .hops
+                .iter()
+                .filter(|(n, _)| t2.hops.iter().any(|(m, _)| m == n))
+                .collect();
+            assert_eq!(
+                shared.len(),
+                1,
+                "width {w}: share exactly the entry balancer"
+            );
+            assert_eq!(shared[0].0, net.input(0).node, "width {w}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Quiescent step property for bitonic networks over random
+        /// token placements.
+        #[test]
+        fn bitonic_counts_any_distribution(
+            width_exp in 1usize..5,
+            tokens in proptest::collection::vec(0usize..32, 0..200),
+        ) {
+            let w = 1 << width_exp;
+            let net = bitonic(w).unwrap();
+            let mut r = SequentialRouter::new(&net);
+            for t in &tokens {
+                r.route(t % w).unwrap();
+            }
+            prop_assert!(r.output_counts().is_step());
+            prop_assert_eq!(r.output_counts().total(), tokens.len() as u64);
+        }
+
+        /// Same for the periodic network.
+        #[test]
+        fn periodic_counts_any_distribution(
+            width_exp in 1usize..4,
+            tokens in proptest::collection::vec(0usize..32, 0..150),
+        ) {
+            let w = 1 << width_exp;
+            let net = periodic(w).unwrap();
+            let mut r = SequentialRouter::new(&net);
+            for t in &tokens {
+                r.route(t % w).unwrap();
+            }
+            prop_assert!(r.output_counts().is_step());
+        }
+
+        /// Sequential tokens through any counting network return the
+        /// consecutive values 0, 1, 2, ... regardless of entry inputs.
+        #[test]
+        fn sequential_routing_counts_consecutively(
+            width_exp in 1usize..5,
+            tokens in proptest::collection::vec(0usize..32, 1..100),
+        ) {
+            let w = 1 << width_exp;
+            let net = bitonic(w).unwrap();
+            let mut r = SequentialRouter::new(&net);
+            for (i, t) in tokens.iter().enumerate() {
+                let v = r.route(t % w).unwrap().value;
+                prop_assert_eq!(v, i as u64);
+            }
+        }
+    }
+}
+
+/// A degenerate "network" with a single line of `depth` unary
+/// balancers feeding one counter — the model of a *centralized*
+/// counter (every token serializes through the same nodes).
+///
+/// Useful as the baseline the paper's introduction contrasts counting
+/// networks against: it is trivially linearizable (one counter, FIFO
+/// arrival order) but a sequential bottleneck.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+#[must_use]
+pub fn serial_line(depth: usize) -> Topology {
+    assert!(depth > 0, "a network needs at least one layer");
+    let mut b = TopologyBuilder::new();
+    let head = b.add_node(1, 1);
+    let mut tail = head;
+    for _ in 1..depth {
+        let next = b.add_node(1, 1);
+        b.connect(tail, 0, next, 0).expect("fresh nodes");
+        tail = next;
+    }
+    b.connect_counter(tail, 0, 0).expect("fresh node");
+    b.add_input(head, 0).expect("fresh node");
+    b.finalize().expect("a line is a valid uniform network")
+}
+
+#[cfg(test)]
+mod serial_line_tests {
+    use super::*;
+    use crate::router::SequentialRouter;
+
+    #[test]
+    fn shape_and_counting() {
+        let net = serial_line(3);
+        assert_eq!(net.depth(), 3);
+        assert_eq!(net.input_width(), 1);
+        assert_eq!(net.output_width(), 1);
+        let mut r = SequentialRouter::new(&net);
+        for expect in 0..10u64 {
+            assert_eq!(r.route(0).unwrap().value, expect);
+        }
+    }
+
+    #[test]
+    fn single_node_line() {
+        let net = serial_line(1);
+        assert_eq!(net.depth(), 1);
+        assert_eq!(net.node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_depth_panics() {
+        let _ = serial_line(0);
+    }
+}

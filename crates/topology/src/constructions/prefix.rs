@@ -1,0 +1,178 @@
+//! Input padding — the linearizing-prefix construction of
+//! Corollary 3.12.
+//!
+//! Given a uniform counting network of depth `h` and a known constant
+//! `k >= 2` with `c2 < k·c1`, prefixing every input with a path of
+//! `h·(k - 2)` one-input/one-output balancers yields a network of depth
+//! `h·(k - 1)` that is linearizable: any two time-disjoint traversals of
+//! the padded network place the second token's entry into the original
+//! sub-network more than `h·c2 - 2·h·c1` after the first token's exit,
+//! so Theorem 3.6 applies.
+
+use crate::error::TopologyError;
+use crate::topology::{NodeId, Topology, TopologyBuilder, WireEnd};
+
+/// Rebuilds `inner` with a chain of `pad` one-input/one-output
+/// balancers prepended to every network input.
+///
+/// With `pad = 0` this returns a copy of `inner`. The padded network
+/// has depth `inner.depth() + pad` and the same input/output widths.
+///
+/// # Errors
+///
+/// Propagates builder errors; none occur for a validated `inner`.
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::constructions::{bitonic, pad_inputs};
+///
+/// let inner = bitonic(4)?;
+/// let padded = pad_inputs(&inner, 5)?;
+/// assert_eq!(padded.depth(), inner.depth() + 5);
+/// assert_eq!(padded.input_width(), 4);
+/// # Ok::<(), cnet_topology::TopologyError>(())
+/// ```
+pub fn pad_inputs(inner: &Topology, pad: usize) -> Result<Topology, TopologyError> {
+    let mut b = TopologyBuilder::new();
+
+    // Recreate every node of the inner network, keeping ids alignable
+    // through a translation table indexed by the old node index.
+    let mut translate: Vec<Option<NodeId>> = vec![None; inner.node_count()];
+    for old in inner.iter_nodes() {
+        let new = b.add_node(inner.fan_in(old), inner.fan_out(old));
+        translate[old.index()] = Some(new);
+    }
+    let tr = |old: NodeId| translate[old.index()].expect("all nodes pre-created");
+
+    // Copy the internal wiring.
+    for old in inner.iter_nodes() {
+        for port in 0..inner.fan_out(old) {
+            match inner.output_wire(old, port) {
+                WireEnd::Node {
+                    node,
+                    port: in_port,
+                } => {
+                    b.connect(tr(old), port, tr(node), in_port)?;
+                }
+                WireEnd::Counter { index } => {
+                    b.connect_counter(tr(old), port, index)?;
+                }
+            }
+        }
+    }
+
+    // Prefix each network input with a chain of `pad` 1-in/1-out nodes.
+    for x in 0..inner.input_width() {
+        let entry = inner.input(x);
+        if pad == 0 {
+            b.add_input(tr(entry.node), entry.port)?;
+            continue;
+        }
+        let head = b.add_node(1, 1);
+        let mut tail = head;
+        for _ in 1..pad {
+            let next = b.add_node(1, 1);
+            b.connect(tail, 0, next, 0)?;
+            tail = next;
+        }
+        b.connect(tail, 0, tr(entry.node), entry.port)?;
+        b.add_input(head, 0)?;
+    }
+
+    b.finalize()
+}
+
+/// Corollary 3.12: the linearizing prefix for a known ratio bound `k`.
+///
+/// Prefixes every input of `inner` (depth `h`) with `h·(k - 2)`
+/// one-input/one-output balancers, producing a network of depth
+/// `h·(k - 1)` that is linearizable whenever `c2 < k·c1`.
+///
+/// # Errors
+///
+/// Propagates builder errors; none occur for a validated `inner`.
+///
+/// # Panics
+///
+/// Panics if `k < 2` — the corollary only applies for `k >= 2` (for
+/// `k = 2` the network is returned unchanged, since `c2 <= 2·c1`
+/// already implies linearizability by Corollary 3.9).
+pub fn linearizing_prefix(inner: &Topology, k: usize) -> Result<Topology, TopologyError> {
+    assert!(k >= 2, "corollary 3.12 requires k >= 2");
+    pad_inputs(inner, inner.depth() * (k - 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions::{bitonic, counting_tree, single_balancer};
+    use crate::router::SequentialRouter;
+
+    #[test]
+    fn zero_padding_is_identity_shape() {
+        let inner = bitonic(4).unwrap();
+        let padded = pad_inputs(&inner, 0).unwrap();
+        assert_eq!(padded.depth(), inner.depth());
+        assert_eq!(padded.node_count(), inner.node_count());
+        assert_eq!(padded.input_width(), inner.input_width());
+        assert_eq!(padded.output_width(), inner.output_width());
+    }
+
+    #[test]
+    fn padding_adds_depth_and_nodes() {
+        let inner = bitonic(4).unwrap();
+        let padded = pad_inputs(&inner, 3).unwrap();
+        assert_eq!(padded.depth(), inner.depth() + 3);
+        assert_eq!(
+            padded.node_count(),
+            inner.node_count() + 3 * inner.input_width()
+        );
+    }
+
+    #[test]
+    fn padded_network_still_counts() {
+        let inner = bitonic(4).unwrap();
+        let padded = pad_inputs(&inner, 2).unwrap();
+        let mut r = SequentialRouter::new(&padded);
+        for expect in 0..20u64 {
+            assert_eq!(r.route((expect % 4) as usize).unwrap().value, expect);
+        }
+        assert!(r.output_counts().is_step());
+    }
+
+    #[test]
+    fn corollary_3_12_depth_formula() {
+        let inner = bitonic(8).unwrap(); // h = 6
+        for k in 2..6 {
+            let lin = linearizing_prefix(&inner, k).unwrap();
+            assert_eq!(lin.depth(), inner.depth() * (k - 1), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn k_equals_two_changes_nothing() {
+        let inner = counting_tree(8).unwrap();
+        let lin = linearizing_prefix(&inner, 2).unwrap();
+        assert_eq!(lin.depth(), inner.depth());
+        assert_eq!(lin.node_count(), inner.node_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires k >= 2")]
+    fn k_below_two_panics() {
+        let inner = single_balancer();
+        let _ = linearizing_prefix(&inner, 1);
+    }
+
+    #[test]
+    fn padding_preserves_tree_behaviour() {
+        let inner = counting_tree(4).unwrap();
+        let padded = pad_inputs(&inner, 4).unwrap();
+        let mut a = SequentialRouter::new(&inner);
+        let mut b = SequentialRouter::new(&padded);
+        for _ in 0..17 {
+            assert_eq!(a.route(0).unwrap().value, b.route(0).unwrap().value);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Random uniform *balancing* networks.
+//!
+//! A random layered network — each layer pairs the wires into 2×2
+//! balancers under a random permutation — is always a valid uniform
+//! balancing network, but it is almost never a *counting* network: the
+//! quiescent step property usually fails. That contrast is exactly
+//! what makes these networks useful test inputs:
+//!
+//! * the [`Topology`] validator must accept them (they satisfy every
+//!   structural invariant);
+//! * token-conservation and knowledge-propagation (Lemma 3.2) hold on
+//!   them, because those need only the balancing property;
+//! * the counting-only results (Lemma 3.1, the step property, the
+//!   linearizability guarantees) must be *expected to fail* on them —
+//!   negative tests that pin down which hypotheses each theorem
+//!   actually uses.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::TopologyError;
+use crate::topology::{NodeId, Topology, TopologyBuilder};
+
+/// Builds a random layered width-`width`, depth-`depth` balancing
+/// network: each layer pairs all wires under a seeded random
+/// permutation.
+///
+/// The result is always uniform and valid; it is a counting network
+/// only by (vanishing) luck.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::WidthNotPowerOfTwo`] if `width` is odd or
+/// less than 2 (pairing needs an even number of wires; any even width
+/// works, the error variant just reports the offending width), and
+/// [`TopologyError::NoOutputs`]-style builder errors never occur.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+pub fn random_layered(width: usize, depth: usize, seed: u64) -> Result<Topology, TopologyError> {
+    if width < 2 || !width.is_multiple_of(2) {
+        return Err(TopologyError::WidthNotPowerOfTwo { width });
+    }
+    assert!(depth > 0, "a network needs at least one layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TopologyBuilder::new();
+
+    // producer of each wire: None = network input
+    let mut producer: Vec<Option<(NodeId, usize)>> = vec![None; width];
+    let mut first_layer_consumer: Vec<Option<(NodeId, usize)>> = vec![None; width];
+    for layer in 0..depth {
+        let mut wires: Vec<usize> = (0..width).collect();
+        wires.shuffle(&mut rng);
+        let mut next_producer = producer.clone();
+        for pair in wires.chunks(2) {
+            let node = b.add_node(2, 2);
+            for (port, &wire) in pair.iter().enumerate() {
+                match producer[wire] {
+                    Some((src, src_port)) => b.connect(src, src_port, node, port)?,
+                    None => first_layer_consumer[wire] = Some((node, port)),
+                }
+                next_producer[wire] = Some((node, port));
+            }
+        }
+        producer = next_producer;
+        if layer == 0 {
+            for consumer in &first_layer_consumer {
+                let (node, port) = consumer.expect("all wires paired in layer 1");
+                b.add_input(node, port)?;
+            }
+        }
+    }
+    for (k, p) in producer.iter().enumerate() {
+        let (node, port) = p.expect("all wires produced");
+        b.connect_counter(node, port, k)?;
+    }
+    b.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::SequentialRouter;
+    use proptest::prelude::*;
+
+    #[test]
+    fn random_networks_are_valid_and_uniform() {
+        for seed in 0..10 {
+            let net = random_layered(8, 4, seed).unwrap();
+            assert_eq!(net.depth(), 4);
+            assert_eq!(net.input_width(), 8);
+            assert_eq!(net.output_width(), 8);
+            assert_eq!(net.node_count(), 4 * 4);
+        }
+    }
+
+    #[test]
+    fn odd_or_tiny_width_rejected() {
+        assert!(random_layered(3, 2, 0).is_err());
+        assert!(random_layered(0, 2, 0).is_err());
+        assert!(random_layered(1, 2, 0).is_err());
+        assert!(
+            random_layered(6, 2, 0).is_ok(),
+            "even non-power widths are fine"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = random_layered(8, 3, 42).unwrap();
+        let b = random_layered(8, 3, 42).unwrap();
+        assert_eq!(a.to_dot(), b.to_dot());
+        let c = random_layered(8, 3, 43).unwrap();
+        assert_ne!(a.to_dot(), c.to_dot());
+    }
+
+    #[test]
+    fn tokens_are_conserved_even_without_counting() {
+        let net = random_layered(8, 5, 7).unwrap();
+        let mut r = SequentialRouter::new(&net);
+        r.route_round_robin(100).unwrap();
+        assert_eq!(r.output_counts().total(), 100);
+    }
+
+    /// Most random networks are *not* counting networks: some token
+    /// distribution breaks the step property. (Checked over several
+    /// seeds — each individual seed could be lucky, all of them being
+    /// lucky is astronomically unlikely.)
+    #[test]
+    fn random_networks_usually_do_not_count() {
+        let mut broken = 0;
+        for seed in 0..8 {
+            let net = random_layered(8, 3, seed).unwrap();
+            let mut r = SequentialRouter::new(&net);
+            // all tokens on one input is the classic breaker
+            for _ in 0..13 {
+                r.route(0).unwrap();
+            }
+            if !r.output_counts().is_step() {
+                broken += 1;
+            }
+        }
+        assert!(
+            broken >= 4,
+            "only {broken}/8 random networks failed to count"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Validation invariants hold for arbitrary shapes and seeds.
+        #[test]
+        fn arbitrary_random_networks_validate(
+            half_width in 1usize..6,
+            depth in 1usize..5,
+            seed in 0u64..10_000,
+        ) {
+            let net = random_layered(2 * half_width, depth, seed).unwrap();
+            prop_assert_eq!(net.depth(), depth);
+            let mut r = SequentialRouter::new(&net);
+            r.route_round_robin(30).unwrap();
+            prop_assert_eq!(r.output_counts().total(), 30);
+        }
+    }
+}

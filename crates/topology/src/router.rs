@@ -1,0 +1,210 @@
+//! Sequential (atomic, untimed) token routing through a [`Topology`].
+//!
+//! The router treats every balancer transition as an instantaneous
+//! atomic event and routes one whole token at a time from a network
+//! input to an output counter. Because balancers are deterministic
+//! round-robin switches, routing tokens one at a time produces exactly
+//! the quiescent states of the network, which is what the counting
+//! (step) property quantifies over.
+
+use crate::balancer::BalancerState;
+use crate::error::TopologyError;
+use crate::step::OutputCounts;
+use crate::topology::{NodeId, Topology, WireEnd};
+
+/// The full path a routed token took, used by tests and the adversary
+/// crate to reason about which balancers a token visited (Lemma 4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenPath {
+    /// Network input the token entered on.
+    pub input: usize,
+    /// `(node, output port taken)` for every balancer visited, in order.
+    pub hops: Vec<(NodeId, usize)>,
+    /// Output counter the token reached.
+    pub counter: usize,
+    /// The value the counter assigned: `counter + w * (arrivals before)`.
+    pub value: u64,
+}
+
+/// Routes tokens one at a time through a network, maintaining balancer
+/// toggle states and output-counter values.
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::{constructions, router::SequentialRouter};
+///
+/// let net = constructions::single_balancer();
+/// let mut r = SequentialRouter::new(&net);
+/// assert_eq!(r.route(0)?.value, 0);
+/// assert_eq!(r.route(0)?.value, 1);
+/// assert_eq!(r.route(1)?.value, 2);
+/// # Ok::<(), cnet_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialRouter<'a> {
+    topology: &'a Topology,
+    balancers: Vec<BalancerState>,
+    /// Tokens that have exited per counter.
+    counters: Vec<u64>,
+}
+
+impl<'a> SequentialRouter<'a> {
+    /// Creates a router over `topology` with all balancers in their
+    /// initial state and all counters empty.
+    #[must_use]
+    pub fn new(topology: &'a Topology) -> Self {
+        let balancers = topology.iter_nodes().collect::<Vec<_>>().into_iter().fold(
+            vec![BalancerState::new(1); topology.node_count()],
+            |mut v, id| {
+                v[id.index()] = BalancerState::new(topology.fan_out(id));
+                v
+            },
+        );
+        SequentialRouter {
+            topology,
+            balancers,
+            counters: vec![0; topology.output_width()],
+        }
+    }
+
+    /// The topology this router routes over.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// Routes one token entering on network input `input`, returning the
+    /// complete path and the value assigned by the output counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InputOutOfRange`] if `input` is not a
+    /// valid network input.
+    pub fn route(&mut self, input: usize) -> Result<TokenPath, TopologyError> {
+        if input >= self.topology.input_width() {
+            return Err(TopologyError::InputOutOfRange {
+                input,
+                width: self.topology.input_width(),
+            });
+        }
+        let mut hops = Vec::with_capacity(self.topology.depth());
+        let mut at = self.topology.input(input).node;
+        loop {
+            let out_port = self.balancers[at.index()].route();
+            hops.push((at, out_port));
+            match self.topology.output_wire(at, out_port) {
+                WireEnd::Node { node, .. } => at = node,
+                WireEnd::Counter { index } => {
+                    let w = self.topology.output_width() as u64;
+                    let value = index as u64 + w * self.counters[index];
+                    self.counters[index] += 1;
+                    return Ok(TokenPath {
+                        input,
+                        hops,
+                        counter: index,
+                        value,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Routes `count` tokens round-robin across all inputs and returns
+    /// their paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors (none occur for a valid topology).
+    pub fn route_round_robin(&mut self, count: usize) -> Result<Vec<TokenPath>, TopologyError> {
+        let v = self.topology.input_width();
+        (0..count).map(|i| self.route(i % v)).collect()
+    }
+
+    /// Per-counter exit counts in the current (quiescent) state.
+    #[must_use]
+    pub fn output_counts(&self) -> OutputCounts {
+        self.counters.iter().copied().collect()
+    }
+
+    /// Total number of tokens routed so far.
+    #[must_use]
+    pub fn total_routed(&self) -> u64 {
+        self.counters.iter().sum()
+    }
+
+    /// Resets all balancers and counters to their initial state.
+    pub fn reset(&mut self) {
+        for b in &mut self.balancers {
+            b.reset();
+        }
+        for c in &mut self.counters {
+            *c = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions;
+
+    #[test]
+    fn single_balancer_counts_in_order() {
+        let net = constructions::single_balancer();
+        let mut r = SequentialRouter::new(&net);
+        let values: Vec<u64> = (0..6).map(|_| r.route(0).unwrap().value).collect();
+        // alternating counters, each counting by 2
+        assert_eq!(values, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sequential_values_are_consecutive_for_bitonic() {
+        let net = constructions::bitonic(4).unwrap();
+        let mut r = SequentialRouter::new(&net);
+        // One token at a time through a counting network must return
+        // consecutive values 0, 1, 2, ... (counting property).
+        for expect in 0..32u64 {
+            let got = r.route((expect % 4) as usize).unwrap().value;
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn paths_have_depth_many_hops() {
+        let net = constructions::bitonic(8).unwrap();
+        let mut r = SequentialRouter::new(&net);
+        let p = r.route(3).unwrap();
+        assert_eq!(p.hops.len(), net.depth());
+    }
+
+    #[test]
+    fn out_of_range_input_errors() {
+        let net = constructions::single_balancer();
+        let mut r = SequentialRouter::new(&net);
+        assert_eq!(
+            r.route(2).unwrap_err(),
+            TopologyError::InputOutOfRange { input: 2, width: 2 }
+        );
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let net = constructions::bitonic(4).unwrap();
+        let mut r = SequentialRouter::new(&net);
+        r.route_round_robin(10).unwrap();
+        r.reset();
+        assert_eq!(r.total_routed(), 0);
+        assert_eq!(r.route(0).unwrap().value, 0);
+    }
+
+    #[test]
+    fn output_counts_track_totals() {
+        let net = constructions::bitonic(4).unwrap();
+        let mut r = SequentialRouter::new(&net);
+        r.route_round_robin(7).unwrap();
+        let counts = r.output_counts();
+        assert_eq!(counts.total(), 7);
+        assert!(counts.is_step());
+    }
+}

@@ -1,0 +1,234 @@
+//! The *step property* on ordered output sequences.
+//!
+//! A sequence `Y_0, ..., Y_{w-1}` has the step property when
+//! `0 <= Y_i - Y_j <= 1` for all `i < j`. A balancing network is a
+//! *counting network* exactly when its output counters satisfy the step
+//! property in every quiescent state (Section 2 of the paper).
+
+use std::fmt;
+
+/// Per-output token counts of a network, in output order.
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::OutputCounts;
+///
+/// let ok = OutputCounts::from(vec![3, 3, 2, 2]);
+/// assert!(ok.is_step());
+///
+/// let bad = OutputCounts::from(vec![3, 1, 3, 2]);
+/// assert!(!bad.is_step());
+/// assert!(bad.step_violation().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct OutputCounts(Vec<u64>);
+
+impl OutputCounts {
+    /// Creates counts that are all zero for `width` outputs.
+    #[must_use]
+    pub fn zeros(width: usize) -> Self {
+        OutputCounts(vec![0; width])
+    }
+
+    /// The number of outputs.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of tokens across all outputs.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Read access to the raw counts.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Increments the count of output `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn increment(&mut self, i: usize) {
+        self.0[i] += 1;
+    }
+
+    /// Whether the counts satisfy the step property
+    /// `0 <= Y_i - Y_j <= 1` for all `i < j`.
+    #[must_use]
+    pub fn is_step(&self) -> bool {
+        self.step_violation().is_none()
+    }
+
+    /// The first pair `(i, j)` with `i < j` violating the step property,
+    /// or `None` if the sequence is a step.
+    ///
+    /// Because the step property is transitive over adjacent pairs plus
+    /// the global bound, we check all pairs directly; widths are small
+    /// (at most a few hundred) so the quadratic scan is irrelevant.
+    #[must_use]
+    pub fn step_violation(&self) -> Option<(usize, usize)> {
+        for i in 0..self.0.len() {
+            for j in (i + 1)..self.0.len() {
+                let diff = self.0[i] as i64 - self.0[j] as i64;
+                if !(0..=1).contains(&diff) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// The unique step-shaped distribution of `total` tokens over
+    /// `width` outputs: `a_i = ceil((total - i) / width)`.
+    ///
+    /// This is the vector `(a_0, ..., a_{w-1})` of Lemma 3.5, uniquely
+    /// determined by `total = sum a_i` and the step property.
+    #[must_use]
+    pub fn step_distribution(total: u64, width: usize) -> Self {
+        let w = width as u64;
+        OutputCounts(
+            (0..width)
+                .map(|i| {
+                    let i = i as u64;
+                    if total > i {
+                        (total - i - 1) / w + 1
+                    } else {
+                        0
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Whether every output count is at least the corresponding count in
+    /// `floor` (used when applying Lemma 3.5: tokens entering later can
+    /// only increase per-output counts).
+    #[must_use]
+    pub fn dominates(&self, floor: &OutputCounts) -> bool {
+        self.0.len() == floor.0.len() && self.0.iter().zip(&floor.0).all(|(a, b)| a >= b)
+    }
+}
+
+impl From<Vec<u64>> for OutputCounts {
+    fn from(v: Vec<u64>) -> Self {
+        OutputCounts(v)
+    }
+}
+
+impl FromIterator<u64> for OutputCounts {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        OutputCounts(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for OutputCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_singleton_are_steps() {
+        assert!(OutputCounts::from(vec![]).is_step());
+        assert!(OutputCounts::from(vec![17]).is_step());
+    }
+
+    #[test]
+    fn flat_and_single_step_are_steps() {
+        assert!(OutputCounts::from(vec![2, 2, 2, 2]).is_step());
+        assert!(OutputCounts::from(vec![3, 3, 2, 2]).is_step());
+        assert!(OutputCounts::from(vec![3, 2, 2, 2]).is_step());
+    }
+
+    #[test]
+    fn increasing_sequence_is_not_step() {
+        let c = OutputCounts::from(vec![1, 2]);
+        assert_eq!(c.step_violation(), Some((0, 1)));
+    }
+
+    #[test]
+    fn gap_of_two_is_not_step() {
+        assert!(!OutputCounts::from(vec![4, 2, 2]).is_step());
+    }
+
+    #[test]
+    fn step_distribution_examples() {
+        assert_eq!(
+            OutputCounts::step_distribution(5, 4).as_slice(),
+            &[2, 1, 1, 1]
+        );
+        assert_eq!(OutputCounts::step_distribution(0, 3).as_slice(), &[0, 0, 0]);
+        assert_eq!(
+            OutputCounts::step_distribution(8, 4).as_slice(),
+            &[2, 2, 2, 2]
+        );
+    }
+
+    #[test]
+    fn dominates_is_pointwise() {
+        let a = OutputCounts::from(vec![3, 2, 2]);
+        let b = OutputCounts::from(vec![2, 2, 2]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(a.dominates(&a));
+        // mismatched widths never dominate
+        assert!(!a.dominates(&OutputCounts::from(vec![1, 1])));
+    }
+
+    #[test]
+    fn increment_updates_total() {
+        let mut c = OutputCounts::zeros(3);
+        c.increment(1);
+        c.increment(1);
+        c.increment(0);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.as_slice(), &[1, 2, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn step_distribution_is_a_step_and_sums(total in 0u64..10_000, width in 1usize..64) {
+            let d = OutputCounts::step_distribution(total, width);
+            prop_assert!(d.is_step());
+            prop_assert_eq!(d.total(), total);
+        }
+
+        /// The step distribution is the *unique* step vector with the
+        /// given total: any step vector with that total equals it.
+        #[test]
+        fn step_vectors_are_unique(total in 0u64..1000, width in 1usize..32) {
+            let d = OutputCounts::step_distribution(total, width);
+            // perturb any coordinate pair and the result is either not a
+            // step or changes the total
+            for i in 0..width {
+                for j in 0..width {
+                    if i == j { continue; }
+                    let mut v = d.as_slice().to_vec();
+                    if v[j] == 0 { continue; }
+                    v[i] += 1;
+                    v[j] -= 1;
+                    let p = OutputCounts::from(v);
+                    prop_assert!(!p.is_step() || p == d);
+                }
+            }
+        }
+    }
+}

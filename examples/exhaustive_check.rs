@@ -1,0 +1,64 @@
+//! Exhaustive small-scope checking: enumerate *every* interleaving of a
+//! few tokens and verify the two background facts the paper builds on:
+//!
+//! * the step property holds in every single execution (counting is
+//!   unconditional);
+//! * non-linearizable executions exist in the bare order model (that's
+//!   why the paper's timing analysis is needed at all).
+//!
+//! Run with: `cargo run --release --example exhaustive_check`
+
+use counting_networks::timing::interleave::enumerate_interleavings;
+use counting_networks::topology::constructions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cases: Vec<(&str, counting_networks::topology::Topology, Vec<usize>)> = vec![
+        (
+            "single balancer, 3 tokens",
+            constructions::single_balancer(),
+            vec![0, 0, 0],
+        ),
+        (
+            "single balancer, 4 tokens",
+            constructions::single_balancer(),
+            vec![0, 1, 0, 1],
+        ),
+        (
+            "tree[4], 3 tokens",
+            constructions::counting_tree(4)?,
+            vec![0, 0, 0],
+        ),
+        (
+            "bitonic[4], 2 tokens",
+            constructions::bitonic(4)?,
+            vec![0, 2],
+        ),
+        (
+            "bitonic[4], 3 tokens",
+            constructions::bitonic(4)?,
+            vec![0, 1, 2],
+        ),
+    ];
+    println!(
+        "{:<28} {:>12} {:>6} {:>10} {:>8}",
+        "scenario", "interleavings", "step", "violating", "worst"
+    );
+    for (name, net, inputs) in cases {
+        let r = enumerate_interleavings(&net, &inputs, 5_000_000)?;
+        println!(
+            "{:<28} {:>12} {:>6} {:>9.2}% {:>8}",
+            name,
+            r.executions,
+            if r.step_failures == 0 { "ok" } else { "FAIL" },
+            r.violating_fraction() * 100.0,
+            r.max_violations,
+        );
+    }
+    println!(
+        "\nEvery interleaving counts correctly (step = ok), yet a fraction of\n\
+         them is non-linearizable — which is exactly the gap the paper's c2/c1\n\
+         measure quantifies: under c2 <= 2 c1 those interleavings cannot occur\n\
+         in real time."
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! FIFO buffers over counting networks — the paper's flagship
+//! application ("linearizable counting lies at the heart of …
+//! concurrent implementations of shared counters, FIFO buffers,
+//! priority queues").
+//!
+//! Builds the same bounded MPMC queue twice — once with linearizable
+//! fetch-and-add ticket counters, once with bitonic counting-network
+//! tickets — runs a producer/consumer workload over each, and audits
+//! how many items came out of real-time FIFO order.
+//!
+//! Run with: `cargo run --release --example fifo_queue`
+
+use counting_networks::concurrent::counter::FetchAddCounter;
+use counting_networks::structures::audit::fifo_audit;
+use counting_networks::structures::queue::NetQueue;
+use counting_networks::topology::constructions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 2;
+    const PER_PRODUCER: usize = 5_000;
+
+    println!(
+        "bounded MPMC queue, {PRODUCERS} producers x {PER_PRODUCER} items, \
+         {CONSUMERS} consumers\n"
+    );
+
+    let strict = NetQueue::with_counters(64, FetchAddCounter::new(), FetchAddCounter::new());
+    let report = fifo_audit(&strict, PRODUCERS, CONSUMERS, PER_PRODUCER);
+    println!(
+        "fetch-add tickets:   conserved = {:5}, out-of-FIFO = {:4} ({:.3}%)",
+        report.conserved(PRODUCERS * PER_PRODUCER),
+        report.out_of_order(),
+        report.out_of_order_ratio() * 100.0
+    );
+
+    let net = constructions::bitonic(8)?;
+    let scalable: NetQueue<u64> = NetQueue::over_network(64, &net);
+    let report = fifo_audit(&scalable, PRODUCERS, CONSUMERS, PER_PRODUCER);
+    println!(
+        "bitonic[8] tickets:  conserved = {:5}, out-of-FIFO = {:4} ({:.3}%)",
+        report.conserved(PRODUCERS * PER_PRODUCER),
+        report.out_of_order(),
+        report.out_of_order_ratio() * 100.0
+    );
+
+    println!(
+        "\nBoth queues conserve items exactly. The network-backed queue trades\n\
+         strict FIFO for contention-free ticketing; the out-of-order fraction is\n\
+         the data-structure face of counting non-linearizability, and the\n\
+         paper's result is that realistic timing keeps it near zero."
+    );
+    Ok(())
+}

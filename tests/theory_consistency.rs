@@ -1,0 +1,143 @@
+//! Cross-crate consistency between the Section 3 theory (`cnet-timing`)
+//! and the Section 4 constructions (`cnet-adversary`).
+
+use counting_networks::adversary::{
+    bitonic_attack, intro_example, tree_attack, tree_attack_with_gap, wave_attack,
+};
+use counting_networks::timing::executor::TimedExecutor;
+use counting_networks::timing::{knowledge, measure, random, LinkTiming};
+use counting_networks::topology::constructions;
+
+/// Every adversarial scenario must itself be admissible for its claimed
+/// timing bounds and deliver at least its promised violations.
+#[test]
+fn scenarios_are_admissible_and_violate() {
+    let timing = LinkTiming::new(10, 30).unwrap();
+    let wave_timing = LinkTiming::new(10, 50).unwrap();
+    let scenarios = [
+        intro_example(timing).unwrap(),
+        tree_attack(8, timing).unwrap(),
+        tree_attack(32, timing).unwrap(),
+        bitonic_attack(8, timing).unwrap(),
+        bitonic_attack(32, timing).unwrap(),
+        wave_attack(8, wave_timing).unwrap(),
+        wave_attack(32, wave_timing).unwrap(),
+    ];
+    for s in &scenarios {
+        s.validate()
+            .unwrap_or_else(|e| panic!("{} inadmissible: {e}", s.name));
+        let exec = s.execute().unwrap();
+        assert!(
+            exec.nonlinearizable_count() >= s.min_violations,
+            "{}: {} < {}",
+            s.name,
+            exec.nonlinearizable_count(),
+            s.min_violations
+        );
+        // quiescent step property still holds in every violating run
+        assert!(exec.output_counts().is_step(), "{}", s.name);
+    }
+}
+
+/// The knowledge lemmas (3.1, 3.2) hold even on the adversarial
+/// executions — violations of *linearizability* never violate the
+/// paper's information-propagation bounds.
+#[test]
+fn knowledge_lemmas_hold_on_adversarial_executions() {
+    let timing = LinkTiming::new(10, 30).unwrap();
+    for s in [
+        intro_example(timing).unwrap(),
+        tree_attack(16, timing).unwrap(),
+        bitonic_attack(16, timing).unwrap(),
+    ] {
+        let exec = s.execute().unwrap();
+        knowledge::verify_lemma_3_1(&s.topology, &exec)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        knowledge::verify_lemma_3_2(&s.topology, &exec, timing.c1())
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+    }
+}
+
+/// The attack constructors refuse exactly where Corollary 3.9 applies.
+#[test]
+fn constructors_refuse_in_the_guaranteed_regime() {
+    for c1 in [1u64, 5, 10, 100] {
+        let tame = LinkTiming::new(c1, 2 * c1).unwrap();
+        assert!(tame.guarantees_linearizability());
+        assert!(intro_example(tame).is_err());
+        assert!(tree_attack(8, tame).is_err());
+        assert!(bitonic_attack(8, tame).is_err());
+        assert!(wave_attack(8, tame).is_err());
+    }
+}
+
+/// Theorem 3.6 tightness: the tree attack violates for every gap below
+/// `h(c2 - 2 c1)` and the theory guarantees order at or beyond it.
+#[test]
+fn finish_start_bound_is_tight_on_trees() {
+    let timing = LinkTiming::new(5, 20).unwrap();
+    let net = constructions::counting_tree(16).unwrap();
+    let h = net.depth();
+    let slack = measure::finish_start_separation(h, timing);
+    assert!(slack > 0);
+    let slack = slack as u64;
+    for gap in 1..slack {
+        let exec = tree_attack_with_gap(16, timing, gap)
+            .unwrap()
+            .execute()
+            .unwrap();
+        assert!(exec.nonlinearizable_count() >= 1, "gap {gap} of {slack}");
+    }
+    assert!(tree_attack_with_gap(16, timing, slack).is_err());
+}
+
+/// Corollary 3.12 end to end: the straggler/wave family violates the
+/// bare tree for some seeds, and *never* violates the fully padded
+/// network.
+#[test]
+fn corollary_3_12_padding_eliminates_violations() {
+    let timing = LinkTiming::new(10, 30).unwrap(); // k = 4
+    let inner = constructions::counting_tree(16).unwrap();
+    let h = inner.depth();
+    let k = timing.min_integer_k() as usize;
+    assert_eq!(k, 4);
+    let pad = measure::corollary_3_12_padding(h, k);
+    let padded = constructions::linearizing_prefix(&inner, k).unwrap();
+    assert_eq!(padded.depth(), measure::corollary_3_12_depth(h, k));
+
+    let mut bare_violations = 0usize;
+    for seed in 0..40u64 {
+        let bare = random::straggler_burst_schedule(&inner, timing, 1, 2, 15, 0, seed).unwrap();
+        bare_violations += TimedExecutor::new(&inner)
+            .run(&bare)
+            .unwrap()
+            .nonlinearizable_count();
+
+        let s = random::straggler_burst_schedule(&padded, timing, 1, 2, 15, pad, seed).unwrap();
+        s.validate(&padded, Some(timing)).unwrap();
+        let exec = TimedExecutor::new(&padded).run(&s).unwrap();
+        assert_eq!(
+            exec.nonlinearizable_count(),
+            0,
+            "padded network violated at seed {seed}"
+        );
+    }
+    assert!(
+        bare_violations > 0,
+        "the attack family should hurt the unpadded tree"
+    );
+}
+
+/// Uniform random admissible schedules on the *padded* network are also
+/// always clean, whatever the jitter, as long as c2 < k c1.
+#[test]
+fn padded_network_clean_under_uniform_schedules() {
+    let timing = LinkTiming::new(10, 29).unwrap(); // < 3 c1, use k = 3
+    let inner = constructions::bitonic(4).unwrap();
+    let padded = constructions::linearizing_prefix(&inner, 3).unwrap();
+    for seed in 0..10u64 {
+        let s = random::uniform_schedule(&padded, timing, 150, 5, seed).unwrap();
+        let exec = TimedExecutor::new(&padded).run(&s).unwrap();
+        assert_eq!(exec.nonlinearizable_count(), 0, "seed {seed}");
+    }
+}
