@@ -6,44 +6,72 @@
 //! effective `(Tog + W)/Tog` ratio — the paper's reason for keeping
 //! balancers slow enough that the `W` waits dominate `c2/c1`.
 //!
-//! Usage: `ablation_balancer [--ops N]`.
+//! Usage: `ablation_balancer [--ops N] [--seed S] [--threads T] [--json PATH]`.
 
-use cnet_bench::experiments::ops_from_args;
-use cnet_bench::{percent, ResultTable};
-use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_harness::{
+    derive_seed, percent, run_jobs_report, BenchArgs, BenchReport, Job, ResultTable,
+};
+use cnet_proteus::{SimConfig, WaitMode, Workload};
 use cnet_topology::constructions;
 
 fn main() {
-    let ops = ops_from_args();
+    let args = BenchArgs::parse("ablation_balancer");
+    let base = args.base_seed(0xBA);
+    let mut report = BenchReport::new("ablation_balancer", args.threads);
     let net = constructions::bitonic(32).expect("valid width");
     let workload = Workload {
         processors: 64,
         delayed_percent: 50,
         wait_cycles: 1000,
-        total_ops: ops,
+        total_ops: args.ops,
         wait_mode: WaitMode::Fixed,
     };
+    let jobs: Vec<Job> = [1u64, 10, 50, 200, 800]
+        .iter()
+        .map(|&toggle_cost| Job {
+            label: format!("cs={toggle_cost}"),
+            kind: "Bitonic Counting Network".to_string(),
+            net: 0,
+            config: SimConfig {
+                toggle_cost,
+                ..SimConfig::queue_lock(derive_seed(base, "ablation_balancer", &[toggle_cost]))
+            },
+            workload,
+        })
+        .collect();
+
+    let title = format!(
+        "balancer-cost ablation (bitonic32, n=64, F=50%, W=1000, {} ops)",
+        args.ops
+    );
+    let (cells, grid) = run_jobs_report(
+        &title,
+        base,
+        std::slice::from_ref(&net),
+        &jobs,
+        args.threads,
+    );
+
     let mut table = ResultTable::new(
-        format!("balancer-cost ablation (bitonic32, n=64, F=50%, W=1000, {ops} ops)"),
+        &title,
         &["Tog", "avg c2/c1", "mean latency", "max queue", "nonlin"],
     );
-    for toggle_cost in [1u64, 10, 50, 200, 800] {
-        let config = SimConfig {
-            toggle_cost,
-            ..SimConfig::queue_lock(0xBA)
-        };
-        let stats = Simulator::new(&net, config).run(&workload);
+    for cell in &cells {
+        let s = &cell.record.stats;
         table.push_row(
-            format!("cs={toggle_cost}"),
+            cell.record.label.clone(),
             vec![
-                format!("{:.0}", stats.avg_toggle_wait()),
-                format!("{:.2}", stats.average_ratio(workload.wait_cycles)),
-                format!("{:.0}", stats.mean_latency()),
-                format!("{}", stats.max_lock_queue),
-                percent(stats.nonlinearizable_ratio()),
+                format!("{:.0}", s.avg_toggle_wait),
+                format!("{:.2}", s.average_ratio),
+                format!("{:.0}", s.mean_latency),
+                format!("{}", s.max_lock_queue),
+                percent(s.nonlinearizable_ratio),
             ],
         );
     }
     println!("{}", table.to_text());
     println!("{}", table.to_csv());
+    report.push_table(&table);
+    report.push_grid(grid);
+    report.emit(&args);
 }

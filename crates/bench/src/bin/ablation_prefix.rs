@@ -13,16 +13,19 @@
 //! attack family, and exact families achieving larger pads require the
 //! full paper's tightness construction.
 //!
-//! Usage: `ablation_prefix [--ops N]` (tokens per trial).
+//! Usage: `ablation_prefix [--ops N] [--seed S] [--threads T]
+//! [--json PATH]` (`--ops` caps the tokens per trial).
 
-use cnet_bench::experiments::ops_from_args;
-use cnet_bench::{percent, ResultTable};
+use cnet_harness::{derive_seed, percent, pool, BenchArgs, BenchReport, ResultTable};
 use cnet_timing::executor::TimedExecutor;
 use cnet_timing::{measure, random, LinkTiming};
 use cnet_topology::constructions;
 
 fn main() {
-    let tokens = ops_from_args().min(3000);
+    let args = BenchArgs::parse("ablation_prefix");
+    let base = args.base_seed(0xA9);
+    let mut report = BenchReport::new("ablation_prefix", args.threads);
+    let tokens = args.ops.min(3000);
     let timing = LinkTiming::new(10, 30).expect("valid timing"); // ratio 3 => k = 4
     let inner = constructions::counting_tree(16).expect("valid width");
     let h = inner.depth();
@@ -38,12 +41,15 @@ fn main() {
         format!("violating trials vs input padding ({trials} straggler/wave trials per row)"),
         &["depth", "violating trials", "nonlin ops"],
     );
-    for pad in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 10] {
+    let pads = [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 10];
+    let rows = pool::run_indexed(pads.len(), args.threads, |i| {
+        let pad = pads[i];
         let net = constructions::pad_inputs(&inner, pad).expect("padding");
         let mut violating_trials = 0usize;
         let mut bad_ops = 0usize;
         let mut total_ops = 0usize;
-        for seed in 0..trials as u64 {
+        for trial in 0..trials as u64 {
+            let seed = derive_seed(base, "ablation_prefix", &[pad as u64, trial]);
             let schedule = random::straggler_burst_schedule(&net, timing, 1, 2, 15, pad, seed)
                 .expect("schedule");
             let exec = TimedExecutor::new(&net).run(&schedule).expect("execution");
@@ -52,15 +58,20 @@ fn main() {
             bad_ops += bad;
             total_ops += schedule.len();
         }
-        table.push_row(
+        (
             format!("pad={pad}"),
             vec![
                 format!("{}", net.depth()),
                 format!("{violating_trials}/{trials}"),
                 percent(bad_ops as f64 / total_ops as f64),
             ],
-        );
+        )
+    });
+    for (label, row) in rows {
+        table.push_row(label, row);
     }
     println!("{}", table.to_text());
     println!("{}", table.to_csv());
+    report.push_table(&table);
+    report.emit(&args);
 }

@@ -7,28 +7,27 @@
 //! non-linearizability ratio. `slots = 0` disables diffraction (plain
 //! queue-lock tree).
 //!
-//! Usage: `ablation_prism [--ops N]`.
+//! Usage: `ablation_prism [--ops N] [--seed S] [--threads T] [--json PATH]`.
 
-use cnet_bench::experiments::ops_from_args;
-use cnet_bench::{percent, ResultTable};
-use cnet_proteus::{PrismConfig, SimConfig, Simulator, WaitMode, Workload};
+use cnet_harness::{
+    derive_seed, percent, run_jobs_report, BenchArgs, BenchReport, Job, ResultTable,
+};
+use cnet_proteus::{PrismConfig, SimConfig, WaitMode, Workload};
 use cnet_topology::constructions;
 
 fn main() {
-    let ops = ops_from_args();
+    let args = BenchArgs::parse("ablation_prism");
+    let base = args.base_seed(0xAB);
+    let mut report = BenchReport::new("ablation_prism", args.threads);
     let net = constructions::counting_tree(32).expect("valid width");
     let workload = Workload {
         processors: 64,
         delayed_percent: 50,
         wait_cycles: 1000,
-        total_ops: ops,
+        total_ops: args.ops,
         wait_mode: WaitMode::Fixed,
     };
-    let mut table = ResultTable::new(
-        format!("prism ablation (tree32, n=64, F=50%, W=1000, {ops} ops)"),
-        &["Tog", "diffracted", "mean latency", "nonlin"],
-    );
-    for (slots, spin) in [
+    let sweep = [
         (0usize, 0u64),
         (4, 200),
         (8, 400),
@@ -37,27 +36,58 @@ fn main() {
         (64, 700),
         (32, 200),
         (32, 1400),
-    ] {
-        let mut config = SimConfig::queue_lock(0xAB);
-        if slots > 0 {
-            config.prism = Some(PrismConfig {
-                root_slots: slots,
-                spin_window: spin,
-                pair_cost: 60,
-            });
-        }
-        let stats = Simulator::new(&net, config).run(&workload);
-        let diffracted = 2.0 * stats.diffraction_pairs as f64 / stats.node_visits.max(1) as f64;
+    ];
+    let jobs: Vec<Job> = sweep
+        .iter()
+        .map(|&(slots, spin)| {
+            let seed = derive_seed(base, "ablation_prism", &[slots as u64, spin]);
+            let mut config = SimConfig::queue_lock(seed);
+            if slots > 0 {
+                config.prism = Some(PrismConfig {
+                    root_slots: slots,
+                    spin_window: spin,
+                    pair_cost: 60,
+                });
+            }
+            Job {
+                label: format!("slots={slots},spin={spin}"),
+                kind: "Diffracting Tree".to_string(),
+                net: 0,
+                config,
+                workload,
+            }
+        })
+        .collect();
+
+    let title = format!(
+        "prism ablation (tree32, n=64, F=50%, W=1000, {} ops)",
+        args.ops
+    );
+    let (cells, grid) = run_jobs_report(
+        &title,
+        base,
+        std::slice::from_ref(&net),
+        &jobs,
+        args.threads,
+    );
+
+    let mut table = ResultTable::new(&title, &["Tog", "diffracted", "mean latency", "nonlin"]);
+    for cell in &cells {
+        let s = &cell.record.stats;
+        let diffracted = 2.0 * s.diffraction_pairs as f64 / s.node_visits.max(1) as f64;
         table.push_row(
-            format!("slots={slots},spin={spin}"),
+            cell.record.label.clone(),
             vec![
-                format!("{:.0}", stats.avg_toggle_wait()),
+                format!("{:.0}", s.avg_toggle_wait),
                 percent(diffracted),
-                format!("{:.0}", stats.mean_latency()),
-                percent(stats.nonlinearizable_ratio()),
+                format!("{:.0}", s.mean_latency),
+                percent(s.nonlinearizable_ratio),
             ],
         );
     }
     println!("{}", table.to_text());
     println!("{}", table.to_csv());
+    report.push_table(&table);
+    report.push_grid(grid);
+    report.emit(&args);
 }

@@ -7,60 +7,86 @@
 //! identical with)" sequential consistency; this experiment quantifies
 //! the gap on the benchmark itself.
 //!
-//! Usage: `consistency [--ops N]`.
+//! Usage: `consistency [--ops N] [--seed S] [--threads T] [--json PATH]`.
 
-use cnet_bench::experiments::{ops_from_args, NetworkKind};
-use cnet_bench::{percent, ResultTable, PAPER_WAITS, PAPER_WIDTH};
-use cnet_proteus::{Simulator, WaitMode, Workload};
+use cnet_harness::{
+    derive_cell_seed, percent, run_jobs_report, BenchArgs, BenchReport, CellRun, Job, NetworkKind,
+    ResultTable, PAPER_WAITS, PAPER_WIDTH,
+};
+use cnet_proteus::{WaitMode, Workload};
 use cnet_timing::windows;
 
 fn main() {
-    let ops = ops_from_args();
+    let args = BenchArgs::parse("consistency");
+    let base = args.base_seed(0xCC);
+    let mut report = BenchReport::new("consistency", args.threads);
     let n = 64;
-    println!("consistency breakdown (n = {n}, F = 50%, width 32, {ops} ops/cell)\n");
+    println!(
+        "consistency breakdown (n = {n}, F = 50%, width 32, {} ops/cell)\n",
+        args.ops
+    );
     for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
         let net = kind.build(PAPER_WIDTH);
-        let mut table = ResultTable::new(
-            format!("{} — linearizability vs program order", kind.label()),
-            &["nonlin", "program-order", "invisible share"],
+        let jobs: Vec<Job> = PAPER_WAITS
+            .iter()
+            .map(|&w| Job {
+                label: format!("W={w}"),
+                kind: kind.label().to_string(),
+                net: 0,
+                config: kind.config(derive_cell_seed(base, kind.label(), 50, w, n)),
+                workload: Workload {
+                    processors: n,
+                    delayed_percent: 50,
+                    wait_cycles: w,
+                    total_ops: args.ops,
+                    wait_mode: WaitMode::Fixed,
+                },
+            })
+            .collect();
+        let title = format!("{} — linearizability vs program order", kind.label());
+        let (cells, grid) = run_jobs_report(
+            &title,
+            base,
+            std::slice::from_ref(&net),
+            &jobs,
+            args.threads,
         );
-        let mut worst: Option<(u64, cnet_proteus::RunStats)> = None;
-        for &w in &PAPER_WAITS {
-            let workload = Workload {
-                processors: n,
-                delayed_percent: 50,
-                wait_cycles: w,
-                total_ops: ops,
-                wait_mode: WaitMode::Fixed,
-            };
-            let stats = Simulator::new(&net, kind.config(0xCC)).run(&workload);
-            let lin = stats.nonlinearizable_count();
-            let po = stats.program_order_violations();
+
+        let mut table = ResultTable::new(&title, &["nonlin", "program-order", "invisible share"]);
+        let mut worst: Option<&CellRun> = None;
+        for cell in &cells {
+            let lin = cell.stats.nonlinearizable_count();
+            let po = cell.stats.program_order_violations();
             let invisible = if lin == 0 {
                 "-".to_string()
             } else {
                 percent(lin.saturating_sub(po) as f64 / lin as f64)
             };
             table.push_row(
-                format!("W={w}"),
+                cell.record.label.clone(),
                 vec![lin.to_string(), po.to_string(), invisible],
             );
-            if worst
-                .as_ref()
-                .is_none_or(|(_, s)| stats.nonlinearizable_count() > s.nonlinearizable_count())
-            {
-                worst = Some((w, stats));
+            if worst.is_none_or(|c| lin > c.stats.nonlinearizable_count()) {
+                worst = Some(cell);
             }
         }
         println!("{}", table.to_text());
-        if let Some((w, stats)) = worst {
-            if stats.nonlinearizable_count() > 0 {
-                println!("violation density over time (worst cell, W = {w}):");
-                let width = (stats.sim_time / 24).max(1);
-                let profile =
-                    windows::density_profile(&windows::violation_density(&stats.operations, width));
+        if let Some(cell) = worst {
+            if cell.stats.nonlinearizable_count() > 0 {
+                println!(
+                    "violation density over time (worst cell, W = {}):",
+                    cell.record.wait_cycles
+                );
+                let width = (cell.stats.sim_time / 24).max(1);
+                let profile = windows::density_profile(&windows::violation_density(
+                    &cell.stats.operations,
+                    width,
+                ));
                 println!("{profile}");
             }
         }
+        report.push_table(&table);
+        report.push_grid(grid);
     }
+    report.emit(&args);
 }

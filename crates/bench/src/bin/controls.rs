@@ -7,62 +7,93 @@
 //! * the uniform-random scenario: every token waits a random number of
 //!   cycles in `[0, W]` after each node.
 //!
-//! Usage: `controls [--ops N]`.
+//! Usage: `controls [--ops N] [--seed S] [--threads T] [--json PATH]`.
 
-use cnet_bench::experiments::{ops_from_args, NetworkKind};
-use cnet_bench::{percent, ResultTable, PAPER_WAITS, PAPER_WIDTH};
-use cnet_proteus::{Simulator, WaitMode, Workload};
+use cnet_harness::{
+    derive_seed, run_jobs_report, BenchArgs, BenchReport, Job, NetworkKind, ResultTable,
+    PAPER_WAITS, PAPER_WIDTH,
+};
+use cnet_proteus::{WaitMode, Workload};
 
 fn main() {
-    let ops = ops_from_args();
-    println!("Section 5 control runs ({ops} operations per cell, width 32, n = 64)\n");
+    let args = BenchArgs::parse("controls");
+    let base = args.base_seed(0xC0);
+    let mut report = BenchReport::new("controls", args.threads);
+    println!(
+        "Section 5 control runs ({} operations per cell, width 32, n = 64)\n",
+        args.ops
+    );
     let n = 64;
+    let scenarios: [(&str, u32, WaitMode); 3] = [
+        ("F=0%", 0, WaitMode::Fixed),
+        ("F=100%", 100, WaitMode::Fixed),
+        ("random [0,W]", 0, WaitMode::UniformRandom),
+    ];
     for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
         let net = kind.build(PAPER_WIDTH);
+        let mut jobs = Vec::new();
+        let job = |label: String, domain: &str, f: u32, w: u64, mode: WaitMode| Job {
+            label,
+            kind: kind.label().to_string(),
+            net: 0,
+            config: kind.config(derive_seed(
+                base,
+                &format!("controls/{}/{domain}", kind.label()),
+                &[u64::from(f), w, n as u64],
+            )),
+            workload: Workload {
+                processors: n,
+                delayed_percent: f,
+                wait_cycles: w,
+                total_ops: args.ops,
+                wait_mode: mode,
+            },
+        };
+        for (label, f, mode) in scenarios {
+            for &w in &PAPER_WAITS {
+                jobs.push(job(format!("{label},W={w}"), label, f, w, mode));
+            }
+        }
+        // the W = 0 cell, at F = 50%
+        jobs.push(job("F=50%,W=0".to_string(), "W=0", 50, 0, WaitMode::Fixed));
+
+        let title = format!(
+            "{} — control scenarios (non-linearizability ratio)",
+            kind.label()
+        );
+        let (cells, grid) = run_jobs_report(
+            &title,
+            base,
+            std::slice::from_ref(&net),
+            &jobs,
+            args.threads,
+        );
+
         let columns: Vec<String> = PAPER_WAITS.iter().map(|w| format!("W={w}")).collect();
         let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-        let mut table = ResultTable::new(
-            format!(
-                "{} — control scenarios (non-linearizability ratio)",
-                kind.label()
-            ),
-            &column_refs,
-        );
-        let scenarios: [(&str, u32, WaitMode); 3] = [
-            ("F=0%", 0, WaitMode::Fixed),
-            ("F=100%", 100, WaitMode::Fixed),
-            ("random [0,W]", 0, WaitMode::UniformRandom),
-        ];
-        for (label, f, mode) in scenarios {
-            let row: Vec<String> = PAPER_WAITS
-                .iter()
-                .map(|&w| {
-                    let workload = Workload {
-                        processors: n,
-                        delayed_percent: f,
-                        wait_cycles: w,
-                        total_ops: ops,
-                        wait_mode: mode,
-                    };
-                    let stats = Simulator::new(&net, kind.config(0xC0)).run(&workload);
-                    percent(stats.nonlinearizable_ratio())
+        let mut table = ResultTable::new(&title, &column_refs);
+        for (s, (label, _, _)) in scenarios.iter().enumerate() {
+            let row: Vec<String> = (0..PAPER_WAITS.len())
+                .map(|j| {
+                    cnet_harness::percent(
+                        cells[s * PAPER_WAITS.len() + j]
+                            .record
+                            .stats
+                            .nonlinearizable_ratio,
+                    )
                 })
                 .collect();
-            table.push_row(label, row);
+            table.push_row(*label, row);
         }
-        // the W = 0 column, at F = 50%
-        let w0 = {
-            let workload = Workload {
-                processors: n,
-                delayed_percent: 50,
-                wait_cycles: 0,
-                total_ops: ops,
-                wait_mode: WaitMode::Fixed,
-            };
-            Simulator::new(&net, kind.config(0xC0)).run(&workload)
-        };
+        let w0 = cells.last().expect("W=0 cell");
         println!("{}", table.to_text());
-        println!("W=0 (F=50%): {}\n", percent(w0.nonlinearizable_ratio()));
+        println!(
+            "W=0 (F=50%): {}\n",
+            cnet_harness::percent(w0.record.stats.nonlinearizable_ratio)
+        );
         println!("{}", table.to_csv());
+        report.push_table(&table);
+        report.push_grid(grid);
     }
+    report.emit(&args);
 }

@@ -3,19 +3,23 @@
 //! counting network and diffracting tree, over
 //! `W ∈ {100, 1000, 10000, 100000}` and `n ∈ {4, 16, 64, 128, 256}`.
 //!
-//! Usage: `figure5 [--ops N]` (default 5000 operations per cell, as in
-//! the paper).
+//! Usage: `figure5 [--ops N] [--seed S] [--threads T] [--json PATH]`
+//! (default 5000 operations per cell, as in the paper).
 
-use cnet_bench::experiments::{ops_from_args, ratio_table, run_grid, NetworkKind};
+use cnet_harness::{BenchArgs, BenchReport, Grid, NetworkKind};
 
 fn main() {
-    let ops = ops_from_args();
+    let args = BenchArgs::parse("figure5");
+    let mut report = BenchReport::new("figure5", args.threads);
     println!("Figure 5 — non-linearizability ratios, F = 25% delayed processors");
-    println!("({ops} operations per cell, width 32)\n");
+    println!("({} operations per cell, width 32)\n", args.ops);
     for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
-        let cells = run_grid(kind, 25, ops, 0xF165);
-        let table = ratio_table(kind.label(), &cells);
+        let outcome = Grid::paper(kind, 25, args.ops, args.base_seed(0xF165)).run(args.threads);
+        let table = outcome.ratio_table(kind.label());
         println!("{}", table.to_text());
         println!("{}", table.to_csv());
+        report.push_table(&table);
+        report.push_grid(outcome.report);
     }
+    report.emit(&args);
 }

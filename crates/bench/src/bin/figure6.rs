@@ -1,18 +1,22 @@
 //! Regenerates **Figure 6** of the paper: non-linearizability ratios
 //! with `F = 50%` of the processors delayed (same grid as Figure 5).
 //!
-//! Usage: `figure6 [--ops N]`.
+//! Usage: `figure6 [--ops N] [--seed S] [--threads T] [--json PATH]`.
 
-use cnet_bench::experiments::{ops_from_args, ratio_table, run_grid, NetworkKind};
+use cnet_harness::{BenchArgs, BenchReport, Grid, NetworkKind};
 
 fn main() {
-    let ops = ops_from_args();
+    let args = BenchArgs::parse("figure6");
+    let mut report = BenchReport::new("figure6", args.threads);
     println!("Figure 6 — non-linearizability ratios, F = 50% delayed processors");
-    println!("({ops} operations per cell, width 32)\n");
+    println!("({} operations per cell, width 32)\n", args.ops);
     for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
-        let cells = run_grid(kind, 50, ops, 0xF166);
-        let table = ratio_table(kind.label(), &cells);
+        let outcome = Grid::paper(kind, 50, args.ops, args.base_seed(0xF166)).run(args.threads);
+        let table = outcome.ratio_table(kind.label());
         println!("{}", table.to_text());
         println!("{}", table.to_csv());
+        report.push_table(&table);
+        report.push_grid(outcome.report);
     }
+    report.emit(&args);
 }

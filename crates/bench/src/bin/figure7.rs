@@ -2,20 +2,26 @@
 //! `c2/c1 = (Tog + W)/Tog` measured during the simulations, for both
 //! networks and both delayed fractions.
 //!
-//! Usage: `figure7 [--ops N]`.
+//! Usage: `figure7 [--ops N] [--seed S] [--threads T] [--json PATH]`.
 
-use cnet_bench::experiments::{average_ratio_table, ops_from_args, run_grid, NetworkKind};
+use cnet_harness::{BenchArgs, BenchReport, Grid, NetworkKind};
 
 fn main() {
-    let ops = ops_from_args();
+    let args = BenchArgs::parse("figure7");
+    let mut report = BenchReport::new("figure7", args.threads);
     println!("Figure 7 — average c2/c1 = (Tog + W)/Tog");
-    println!("({ops} operations per cell, width 32)\n");
+    println!("({} operations per cell, width 32)\n", args.ops);
     for f in [50u32, 25] {
         for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
-            let cells = run_grid(kind, f, ops, 0xF167);
-            let table = average_ratio_table(&format!("{} — F = {f}%", kind.label()), &cells);
+            let mut grid = Grid::paper(kind, f, args.ops, args.base_seed(0xF167));
+            grid.title = format!("{} — F = {f}%", kind.label());
+            let outcome = grid.run(args.threads);
+            let table = outcome.average_ratio_table(&grid.title);
             println!("{}", table.to_text());
             println!("{}", table.to_csv());
+            report.push_table(&table);
+            report.push_grid(outcome.report);
         }
     }
+    report.emit(&args);
 }

@@ -7,57 +7,82 @@
 //! every counter. The centralized counter is linearizable but flat;
 //! the networks scale.
 //!
-//! Usage: `scaling [--ops N]`.
+//! Usage: `scaling [--ops N] [--seed S] [--threads T] [--json PATH]`.
 
-use cnet_bench::experiments::ops_from_args;
-use cnet_bench::{ResultTable, PAPER_WIDTH};
-use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_harness::{
+    derive_seed, run_jobs_report, BenchArgs, BenchReport, Job, ResultTable, PAPER_WIDTH,
+};
+use cnet_proteus::{SimConfig, WaitMode, Workload};
 use cnet_topology::constructions;
 
 fn main() {
-    let ops = ops_from_args();
+    let args = BenchArgs::parse("scaling");
+    let base = args.base_seed(0x5C);
+    let mut report = BenchReport::new("scaling", args.threads);
     let counter_cost = 100;
-    let central = constructions::serial_line(1);
-    let bitonic = constructions::bitonic(PAPER_WIDTH).expect("valid width");
-    let tree = constructions::counting_tree(PAPER_WIDTH).expect("valid width");
-
+    let nets = [
+        constructions::serial_line(1),
+        constructions::bitonic(PAPER_WIDTH).expect("valid width"),
+        constructions::counting_tree(PAPER_WIDTH).expect("valid width"),
+    ];
+    let rows: [(&str, usize, bool); 3] = [
+        ("central counter", 0, false),
+        ("bitonic[32]", 1, false),
+        ("diffracting[32]", 2, true),
+    ];
     let concurrency = [1usize, 4, 16, 64, 256];
-    let columns: Vec<String> = concurrency.iter().map(|n| format!("n={n}")).collect();
-    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-    let mut table = ResultTable::new(
-        format!("throughput, ops/kilocycle ({ops} ops, counter cost {counter_cost})"),
-        &column_refs,
-    );
-    for (name, net, prism) in [
-        ("central counter", &central, false),
-        ("bitonic[32]", &bitonic, false),
-        ("diffracting[32]", &tree, true),
-    ] {
-        let row: Vec<String> = concurrency
-            .iter()
-            .map(|&n| {
-                let workload = Workload {
+
+    let mut jobs = Vec::new();
+    for (name, net, prism) in rows {
+        for &n in &concurrency {
+            let seed = derive_seed(base, &format!("scaling/{name}"), &[n as u64]);
+            let config = if prism {
+                SimConfig::diffracting(seed)
+            } else {
+                SimConfig::queue_lock(seed)
+            };
+            jobs.push(Job {
+                label: format!("{name},n={n}"),
+                kind: name.to_string(),
+                net,
+                config: SimConfig {
+                    counter_cost,
+                    ..config
+                },
+                workload: Workload {
                     processors: n,
                     delayed_percent: 0,
                     wait_cycles: 0,
-                    total_ops: ops,
+                    total_ops: args.ops,
                     wait_mode: WaitMode::Fixed,
-                };
-                let base = if prism {
-                    SimConfig::diffracting(0x5C)
-                } else {
-                    SimConfig::queue_lock(0x5C)
-                };
-                let config = SimConfig {
-                    counter_cost,
-                    ..base
-                };
-                let stats = Simulator::new(net, config).run(&workload);
-                format!("{:.2}", stats.throughput() * 1000.0)
+                },
+            });
+        }
+    }
+
+    let title = format!(
+        "throughput, ops/kilocycle ({} ops, counter cost {counter_cost})",
+        args.ops
+    );
+    let (cells, grid) = run_jobs_report(&title, base, &nets, &jobs, args.threads);
+
+    let columns: Vec<String> = concurrency.iter().map(|n| format!("n={n}")).collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(&title, &column_refs);
+    for (r, (name, _, _)) in rows.iter().enumerate() {
+        let row: Vec<String> = (0..concurrency.len())
+            .map(|j| {
+                format!(
+                    "{:.2}",
+                    cells[r * concurrency.len() + j].record.stats.throughput * 1000.0
+                )
             })
             .collect();
-        table.push_row(name, row);
+        table.push_row(*name, row);
     }
     println!("{}", table.to_text());
     println!("{}", table.to_csv());
+    report.push_table(&table);
+    report.push_grid(grid);
+    report.emit(&args);
 }

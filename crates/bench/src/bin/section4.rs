@@ -2,19 +2,27 @@
 //! executions** through the timed executor and reports the violations
 //! each produces, plus the Theorem 3.6 tightness sweep on trees.
 //!
-//! Usage: `section4`.
+//! Usage: `section4 [--threads T] [--json PATH]` (the replays are
+//! deterministic; `--ops` and `--seed` are accepted but unused).
 
 use cnet_adversary::{
     bitonic_attack, intro_example, tree_attack, tree_attack_with_gap, wave_attack,
 };
+use cnet_harness::{BenchArgs, BenchReport, ResultTable};
 use cnet_timing::{measure, LinkTiming};
 
 fn main() {
+    let args = BenchArgs::parse("section4");
+    let mut report = BenchReport::new("section4", args.threads);
     println!("Section 1 & 4 adversarial executions\n");
 
     let timing = LinkTiming::new(10, 30).expect("valid timing"); // ratio 3
     println!("link timing: {timing}\n");
 
+    let mut scenario_table = ResultTable::new(
+        "adversarial executions (c2/c1 = 3; wave at ratio 5)",
+        &["depth", "tokens", "violations", "ratio"],
+    );
     let scenarios = [
         intro_example(timing).expect("ratio sufficient"),
         tree_attack(32, timing).expect("ratio sufficient"),
@@ -29,6 +37,15 @@ fn main() {
             s.schedule.len(),
             exec.nonlinearizable_count(),
             exec.nonlinearizable_ratio() * 100.0,
+        );
+        scenario_table.push_row(
+            s.name,
+            vec![
+                s.topology.depth().to_string(),
+                s.schedule.len().to_string(),
+                exec.nonlinearizable_count().to_string(),
+                format!("{:.2}%", exec.nonlinearizable_ratio() * 100.0),
+            ],
         );
     }
 
@@ -45,6 +62,16 @@ fn main() {
         exec.nonlinearizable_ratio() * 100.0,
         measure::bitonic_mass_violation_threshold(32),
     );
+    scenario_table.push_row(
+        s.name,
+        vec![
+            s.topology.depth().to_string(),
+            s.schedule.len().to_string(),
+            exec.nonlinearizable_count().to_string(),
+            format!("{:.2}%", exec.nonlinearizable_ratio() * 100.0),
+        ],
+    );
+    report.push_table(&scenario_table);
 
     // Tightness sweep: violations persist up to gap = h (c2 - 2 c1) - 1,
     // the edge of Theorem 3.6's guarantee.
@@ -55,6 +82,10 @@ fn main() {
         "  finish-start separation bound h(c2 - 2 c1) = {slack} \
          (Theorem 3.6 guarantees order beyond it)"
     );
+    let mut gap_table = ResultTable::new(
+        format!("Theorem 3.6 tightness, width-32 tree (bound {slack})"),
+        &["violations"],
+    );
     for gap in [1, slack / 4, slack / 2, slack - 1] {
         let exec = tree_attack_with_gap(32, timing, gap)
             .expect("gap below the bound")
@@ -64,6 +95,12 @@ fn main() {
             "  gap {gap:4} cycles after the witness exits -> {} violations",
             exec.nonlinearizable_count()
         );
+        gap_table.push_row(
+            format!("gap={gap}"),
+            vec![exec.nonlinearizable_count().to_string()],
+        );
     }
     println!("  gap {slack:4} -> refused: Theorem 3.6 guarantees linearization order");
+    report.push_table(&gap_table);
+    report.emit(&args);
 }

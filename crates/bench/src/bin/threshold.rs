@@ -4,13 +4,16 @@
 //! gap at which the straggler/wave family still violates and reports it
 //! as a fraction of the theoretical bound `h·c2 - 2·h·c1`.
 //!
-//! Usage: `threshold`.
+//! Usage: `threshold [--threads T] [--json PATH]` (the sweep is
+//! deterministic; `--ops` and `--seed` are accepted but unused).
 
-use cnet_bench::ResultTable;
+use cnet_harness::{pool, BenchArgs, BenchReport, ResultTable};
 use cnet_timing::{threshold, LinkTiming};
 use cnet_topology::constructions;
 
 fn main() {
+    let args = BenchArgs::parse("threshold");
+    let mut report = BenchReport::new("threshold", args.threads);
     let networks = [
         ("tree16", constructions::counting_tree(16).expect("valid")),
         ("tree32", constructions::counting_tree(32).expect("valid")),
@@ -27,22 +30,24 @@ fn main() {
         "largest violating gap / Theorem 3.6 bound (straggler-wave family)",
         &column_refs,
     );
-    for (name, net) in &networks {
-        let row: Vec<String> = ratios
-            .iter()
-            .map(|&(c1, c2)| {
-                let timing = LinkTiming::new(c1, c2).expect("valid timing");
-                let r = threshold::empirical_threshold(net, timing).expect("sweep");
-                match (r.max_violating_gap, r.tightness()) {
-                    (Some(g), Some(t)) => {
-                        format!("{g}/{} ({:.0}%)", r.theory_bound, t * 100.0)
-                    }
-                    _ => format!("none/{}", r.theory_bound),
-                }
-            })
-            .collect();
-        table.push_row(*name, row);
+    let cells = pool::run_indexed(networks.len() * ratios.len(), args.threads, |i| {
+        let (_, net) = &networks[i / ratios.len()];
+        let (c1, c2) = ratios[i % ratios.len()];
+        let timing = LinkTiming::new(c1, c2).expect("valid timing");
+        let r = threshold::empirical_threshold(net, timing).expect("sweep");
+        match (r.max_violating_gap, r.tightness()) {
+            (Some(g), Some(t)) => format!("{g}/{} ({:.0}%)", r.theory_bound, t * 100.0),
+            _ => format!("none/{}", r.theory_bound),
+        }
+    });
+    for (i, (name, _)) in networks.iter().enumerate() {
+        table.push_row(
+            *name,
+            cells[i * ratios.len()..(i + 1) * ratios.len()].to_vec(),
+        );
     }
     println!("{}", table.to_text());
     println!("{}", table.to_csv());
+    report.push_table(&table);
+    report.emit(&args);
 }

@@ -1,177 +1,27 @@
-//! The Section 5 experiment grid, shared by the figure binaries.
+//! The Section 5 experiment grid — now provided by [`cnet_harness`].
+//!
+//! The hand-rolled `run_grid` loop (which reused one PRNG seed for all
+//! 20 cells) was replaced by [`cnet_harness::Grid`], which derives a
+//! distinct seed per cell and runs cells over a deterministic worker
+//! pool. This module re-exports the grid surface under its old path.
 
-use cnet_proteus::{RunStats, SimConfig, Simulator, WaitMode, Workload};
-use cnet_topology::{constructions, Topology};
-
-use crate::{percent, ResultTable, PAPER_CONCURRENCY, PAPER_WAITS, PAPER_WIDTH};
-
-/// Which of the paper's two network implementations to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NetworkKind {
-    /// `Bitonic[32]` with queue-lock balancers.
-    Bitonic,
-    /// The width-32 diffracting tree (prism arrays + queue-lock
-    /// toggles).
-    DiffractingTree,
-}
-
-impl NetworkKind {
-    /// Human-readable label used in tables.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            NetworkKind::Bitonic => "Bitonic Counting Network",
-            NetworkKind::DiffractingTree => "Diffracting Tree",
-        }
-    }
-
-    /// Builds the width-32 network of this kind.
-    ///
-    /// # Panics
-    ///
-    /// Never panics: 32 is a valid width for both constructions.
-    #[must_use]
-    pub fn build(self, width: usize) -> Topology {
-        match self {
-            NetworkKind::Bitonic => constructions::bitonic(width).expect("valid width"),
-            NetworkKind::DiffractingTree => {
-                constructions::counting_tree(width).expect("valid width")
-            }
-        }
-    }
-
-    /// The simulator configuration the paper pairs with this network.
-    #[must_use]
-    pub fn config(self, seed: u64) -> SimConfig {
-        match self {
-            NetworkKind::Bitonic => SimConfig::queue_lock(seed),
-            NetworkKind::DiffractingTree => SimConfig::diffracting(seed),
-        }
-    }
-}
-
-/// One cell of the experiment grid.
-#[derive(Debug, Clone)]
-pub struct Cell {
-    /// Concurrency level `n`.
-    pub processors: usize,
-    /// Injected wait `W`.
-    pub wait_cycles: u64,
-    /// The full measurement for this cell.
-    pub stats: RunStats,
-}
-
-/// Runs the full `(W, n)` grid of Figures 5/6 for one network kind and
-/// delayed fraction `F` (percent), with `total_ops` operations per cell
-/// (the paper used 5000).
-#[must_use]
-pub fn run_grid(kind: NetworkKind, delayed_percent: u32, total_ops: usize, seed: u64) -> Vec<Cell> {
-    let net = kind.build(PAPER_WIDTH);
-    let mut cells = Vec::new();
-    for &wait_cycles in &PAPER_WAITS {
-        for &processors in &PAPER_CONCURRENCY {
-            let workload = Workload {
-                processors,
-                delayed_percent,
-                wait_cycles,
-                total_ops,
-                wait_mode: WaitMode::Fixed,
-            };
-            let stats = Simulator::new(&net, kind.config(seed)).run(&workload);
-            cells.push(Cell {
-                processors,
-                wait_cycles,
-                stats,
-            });
-        }
-    }
-    cells
-}
-
-/// Formats a grid as a non-linearizability-ratio table (Figures 5/6):
-/// one row per `W`, one column per `n`.
-#[must_use]
-pub fn ratio_table(title: &str, cells: &[Cell]) -> ResultTable {
-    let columns: Vec<String> = PAPER_CONCURRENCY.iter().map(|n| format!("n={n}")).collect();
-    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-    let mut table = ResultTable::new(title, &column_refs);
-    for &w in &PAPER_WAITS {
-        let row: Vec<String> = PAPER_CONCURRENCY
-            .iter()
-            .map(|&n| {
-                let cell = cells
-                    .iter()
-                    .find(|c| c.processors == n && c.wait_cycles == w)
-                    .expect("full grid");
-                percent(cell.stats.nonlinearizable_ratio())
-            })
-            .collect();
-        table.push_row(format!("W={w}"), row);
-    }
-    table
-}
-
-/// Formats a grid as an average-`c2/c1` table (Figure 7).
-#[must_use]
-pub fn average_ratio_table(title: &str, cells: &[Cell]) -> ResultTable {
-    let columns: Vec<String> = PAPER_CONCURRENCY.iter().map(|n| format!("n={n}")).collect();
-    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-    let mut table = ResultTable::new(title, &column_refs);
-    for &w in &PAPER_WAITS {
-        let row: Vec<String> = PAPER_CONCURRENCY
-            .iter()
-            .map(|&n| {
-                let cell = cells
-                    .iter()
-                    .find(|c| c.processors == n && c.wait_cycles == w)
-                    .expect("full grid");
-                format!("{:.2}", cell.stats.average_ratio(w))
-            })
-            .collect();
-        table.push_row(format!("W={w}"), row);
-    }
-    table
-}
-
-/// Parses an optional `--ops N` CLI argument (default: the paper's
-/// 5000) so CI and quick runs can shrink the experiment.
-#[must_use]
-pub fn ops_from_args() -> usize {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--ops" {
-            if let Some(v) = args.next() {
-                if let Ok(n) = v.parse() {
-                    return n;
-                }
-            }
-        }
-    }
-    5000
-}
+pub use cnet_harness::{run_jobs, run_jobs_report, CellRun, Grid, GridOutcome, Job, NetworkKind};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn grid_covers_all_cells_quickly() {
-        let cells = run_grid(NetworkKind::Bitonic, 50, 50, 1);
-        assert_eq!(cells.len(), PAPER_WAITS.len() * PAPER_CONCURRENCY.len());
-        for c in &cells {
+    fn paper_grid_matches_the_old_run_grid_shape() {
+        let grid = Grid::paper(NetworkKind::Bitonic, 50, 50, 1);
+        let outcome = grid.run(1);
+        assert_eq!(outcome.cells.len(), 20);
+        for c in &outcome.cells {
             assert_eq!(c.stats.operations.len(), 50);
         }
-        let t = ratio_table("t", &cells);
+        let t = outcome.ratio_table("t");
         assert!(t.to_text().contains("W=100000"));
-        let t = average_ratio_table("t", &cells);
+        let t = outcome.average_ratio_table("t");
         assert!(t.to_csv().contains("n=256"));
-    }
-
-    #[test]
-    fn kinds_build_their_networks() {
-        assert_eq!(NetworkKind::Bitonic.build(8).depth(), 6);
-        assert_eq!(NetworkKind::DiffractingTree.build(8).depth(), 3);
-        assert!(NetworkKind::Bitonic.config(0).prism.is_none());
-        assert!(NetworkKind::DiffractingTree.config(0).prism.is_some());
     }
 }

@@ -1,10 +1,11 @@
-//! Shared harness utilities for the figure/table regenerator binaries.
+//! The figure/table regenerator binaries for the paper's evaluation.
 //!
-//! Every table and figure of the paper's evaluation has a binary in
-//! `src/bin/` that re-runs the corresponding experiment on the
-//! `cnet-proteus` simulator and prints the measured series both as an
+//! Every table and figure has a binary in `src/bin/` that re-runs the
+//! corresponding experiment on the `cnet-proteus` simulator through the
+//! shared [`cnet_harness`] crate and prints the measured series as an
 //! aligned text table (the shape-comparison artifact recorded in
-//! EXPERIMENTS.md) and as CSV (for external plotting):
+//! EXPERIMENTS.md) and as CSV (for external plotting), while writing a
+//! machine-readable JSON report into `results/`:
 //!
 //! * `figure5` — non-linearizability ratios, `F = 25%`;
 //! * `figure6` — non-linearizability ratios, `F = 50%`;
@@ -13,140 +14,32 @@
 //!   `W = 0`, plus uniform-random waits): all expected violation-free;
 //! * `section4` — the adversarial executions of Section 4 replayed
 //!   through the timed executor.
+//!
+//! All binaries share the harness flag surface:
+//! `--ops N --seed S --threads T --json PATH`.
+//!
+//! The sweep machinery itself (grids, the worker pool, records, the
+//! `ResultTable` renderer) lives in [`cnet_harness`]; this crate
+//! re-exports the pieces the binaries use so older code keeps
+//! compiling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 
-use std::fmt::Write as _;
-
-/// A rectangular results table with row and column labels, rendered as
-/// aligned text or CSV.
-#[derive(Debug, Clone)]
-pub struct ResultTable {
-    title: String,
-    column_labels: Vec<String>,
-    rows: Vec<(String, Vec<String>)>,
-}
-
-impl ResultTable {
-    /// Creates an empty table titled `title` with the given column
-    /// labels (the row-label column is implicit).
-    #[must_use]
-    pub fn new(title: impl Into<String>, column_labels: &[&str]) -> Self {
-        ResultTable {
-            title: title.into(),
-            column_labels: column_labels.iter().map(|s| (*s).to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row of already formatted cells.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the number of cells differs from the number of column
-    /// labels.
-    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.column_labels.len(),
-            "row width must match the column labels"
-        );
-        self.rows.push((label.into(), cells));
-    }
-
-    /// Renders an aligned text table.
-    #[must_use]
-    pub fn to_text(&self) -> String {
-        let mut widths: Vec<usize> = self.column_labels.iter().map(String::len).collect();
-        let mut label_width = 0;
-        for (label, cells) in &self.rows {
-            label_width = label_width.max(label.len());
-            for (i, c) in cells.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let mut out = String::new();
-        let _ = writeln!(out, "# {}", self.title);
-        let _ = write!(out, "{:label_width$}", "");
-        for (i, l) in self.column_labels.iter().enumerate() {
-            let _ = write!(out, "  {:>w$}", l, w = widths[i]);
-        }
-        out.push('\n');
-        for (label, cells) in &self.rows {
-            let _ = write!(out, "{label:label_width$}");
-            for (i, c) in cells.iter().enumerate() {
-                let _ = write!(out, "  {:>w$}", c, w = widths[i]);
-            }
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Renders RFC-4180-ish CSV with the title as a comment line.
-    #[must_use]
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "# {}", self.title);
-        let _ = writeln!(out, "row,{}", self.column_labels.join(","));
-        for (label, cells) in &self.rows {
-            let _ = writeln!(out, "{label},{}", cells.join(","));
-        }
-        out
-    }
-}
-
-/// Formats a ratio as a percentage with two decimals ("1.23%").
-#[must_use]
-pub fn percent(ratio: f64) -> String {
-    format!("{:.2}%", ratio * 100.0)
-}
-
-/// The concurrency levels used throughout the paper's Section 5.
-pub const PAPER_CONCURRENCY: [usize; 5] = [4, 16, 64, 128, 256];
-
-/// The wait values `W` used throughout the paper's Section 5.
-pub const PAPER_WAITS: [u64; 4] = [100, 1000, 10_000, 100_000];
-
-/// The network width used in the paper's Section 5.
-pub const PAPER_WIDTH: usize = 32;
+pub use cnet_harness::{percent, ResultTable, PAPER_CONCURRENCY, PAPER_WAITS, PAPER_WIDTH};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn table_renders_aligned_text() {
-        let mut t = ResultTable::new("demo", &["n=4", "n=16"]);
-        t.push_row("W=100", vec!["0.00%".into(), "1.23%".into()]);
-        t.push_row("W=1000", vec!["4.5%".into(), "0.1%".into()]);
-        let text = t.to_text();
-        assert!(text.contains("# demo"));
-        assert!(text.contains("n=4"));
-        assert!(text.contains("W=1000"));
-    }
-
-    #[test]
-    fn table_renders_csv() {
-        let mut t = ResultTable::new("demo", &["a", "b"]);
-        t.push_row("r1", vec!["1".into(), "2".into()]);
-        let csv = t.to_csv();
-        assert!(csv.contains("row,a,b"));
-        assert!(csv.contains("r1,1,2"));
-    }
-
-    #[test]
-    #[should_panic(expected = "row width")]
-    fn mismatched_row_panics() {
-        let mut t = ResultTable::new("demo", &["a"]);
-        t.push_row("r", vec!["1".into(), "2".into()]);
-    }
-
-    #[test]
-    fn percent_formatting() {
-        assert_eq!(percent(0.0), "0.00%");
+    fn reexports_resolve_to_the_harness() {
         assert_eq!(percent(0.1234), "12.34%");
+        assert_eq!(PAPER_CONCURRENCY.len() * PAPER_WAITS.len(), 20);
+        assert_eq!(PAPER_WIDTH, 32);
+        let t = ResultTable::new("t", &["a"]);
+        assert_eq!(t.title(), "t");
     }
 }

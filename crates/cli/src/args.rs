@@ -57,6 +57,7 @@ pub struct ParsedArgs {
 /// `--` is a boolean flag.
 const VALUED: &[&str] = &[
     "c1", "c2", "n", "f", "w", "ops", "seed", "pad", "arity", "width", "tokens", "budget",
+    "threads", "json",
 ];
 
 impl ParsedArgs {
@@ -128,6 +129,12 @@ impl ParsedArgs {
         self.positional.get(i).map(String::as_str)
     }
 
+    /// An optional string-valued option (e.g. `--json <path>`).
+    #[must_use]
+    pub fn str_opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
     /// Whether a boolean flag was passed.
     #[must_use]
     pub fn flag(&self, name: &str) -> bool {
@@ -183,5 +190,13 @@ mod tests {
     fn optional_absent_is_none() {
         let a = ParsedArgs::parse(&[]).unwrap();
         assert_eq!(a.u64_opt("seed").unwrap(), None);
+    }
+
+    #[test]
+    fn json_and_threads_take_values() {
+        let a = ParsedArgs::parse(&strs(&["--json", "out.json", "--threads", "4"])).unwrap();
+        assert_eq!(a.str_opt("json"), Some("out.json"));
+        assert_eq!(a.u64_opt("threads").unwrap(), Some(4));
+        assert_eq!(a.str_opt("absent"), None);
     }
 }

@@ -7,10 +7,12 @@ use cnet_adversary::{
     bitonic_attack, intro_example, search_violations, tree_attack, wave_attack, Scenario,
     SearchConfig,
 };
-use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_harness::{run_jobs_report, Job};
+use cnet_proteus::{SimConfig, WaitMode, Workload};
 use cnet_timing::executor::TimedExecutor;
 use cnet_timing::{interleave, io, measure, render, threshold as thresh, LinkTiming};
 use cnet_topology::{constructions, Topology};
+use serde::{Serialize as _, Value};
 
 use crate::args::{CliError, ParsedArgs};
 
@@ -51,6 +53,14 @@ fn build_network(args: &ParsedArgs) -> Result<Topology, CliError> {
 
 fn link_timing(args: &ParsedArgs) -> Result<LinkTiming, CliError> {
     LinkTiming::new(args.required_u64("c1")?, args.required_u64("c2")?).map_err(CliError::failed)
+}
+
+/// Writes a serde value as pretty JSON when `--json <path>` was given.
+fn write_json(args: &ParsedArgs, value: &Value) -> Result<(), CliError> {
+    if let Some(path) = args.str_opt("json") {
+        std::fs::write(path, serde::json::to_string_pretty(value)).map_err(CliError::failed)?;
+    }
+    Ok(())
 }
 
 /// `cnet topo` — describe a network, optionally as Graphviz DOT.
@@ -115,10 +125,41 @@ pub fn measure(args: &ParsedArgs) -> Result<String, CliError> {
             )
         );
     }
+    let mut fields = vec![
+        ("depth".to_string(), h.to_value()),
+        ("c1".to_string(), timing.c1().to_value()),
+        ("c2".to_string(), timing.c2().to_value()),
+        (
+            "guarantees_linearizability".to_string(),
+            timing.guarantees_linearizability().to_value(),
+        ),
+    ];
+    if !timing.guarantees_linearizability() {
+        let k = timing.min_integer_k() as usize;
+        fields.push((
+            "finish_start_separation".to_string(),
+            measure::finish_start_separation(h, timing).to_value(),
+        ));
+        fields.push((
+            "start_start_separation".to_string(),
+            measure::start_start_separation(h, timing).to_value(),
+        ));
+        fields.push((
+            "corollary_3_12_padding".to_string(),
+            measure::corollary_3_12_padding(h, k).to_value(),
+        ));
+        fields.push((
+            "corollary_3_12_depth".to_string(),
+            measure::corollary_3_12_depth(h, k).to_value(),
+        ));
+    }
+    write_json(args, &Value::Object(fields))?;
     Ok(out)
 }
 
-/// `cnet simulate` — one Section 5 cell on the simulator.
+/// `cnet simulate` — one Section 5 cell on the simulator, run through
+/// the shared experiment harness (so `--json` emits the same
+/// `GridReport` shape as the bench binaries).
 pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
     let net = build_network(args)?;
     let workload = Workload {
@@ -138,10 +179,29 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         SimConfig::queue_lock(seed)
     };
-    let stats = Simulator::new(&net, config).run(&workload);
+    let threads = args.u64_opt("threads")?.unwrap_or(1) as usize;
+    let job = Job {
+        label: format!(
+            "n={},F={}%,W={}",
+            workload.processors, workload.delayed_percent, workload.wait_cycles
+        ),
+        kind: args.positional(0, "kind")?.to_string(),
+        net: 0,
+        config,
+        workload,
+    };
+    let (cells, grid) = run_jobs_report(
+        "cnet simulate",
+        seed,
+        std::slice::from_ref(&net),
+        std::slice::from_ref(&job),
+        threads,
+    );
+    let stats = &cells[0].stats;
     if let Some(path) = args.positional_opt(2) {
         std::fs::write(path, io::operations_to_csv(&stats.operations)).map_err(CliError::failed)?;
     }
+    write_json(args, &grid.to_value())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -307,6 +367,17 @@ pub fn threshold(args: &ParsedArgs) -> Result<String, CliError> {
             );
         }
     }
+    write_json(
+        args,
+        &Value::Object(vec![
+            ("theory_bound".to_string(), report.theory_bound.to_value()),
+            (
+                "max_violating_gap".to_string(),
+                report.max_violating_gap.to_value(),
+            ),
+            ("tightness".to_string(), report.tightness().to_value()),
+        ]),
+    )?;
     Ok(out)
 }
 
@@ -515,6 +586,82 @@ mod extra_tests {
         let out =
             interleave_cmd(&parse(&["single", "2", "--tokens", "3", "--budget", "5"])).unwrap();
         assert!(out.contains("budget reached"));
+    }
+
+    #[test]
+    fn simulate_writes_json_report_and_matches_across_threads() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim.json");
+        let mut outputs = Vec::new();
+        for threads in ["1", "4"] {
+            let out = simulate(&parse(&[
+                "bitonic",
+                "8",
+                "--n",
+                "8",
+                "--f",
+                "50",
+                "--w",
+                "100",
+                "--ops",
+                "100",
+                "--threads",
+                threads,
+                "--json",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1], "thread count changes nothing");
+        let v = serde::json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v.get("title"), Some(&Value::Str("cnet simulate".into())));
+        let records = match v.get("records") {
+            Some(Value::Array(r)) => r,
+            other => panic!("records array expected, got {other:?}"),
+        };
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn measure_and_threshold_write_json() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mpath = dir.join("measure.json");
+        measure(&parse(&[
+            "bitonic",
+            "8",
+            "--c1",
+            "10",
+            "--c2",
+            "35",
+            "--json",
+            mpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let v = serde::json::from_str(&std::fs::read_to_string(&mpath).unwrap()).unwrap();
+        assert_eq!(
+            v.get("guarantees_linearizability"),
+            Some(&Value::Bool(false))
+        );
+        assert!(v.get("corollary_3_12_padding").is_some());
+
+        let tpath = dir.join("threshold.json");
+        threshold(&parse(&[
+            "tree",
+            "16",
+            "--c1",
+            "10",
+            "--c2",
+            "30",
+            "--json",
+            tpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let v = serde::json::from_str(&std::fs::read_to_string(&tpath).unwrap()).unwrap();
+        assert_eq!(v.get("theory_bound"), Some(&Value::Uint(40)));
+        assert!(v.get("max_violating_gap").is_some());
     }
 
     #[test]

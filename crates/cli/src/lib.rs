@@ -6,10 +6,10 @@
 //!
 //! ```text
 //! cnet topo <kind> <width> [--pad N] [--arity D] [--dot]
-//! cnet measure <kind> <width> --c1 C1 --c2 C2
-//! cnet simulate <kind> <width> --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S]
+//! cnet measure <kind> <width> --c1 C1 --c2 C2 [--json PATH]
+//! cnet simulate <kind> <width> --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S] [--threads T] [--json PATH]
 //! cnet attack <intro|tree|bitonic|wave> --width W --c1 C1 --c2 C2 [--svg]
-//! cnet threshold <kind> <width> --c1 C1 --c2 C2
+//! cnet threshold <kind> <width> --c1 C1 --c2 C2 [--json PATH]
 //! cnet check <trace.csv>
 //! cnet run-schedule <kind> <width> <schedule.csv> [--svg]
 //! ```
@@ -63,10 +63,10 @@ pub fn usage() -> String {
 
 usage:
   cnet topo <kind> <width> [--pad N] [--arity D] [--dot]
-  cnet measure <kind> <width> --c1 C1 --c2 C2
-  cnet simulate <kind> <width> [trace.csv] --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S]
+  cnet measure <kind> <width> --c1 C1 --c2 C2 [--json PATH]
+  cnet simulate <kind> <width> [trace.csv] --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S] [--threads T] [--json PATH]
   cnet attack <intro|tree|bitonic|wave> --width W --c1 C1 --c2 C2 [--svg]
-  cnet threshold <kind> <width> --c1 C1 --c2 C2
+  cnet threshold <kind> <width> --c1 C1 --c2 C2 [--json PATH]
   cnet interleave <kind> <width> [--tokens N] [--budget N]
   cnet search <kind> <width> --c1 C1 --c2 C2 [--tokens N] [--budget N]
   cnet verify <kind> <width> [--budget N]

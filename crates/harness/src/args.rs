@@ -1,0 +1,164 @@
+//! The uniform flag surface of every bench binary:
+//! `--ops N --seed S --threads T --json PATH`.
+//!
+//! Replaces the ad-hoc `ops_from_args` parser each binary used to
+//! carry. Unknown arguments are errors, so typos fail loudly instead of
+//! silently running the default experiment.
+
+use std::path::PathBuf;
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    bin: String,
+    /// Operations per cell (`--ops`, default 5000 — the paper's count).
+    pub ops: usize,
+    /// Base-seed override (`--seed`); each binary supplies its
+    /// published default via [`BenchArgs::base_seed`].
+    pub seed: Option<u64>,
+    /// Worker threads (`--threads`, default 1). Any value produces the
+    /// same measurements; more threads only change wall-clock.
+    pub threads: usize,
+    /// JSON report destination (`--json`). When absent, the report goes
+    /// to `results/BENCH_<bin>.json` if `results/` exists.
+    pub json: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments for the binary named `bin`.
+    ///
+    /// On a malformed invocation, prints the usage line to stderr and
+    /// exits with status 2.
+    #[must_use]
+    pub fn parse(bin: &str) -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_from(bin, &raw) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{bin}: {msg}");
+                eprintln!("usage: {bin} [--ops N] [--seed S] [--threads T] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`BenchArgs::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on unknown arguments, missing values, or
+    /// non-numeric numbers.
+    pub fn parse_from(bin: &str, raw: &[String]) -> Result<Self, String> {
+        let mut args = BenchArgs {
+            bin: bin.to_string(),
+            ops: 5000,
+            seed: None,
+            threads: 1,
+            json: None,
+        };
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} needs a value"))
+            };
+            match a.as_str() {
+                "--ops" => args.ops = parse_num("ops", &value("ops")?)?,
+                "--seed" => args.seed = Some(parse_num("seed", &value("seed")?)?),
+                "--threads" => {
+                    args.threads = parse_num::<usize>("threads", &value("threads")?)?.max(1);
+                }
+                "--json" => args.json = Some(PathBuf::from(value("json")?)),
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(args)
+    }
+
+    /// The experiment base seed: the `--seed` override, or the binary's
+    /// published default.
+    #[must_use]
+    pub fn base_seed(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Where the JSON report should go: the `--json` override, or
+    /// `results/BENCH_<bin>.json` when a `results/` directory exists in
+    /// the working directory, or nowhere.
+    #[must_use]
+    pub fn json_path(&self) -> Option<PathBuf> {
+        if let Some(p) = &self.json {
+            return Some(p.clone());
+        }
+        let results = PathBuf::from("results");
+        results
+            .is_dir()
+            .then(|| results.join(format!("BENCH_{}.json", self.bin)))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("--{name} expects a number, got `{v}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = BenchArgs::parse_from("figure5", &[]).unwrap();
+        assert_eq!(a.ops, 5000);
+        assert_eq!(a.threads, 1);
+        assert_eq!(a.seed, None);
+        assert_eq!(a.base_seed(0xF165), 0xF165);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = BenchArgs::parse_from(
+            "figure5",
+            &strs(&[
+                "--ops",
+                "200",
+                "--seed",
+                "7",
+                "--threads",
+                "4",
+                "--json",
+                "out.json",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(a.ops, 200);
+        assert_eq!(a.base_seed(0xF165), 7);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.json_path(), Some(PathBuf::from("out.json")));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let a = BenchArgs::parse_from("x", &strs(&["--threads", "0"])).unwrap();
+        assert_eq!(a.threads, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(BenchArgs::parse_from("x", &strs(&["--opps", "5"]))
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(BenchArgs::parse_from("x", &strs(&["--ops"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(BenchArgs::parse_from("x", &strs(&["--ops", "many"]))
+            .unwrap_err()
+            .contains("expects a number"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The experiment harness shared by every figure/table binary and the
+//! CLI's simulation paths.
+//!
+//! The harness owns the four concerns the runners used to hand-roll:
+//!
+//! * **grids** — a declarative [`Grid`] (or an explicit [`Job`] list)
+//!   describing a parameter sweep, with each cell's PRNG seed derived
+//!   from the experiment base seed and the cell coordinates
+//!   ([`seed::derive_seed`]), so no two cells share a jitter stream;
+//! * **parallel execution** — [`pool::run_indexed`] fans cells out over
+//!   a bounded `std::thread::scope` worker pool and merges results back
+//!   into submission order, so a grid's measurements are identical for
+//!   any `--threads` value (wall-clock timings are the one exception);
+//! * **records** — serde-serializable [`RunRecord`]/[`GridReport`]
+//!   summaries of every cell, with per-cell wall-clock, emitted as JSON
+//!   next to the aligned-text/CSV tables;
+//! * **uniform flags** — [`BenchArgs`] gives every binary the same
+//!   `--ops`, `--seed`, `--threads`, `--json <path>` surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod grid;
+pub mod pool;
+pub mod record;
+pub mod report;
+pub mod seed;
+pub mod table;
+
+pub use args::BenchArgs;
+pub use grid::{run_jobs, run_jobs_report, CellRun, Grid, GridOutcome, Job, NetworkKind};
+pub use record::{GridReport, RunRecord};
+pub use report::BenchReport;
+pub use seed::{derive_cell_seed, derive_seed};
+pub use table::{percent, ResultTable};
+
+/// The concurrency levels used throughout the paper's Section 5.
+pub const PAPER_CONCURRENCY: [usize; 5] = [4, 16, 64, 128, 256];
+
+/// The wait values `W` used throughout the paper's Section 5.
+pub const PAPER_WAITS: [u64; 4] = [100, 1000, 10_000, 100_000];
+
+/// The network width used in the paper's Section 5.
+pub const PAPER_WIDTH: usize = 32;

@@ -1,0 +1,105 @@
+//! A bounded, deterministic fork-join pool.
+//!
+//! Workers pull item indices from a shared atomic counter, tag each
+//! result with its index, and the caller merges everything back into
+//! submission order — so the returned vector is bitwise-identical to a
+//! sequential run no matter how many threads executed it or how the
+//! scheduler interleaved them. (Measurements *derived from wall-clock
+//! inside the items* still vary, of course; the harness confines those
+//! to the records' `wall_ms` fields.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(0..count)` on up to `threads` scoped workers and returns the
+/// results in index order.
+///
+/// `threads <= 1` (or a single item) degrades to a plain sequential
+/// loop on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_indexed<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.max(1).min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("harness worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    for (i, r) in parts.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_indexed(100, threads, |i| i * i);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_oversubscribed() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(2, 64, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn workers_actually_share_the_items() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let out = run_indexed(50, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "harness worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = run_indexed(8, 2, |i| {
+            assert!(i != 5, "boom");
+            i
+        });
+    }
+}

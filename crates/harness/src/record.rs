@@ -1,0 +1,192 @@
+//! Serializable run records: one [`RunRecord`] per executed cell, one
+//! [`GridReport`] per sweep.
+
+use cnet_proteus::{RunStats, StatsSummary, Workload};
+use serde::impl_serde_struct;
+
+/// The serializable summary of one simulator run (one grid cell or one
+/// standalone simulation).
+///
+/// Every field except `wall_ms` is a pure function of the cell
+/// parameters and the seed — that set is the harness's determinism
+/// guarantee, and what the byte-identity tests compare. `wall_ms` is
+/// host wall-clock and varies run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Cell label within its sweep (e.g. `"W=100,n=4"` or `"cs=10"`).
+    pub label: String,
+    /// Network description (e.g. `"Bitonic Counting Network"`).
+    pub kind: String,
+    /// Concurrency `n`.
+    pub processors: usize,
+    /// Delayed fraction `F` in percent.
+    pub delayed_percent: u32,
+    /// Injected wait `W` in cycles.
+    pub wait_cycles: u64,
+    /// Requested operations.
+    pub total_ops: usize,
+    /// The derived per-cell seed the simulator ran with.
+    pub seed: u64,
+    /// The run's scalar measurements.
+    pub stats: StatsSummary,
+    /// Host wall-clock spent simulating this cell, in milliseconds.
+    /// Excluded from the determinism guarantee.
+    pub wall_ms: f64,
+}
+
+impl_serde_struct!(RunRecord {
+    label,
+    kind,
+    processors,
+    delayed_percent,
+    wait_cycles,
+    total_ops,
+    seed,
+    stats,
+    wall_ms,
+});
+
+impl RunRecord {
+    /// Builds a record from a finished run.
+    #[must_use]
+    pub fn measure(
+        label: impl Into<String>,
+        kind: impl Into<String>,
+        workload: &Workload,
+        seed: u64,
+        stats: &RunStats,
+        wall_ms: f64,
+    ) -> Self {
+        RunRecord {
+            label: label.into(),
+            kind: kind.into(),
+            processors: workload.processors,
+            delayed_percent: workload.delayed_percent,
+            wait_cycles: workload.wait_cycles,
+            total_ops: workload.total_ops,
+            seed,
+            stats: stats.summary(workload.wait_cycles),
+            wall_ms,
+        }
+    }
+
+    /// The record with its wall-clock field zeroed — the canonical form
+    /// the determinism tests compare across thread counts.
+    #[must_use]
+    pub fn canonical(&self) -> Self {
+        RunRecord {
+            wall_ms: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
+/// The serializable report of one sweep: the sweep identity plus every
+/// cell's [`RunRecord`] in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridReport {
+    /// Sweep title (matches the printed table title).
+    pub title: String,
+    /// Base seed the cell seeds were derived from.
+    pub base_seed: u64,
+    /// Worker threads the sweep ran with (does not affect any record
+    /// field except `wall_ms`).
+    pub threads: usize,
+    /// Host wall-clock for the whole sweep, in milliseconds.
+    pub wall_ms: f64,
+    /// Per-cell records, in submission order.
+    pub records: Vec<RunRecord>,
+}
+
+impl_serde_struct!(GridReport {
+    title,
+    base_seed,
+    threads,
+    wall_ms,
+    records,
+});
+
+impl GridReport {
+    /// The report with all wall-clock fields and the thread count
+    /// zeroed — equal across `--threads` values iff the sweep is
+    /// deterministic.
+    #[must_use]
+    pub fn canonical(&self) -> Self {
+        GridReport {
+            threads: 0,
+            wall_ms: 0.0,
+            records: self.records.iter().map(RunRecord::canonical).collect(),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize as _, Serialize as _};
+
+    fn record(label: &str, wall_ms: f64) -> RunRecord {
+        let stats = RunStats {
+            operations: vec![],
+            completed_by: vec![],
+            output_counts: cnet_topology::OutputCounts::zeros(2),
+            sim_time: 10,
+            toggle_count: 2,
+            toggle_wait_total: 20,
+            diffraction_pairs: 0,
+            node_visits: 2,
+            node_wait_total: 20,
+            max_lock_queue: 1,
+        };
+        RunRecord::measure(
+            label,
+            "Bitonic Counting Network",
+            &Workload::paper(4, 25, 100),
+            42,
+            &stats,
+            wall_ms,
+        )
+    }
+
+    #[test]
+    fn run_record_serde_round_trip() {
+        let r = record("W=100,n=4", 1.25);
+        let text = serde::json::to_string_pretty(&r.to_value());
+        let back = RunRecord::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn grid_report_serde_round_trip() {
+        let g = GridReport {
+            title: "Figure 5".to_string(),
+            base_seed: 0xF165,
+            threads: 4,
+            wall_ms: 12.5,
+            records: vec![record("W=100,n=4", 1.0), record("W=100,n=16", 2.0)],
+        };
+        let text = serde::json::to_string(&g.to_value());
+        let back = GridReport::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn canonical_strips_timing_only() {
+        let a = GridReport {
+            title: "t".to_string(),
+            base_seed: 1,
+            threads: 1,
+            wall_ms: 5.0,
+            records: vec![record("c", 1.0)],
+        };
+        let b = GridReport {
+            threads: 8,
+            wall_ms: 9.0,
+            records: vec![record("c", 7.0)],
+            ..a.clone()
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+    }
+}

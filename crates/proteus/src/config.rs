@@ -1,6 +1,6 @@
 //! Simulator and workload configuration.
 
-use serde::{Deserialize, Serialize};
+use serde::{impl_serde_struct, impl_serde_unit_enum, Deserialize, Error, Serialize, Value};
 
 /// Configuration of the prism (diffraction) arrays placed in front of
 /// tree balancers, per Shavit and Zemach.
@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// arriving one output 1 — without touching the toggle bit. Otherwise
 /// the processor waits in the slot for `spin_window` cycles and, if
 /// nobody arrives, falls through to the balancer's queue-lock toggle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrismConfig {
     /// Prism slots at the root (layer 1). Deeper layers halve this
     /// (minimum 1), matching the narrowing traffic down the tree.
@@ -22,6 +22,12 @@ pub struct PrismConfig {
     /// Cycles a colliding pair spends completing the diffraction.
     pub pair_cost: u64,
 }
+
+impl_serde_struct!(PrismConfig {
+    root_slots,
+    spin_window,
+    pair_cost,
+});
 
 impl PrismConfig {
     /// The number of slots at a 1-based tree layer: `root_slots`
@@ -44,7 +50,7 @@ impl Default for PrismConfig {
 
 /// Where balancers, counters, and processors live on the simulated
 /// machine, which determines wire-traversal distances.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Placement {
     /// Distances are ignored: every wire costs `link_cost` (+ jitter).
     /// This is the calibration the Figure 5–7 runs use.
@@ -63,8 +69,45 @@ pub enum Placement {
     },
 }
 
+// `Placement` has a struct variant, so the derive-replacement macros do
+// not cover it; the encoding is `"Uniform"` or
+// `{"Mesh": {"side": …, "per_hop": …}}`, matching serde's externally
+// tagged default.
+impl Serialize for Placement {
+    fn to_value(&self) -> Value {
+        match self {
+            Placement::Uniform => Value::Str("Uniform".to_string()),
+            Placement::Mesh { side, per_hop } => Value::Object(vec![(
+                "Mesh".to_string(),
+                Value::Object(vec![
+                    ("side".to_string(), side.to_value()),
+                    ("per_hop".to_string(), per_hop.to_value()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for Placement {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s == "Uniform" => Ok(Placement::Uniform),
+            Value::Object(_) => {
+                let mesh = v
+                    .get("Mesh")
+                    .ok_or_else(|| Error::new("expected a `Mesh` placement object"))?;
+                Ok(Placement::Mesh {
+                    side: mesh.field("side")?,
+                    per_hop: mesh.field("per_hop")?,
+                })
+            }
+            other => Err(Error::new(format!("unknown Placement: {other:?}"))),
+        }
+    }
+}
+
 /// Machine-model parameters of the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Cycles for a token to traverse the wire between two nodes (a
     /// shared-memory access on the simulated machine). This is the
@@ -92,6 +135,16 @@ pub struct SimConfig {
     /// PRNG seed (prism slot choices, random waits).
     pub seed: u64,
 }
+
+impl_serde_struct!(SimConfig {
+    link_cost,
+    link_jitter,
+    toggle_cost,
+    counter_cost,
+    prism,
+    placement,
+    seed,
+});
 
 impl SimConfig {
     /// Plain queue-lock balancers (the paper's bitonic configuration).
@@ -130,7 +183,7 @@ impl SimConfig {
 }
 
 /// How injected delays are applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WaitMode {
     /// The benchmark of Figures 5–7: each *delayed* processor waits
     /// exactly `W` cycles after traversing each node; the others never
@@ -141,8 +194,13 @@ pub enum WaitMode {
     UniformRandom,
 }
 
+impl_serde_unit_enum!(WaitMode {
+    Fixed,
+    UniformRandom
+});
+
 /// The Section 5 benchmark workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Workload {
     /// Number of simulated processors `n`.
     pub processors: usize,
@@ -157,6 +215,14 @@ pub struct Workload {
     /// Fixed per-processor delays or uniform random delays.
     pub wait_mode: WaitMode,
 }
+
+impl_serde_struct!(Workload {
+    processors,
+    delayed_percent,
+    wait_cycles,
+    total_ops,
+    wait_mode,
+});
 
 impl Workload {
     /// The paper's exact benchmark shape: `n` processors, `F`% delayed
@@ -218,5 +284,29 @@ mod tests {
     fn config_presets() {
         assert!(SimConfig::queue_lock(0).prism.is_none());
         assert!(SimConfig::diffracting(0).prism.is_some());
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let mut cfg = SimConfig::diffracting(42);
+        cfg.placement = Placement::Mesh {
+            side: 16,
+            per_hop: 3,
+        };
+        assert_eq!(SimConfig::from_value(&cfg.to_value()).unwrap(), cfg);
+
+        let plain = SimConfig::queue_lock(7);
+        let text = serde::json::to_string(&plain.to_value());
+        let parsed = SimConfig::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed, plain);
+    }
+
+    #[test]
+    fn workload_serde_round_trip() {
+        let w = Workload {
+            wait_mode: WaitMode::UniformRandom,
+            ..Workload::paper(64, 50, 1000)
+        };
+        assert_eq!(Workload::from_value(&w.to_value()).unwrap(), w);
     }
 }

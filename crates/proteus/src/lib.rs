@@ -60,4 +60,4 @@ mod stats;
 
 pub use config::{Placement, PrismConfig, SimConfig, WaitMode, Workload};
 pub use sim::Simulator;
-pub use stats::RunStats;
+pub use stats::{RunStats, StatsSummary};

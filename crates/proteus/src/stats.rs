@@ -138,7 +138,85 @@ impl RunStats {
         }
         self.operations.len() as f64 / self.sim_time as f64
     }
+
+    /// The serializable scalar summary of this run: every headline
+    /// number, none of the per-operation trace. `wait_cycles` is the
+    /// workload's `W`, needed for the Figure 7 ratio.
+    #[must_use]
+    pub fn summary(&self, wait_cycles: u64) -> StatsSummary {
+        StatsSummary {
+            completed_ops: self.operations.len(),
+            sim_time: self.sim_time,
+            nonlinearizable: self.nonlinearizable_count(),
+            nonlinearizable_ratio: self.nonlinearizable_ratio(),
+            program_order_violations: self.program_order_violations(),
+            avg_toggle_wait: self.avg_toggle_wait(),
+            average_ratio: self.average_ratio(wait_cycles),
+            mean_latency: self.mean_latency(),
+            throughput: self.throughput(),
+            toggle_count: self.toggle_count,
+            toggle_wait_total: self.toggle_wait_total,
+            diffraction_pairs: self.diffraction_pairs,
+            node_visits: self.node_visits,
+            max_lock_queue: self.max_lock_queue,
+        }
+    }
 }
+
+/// The scalar measurements of one run, in serializable form — what the
+/// experiment harness records per grid cell.
+///
+/// Derived quantities (the counts and ratios) are frozen at summary
+/// time so a deserialized record stands on its own without the
+/// operation trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSummary {
+    /// Operations completed.
+    pub completed_ops: usize,
+    /// Simulated time of the last completion.
+    pub sim_time: u64,
+    /// Non-linearizable operations (Definition 2.4).
+    pub nonlinearizable: usize,
+    /// `nonlinearizable / completed_ops`.
+    pub nonlinearizable_ratio: f64,
+    /// Violations visible to a single processor's program order.
+    pub program_order_violations: usize,
+    /// The paper's `Tog`.
+    pub avg_toggle_wait: f64,
+    /// The paper's measured `c2/c1 = (Tog + W)/Tog`.
+    pub average_ratio: f64,
+    /// Mean operation latency in cycles.
+    pub mean_latency: f64,
+    /// Operations per simulated cycle.
+    pub throughput: f64,
+    /// Balancer toggle transitions.
+    pub toggle_count: u64,
+    /// Total cycles waited before toggling.
+    pub toggle_wait_total: u64,
+    /// Diffracted prism pairs.
+    pub diffraction_pairs: u64,
+    /// Total node visits.
+    pub node_visits: u64,
+    /// Deepest balancer-lock queue observed.
+    pub max_lock_queue: u64,
+}
+
+serde::impl_serde_struct!(StatsSummary {
+    completed_ops,
+    sim_time,
+    nonlinearizable,
+    nonlinearizable_ratio,
+    program_order_violations,
+    avg_toggle_wait,
+    average_ratio,
+    mean_latency,
+    throughput,
+    toggle_count,
+    toggle_wait_total,
+    diffraction_pairs,
+    node_visits,
+    max_lock_queue,
+});
 
 #[cfg(test)]
 mod tests {
@@ -201,6 +279,18 @@ mod tests {
         assert_eq!(s.mean_latency(), 0.0);
         s.sim_time = 0;
         assert_eq!(s.throughput(), 0.0);
+    }
+
+    #[test]
+    fn summary_round_trips_through_serde() {
+        use serde::{Deserialize as _, Serialize as _};
+        let s = stats_with(vec![op(0, 0, 10, 1), op(1, 20, 30, 0)]);
+        let summary = s.summary(100);
+        assert_eq!(summary.completed_ops, 2);
+        assert_eq!(summary.nonlinearizable, 1);
+        let text = serde::json::to_string_pretty(&summary.to_value());
+        let back = StatsSummary::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, summary);
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Supplies the two pieces the workspace uses:
+//!
+//! * [`scope`] — scoped threads, implemented over
+//!   `std::thread::scope`. The closure passed to `spawn` receives a
+//!   placeholder [`ScopeHandle`] (crossbeam passes the scope itself for
+//!   nested spawning, which this workspace never does).
+//! * [`channel`] — multi-producer multi-consumer bounded/unbounded
+//!   channels over a `Mutex<VecDeque>` + `Condvar` core.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Placeholder for the scope value crossbeam passes to spawned
+/// closures; nested `spawn` through it is not supported.
+#[derive(Debug)]
+pub struct ScopeHandle(());
+
+/// A scope in which threads borrowing local state can be spawned.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure's argument is a placeholder
+    /// (see [`ScopeHandle`]).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopeHandle) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&ScopeHandle(())))
+    }
+}
+
+/// Runs `f` with a thread scope; every spawned thread is joined before
+/// this returns. Unlike crossbeam, a panic in an unjoined child
+/// propagates as a panic instead of an `Err` — all workspace call
+/// sites join explicitly, so the distinction never surfaces.
+///
+/// # Errors
+///
+/// Never returns `Err`; the `Result` mirrors crossbeam's signature so
+/// call sites can keep their `.expect(..)`.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half; cloneable (multi-producer).
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates a channel with unlimited buffering.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a channel buffering at most `cap` messages; `send`
+    /// blocks while full. A zero capacity is promoted to one slot
+    /// (crossbeam's rendezvous semantics are not needed here).
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `msg`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back when every receiver has been
+        /// dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let full = st.cap.is_some_and(|c| st.queue.len() >= c);
+                if !full {
+                    st.queue.push_back(msg);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.chan.not_full.wait(st).expect("channel mutex");
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Takes the next message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and every
+        /// sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).expect("channel mutex");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel mutex").senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel mutex").receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError};
+
+    #[test]
+    fn scoped_threads_collect_results() {
+        let data = [1u64, 2, 3];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        super::scope(|s| {
+            let h = s.spawn(move |_| {
+                tx.send(1u8).unwrap();
+                tx.send(2).unwrap(); // blocks until the main thread recvs
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1u8).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides exactly the slice of the `rand 0.8` API the
+//! workspace uses — `StdRng::seed_from_u64`, `Rng::gen_range` over
+//! integer ranges, and `SliceRandom::shuffle` — backed by a SplitMix64
+//! generator. Streams differ from upstream `rand`, so all seeded
+//! artifacts in `results/` are calibrated against *this* generator.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open or inclusive range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly over the range.
+    ///
+    /// Panics when the range is empty, matching upstream `rand`.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample over an integer range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, like upstream's f64 sampling
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+/// Integer types `gen_range` can sample. A single blanket impl of
+/// [`SampleRange`] hangs off this trait (mirroring upstream's shape) so
+/// type inference can unify the range's element type with the expected
+/// result type before integer-literal fallback kicks in.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Width of `start..end` as an exact unsigned count.
+    fn span(start: Self, end: Self) -> u128;
+    /// `start + offset` (offset is always within a previously computed
+    /// span, so this cannot overflow).
+    fn add_offset(start: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn span(start: Self, end: Self) -> u128 {
+                end as u128 - start as u128
+            }
+            fn add_offset(start: Self, offset: u64) -> Self {
+                start + offset as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn span(start: Self, end: Self) -> u128 {
+                (end as i128 - start as i128) as u128
+            }
+            fn add_offset(start: Self, offset: u64) -> Self {
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = T::span(self.start, self.end);
+        T::add_offset(self.start, uniform_below(rng, span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        let span = T::span(start, end) + 1;
+        T::add_offset(start, uniform_below(rng, span))
+    }
+}
+
+/// Uniform value in `[0, span)` by 128-bit multiply-shift reduction
+/// (Lemire), bias-free for every span that fits in 64 bits.
+fn uniform_below(rng: &mut dyn RngCore, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    if span == u64::MAX as u128 + 1 {
+        return rng.next_u64();
+    }
+    let span = span as u64;
+    // rejection-free enough for simulation purposes; use one rejection
+    // round to kill the modulo bias on pathological spans
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % span;
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Not the upstream ChaCha12-based `StdRng`; streams differ, which
+    /// only shifts which pseudo-random universe the seeded experiments
+    /// live in.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling support for slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(3usize..=5);
+            assert!((3..=5).contains(&y));
+        }
+        assert_eq!(rng.gen_range(4u32..=4), 4);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seed 9 should move something");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5u64..5);
+    }
+}

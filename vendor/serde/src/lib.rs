@@ -1,0 +1,379 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored
+//! crate provides the serialization layer the workspace needs:
+//!
+//! * [`Value`] — a JSON-shaped value tree (objects keep field order,
+//!   so serialized output is deterministic);
+//! * [`Serialize`]/[`Deserialize`] — to/from [`Value`];
+//! * [`json`] — a built-in JSON writer/parser (no `serde_json`);
+//! * [`impl_serde_struct!`]/[`impl_serde_unit_enum!`] — declarative
+//!   stand-ins for `#[derive(Serialize, Deserialize)]`.
+//!
+//! Non-finite floats, which JSON cannot express, round-trip as the
+//! strings `"inf"`, `"-inf"`, and `"nan"`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod json;
+
+/// A JSON-shaped value. Objects are ordered vectors of pairs, so the
+/// rendered output of a given data structure is byte-deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (u64-exact; never goes through f64).
+    Uint(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A finite float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Deserializes the field `key` of an object.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `self` is not an object, the key is absent, or the
+    /// field fails to deserialize as `T`.
+    pub fn field<T: Deserialize>(&self, key: &str) -> Result<T, Error> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| Error::new(format!("missing field `{key}`")))?;
+        T::from_value(v).map_err(|e| Error::new(format!("field `{key}`: {e}")))
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion back from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the tree does not have the expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Uint(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Uint(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::new(format!("{u} out of range for {}", stringify!($t)))),
+                    other => Err(Error::new(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        if *self >= 0 {
+            Value::Uint(*self as u64)
+        } else {
+            Value::Int(*self)
+        }
+    }
+}
+
+impl Deserialize for i64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            Value::Uint(u) => {
+                i64::try_from(*u).map_err(|_| Error::new(format!("{u} out of range for i64")))
+            }
+            other => Err(Error::new(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else if self.is_nan() {
+            Value::Str("nan".to_string())
+        } else if *self > 0.0 {
+            Value::Str("inf".to_string())
+        } else {
+            Value::Str("-inf".to_string())
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Uint(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Str(s) if s == "inf" => Ok(f64::INFINITY),
+            Value::Str(s) if s == "-inf" => Ok(f64::NEG_INFINITY),
+            Value::Str(s) if s == "nan" => Ok(f64::NAN),
+            other => Err(Error::new(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Implements [`Serialize`] and [`Deserialize`] for a struct with
+/// named fields — the stand-in for `#[derive(Serialize, Deserialize)]`.
+///
+/// ```ignore
+/// impl_serde_struct!(RunRecord { kind, wait_cycles, processors });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::Serialize::to_value(&self.$field)),)*
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($ty {
+                    $($field: v.field(stringify!($field))?,)*
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] and [`Deserialize`] for an enum whose
+/// variants are all unit-like; the encoding is the variant name as a
+/// string.
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident),* $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $($ty::$variant => $crate::Value::Str(stringify!($variant).to_string()),)*
+                }
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                match v {
+                    $($crate::Value::Str(s) if s == stringify!($variant) => Ok($ty::$variant),)*
+                    other => Err($crate::Error::new(format!(
+                        "unknown {} variant: {other:?}", stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: u64,
+        b: f64,
+        name: String,
+        opt: Option<u32>,
+        items: Vec<u64>,
+    }
+
+    impl_serde_struct!(Demo {
+        a,
+        b,
+        name,
+        opt,
+        items
+    });
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+
+    impl_serde_unit_enum!(Mode { Fast, Slow });
+
+    #[test]
+    fn struct_round_trip() {
+        let d = Demo {
+            a: u64::MAX,
+            b: 0.1,
+            name: "x\"y".to_string(),
+            opt: None,
+            items: vec![1, 2, 3],
+        };
+        let v = d.to_value();
+        assert_eq!(Demo::from_value(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn enum_round_trip() {
+        let v = Mode::Slow.to_value();
+        assert_eq!(v, Value::Str("Slow".to_string()));
+        assert_eq!(Mode::from_value(&v).unwrap(), Mode::Slow);
+        assert!(Mode::from_value(&Value::Str("Other".into())).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats() {
+        let v = f64::INFINITY.to_value();
+        assert_eq!(v, Value::Str("inf".to_string()));
+        assert_eq!(f64::from_value(&v).unwrap(), f64::INFINITY);
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn missing_field_names_the_field() {
+        let v = Value::Object(vec![]);
+        let e = Demo::from_value(&v).unwrap_err();
+        assert!(e.to_string().contains("missing field `a`"));
+    }
+}
