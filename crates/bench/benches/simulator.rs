@@ -2,7 +2,11 @@
 //!
 //! Measures simulated operations per second for the two Section 5
 //! configurations, plus the ablation between lock-based and
-//! prism-fronted balancers at equal workloads.
+//! prism-fronted balancers at equal workloads, plus the event-queue
+//! regimes: small-`n` runs drive the binary-heap queue, large-`n` runs
+//! the bucket wheel, and `W = 100000` keeps events spilling to and
+//! migrating back from the far heap (see `cnet-proteus`'s `queue`
+//! module).
 
 use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
 use cnet_topology::constructions;
@@ -17,6 +21,13 @@ fn workload(processors: usize) -> Workload {
         wait_cycles: 1_000,
         total_ops: OPS,
         wait_mode: WaitMode::Fixed,
+    }
+}
+
+fn delayed_workload(processors: usize, wait_cycles: u64) -> Workload {
+    Workload {
+        wait_cycles,
+        ..workload(processors)
     }
 }
 
@@ -38,6 +49,21 @@ fn bench_simulator(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tree_no_prism", n), &n, |b, &n| {
             let sim = Simulator::new(&tree, SimConfig::queue_lock(1));
             b.iter(|| sim.run(std::hint::black_box(&workload(n))))
+        });
+    }
+    group.finish();
+
+    // the event-queue regimes in isolation: one cell per queue path
+    let mut group = c.benchmark_group("proteus_event_queue");
+    group.throughput(Throughput::Elements(OPS as u64));
+    for (label, n, w) in [
+        ("heap_small_n", 4usize, 100u64),
+        ("wheel_large_n", 256, 100),
+        ("far_spill_high_w", 256, 100_000),
+    ] {
+        group.bench_function(BenchmarkId::new(label, format!("n{n}_w{w}")), |b| {
+            let sim = Simulator::new(&bitonic, SimConfig::queue_lock(1));
+            b.iter(|| sim.run(std::hint::black_box(&delayed_workload(n, w))))
         });
     }
     group.finish();

@@ -6,7 +6,7 @@
 //! effective `(Tog + W)/Tog` ratio — the paper's reason for keeping
 //! balancers slow enough that the `W` waits dominate `c2/c1`.
 //!
-//! Usage: `ablation_balancer [--ops N] [--seed S] [--threads T] [--json PATH]`.
+//! Usage: `ablation_balancer [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`.
 
 use cnet_harness::{
     derive_seed, percent, run_jobs_report, BenchArgs, BenchReport, Job, ResultTable,

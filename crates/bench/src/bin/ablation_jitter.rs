@@ -6,7 +6,7 @@
 //! table: violations at `n = 256, W = 10000, F = 50%` as the uniform
 //! link jitter grows from 0.
 //!
-//! Usage: `ablation_jitter [--ops N] [--seed S] [--threads T] [--json PATH]`.
+//! Usage: `ablation_jitter [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`.
 
 use cnet_harness::{
     derive_seed, percent, run_jobs_report, BenchArgs, BenchReport, Job, ResultTable,

@@ -14,7 +14,7 @@
 //! full paper's tightness construction.
 //!
 //! Usage: `ablation_prefix [--ops N] [--seed S] [--threads T]
-//! [--json PATH]` (`--ops` caps the tokens per trial).
+//! [--json PATH] [--baseline PATH]` (`--ops` caps the tokens per trial).
 
 use cnet_harness::{derive_seed, percent, pool, BenchArgs, BenchReport, ResultTable};
 use cnet_timing::executor::TimedExecutor;

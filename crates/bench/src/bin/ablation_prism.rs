@@ -7,7 +7,7 @@
 //! non-linearizability ratio. `slots = 0` disables diffraction (plain
 //! queue-lock tree).
 //!
-//! Usage: `ablation_prism [--ops N] [--seed S] [--threads T] [--json PATH]`.
+//! Usage: `ablation_prism [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`.
 
 use cnet_harness::{
     derive_seed, percent, run_jobs_report, BenchArgs, BenchReport, Job, ResultTable,

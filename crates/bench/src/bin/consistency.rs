@@ -7,7 +7,7 @@
 //! identical with)" sequential consistency; this experiment quantifies
 //! the gap on the benchmark itself.
 //!
-//! Usage: `consistency [--ops N] [--seed S] [--threads T] [--json PATH]`.
+//! Usage: `consistency [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`.
 
 use cnet_harness::{
     derive_cell_seed, percent, run_jobs_report, BenchArgs, BenchReport, CellRun, Job, NetworkKind,

@@ -7,7 +7,7 @@
 //! * the uniform-random scenario: every token waits a random number of
 //!   cycles in `[0, W]` after each node.
 //!
-//! Usage: `controls [--ops N] [--seed S] [--threads T] [--json PATH]`.
+//! Usage: `controls [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`.
 
 use cnet_harness::{
     derive_seed, run_jobs_report, BenchArgs, BenchReport, Job, NetworkKind, ResultTable,

@@ -3,7 +3,7 @@
 //! counting network and diffracting tree, over
 //! `W ∈ {100, 1000, 10000, 100000}` and `n ∈ {4, 16, 64, 128, 256}`.
 //!
-//! Usage: `figure5 [--ops N] [--seed S] [--threads T] [--json PATH]`
+//! Usage: `figure5 [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`
 //! (default 5000 operations per cell, as in the paper).
 
 use cnet_harness::{BenchArgs, BenchReport, Grid, NetworkKind};

@@ -1,7 +1,7 @@
 //! Regenerates **Figure 6** of the paper: non-linearizability ratios
 //! with `F = 50%` of the processors delayed (same grid as Figure 5).
 //!
-//! Usage: `figure6 [--ops N] [--seed S] [--threads T] [--json PATH]`.
+//! Usage: `figure6 [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`.
 
 use cnet_harness::{BenchArgs, BenchReport, Grid, NetworkKind};
 

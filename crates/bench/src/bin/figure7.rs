@@ -2,7 +2,7 @@
 //! `c2/c1 = (Tog + W)/Tog` measured during the simulations, for both
 //! networks and both delayed fractions.
 //!
-//! Usage: `figure7 [--ops N] [--seed S] [--threads T] [--json PATH]`.
+//! Usage: `figure7 [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`.
 
 use cnet_harness::{BenchArgs, BenchReport, Grid, NetworkKind};
 

@@ -1,0 +1,94 @@
+//! The simulator perf sweep: wall-clock per cell across both Section 5
+//! network kinds and the concurrency/wait corners that exercise every
+//! event-queue path (heap mode at small `n`, the bucket wheel at large
+//! `n`, the far spill at `W = 100000`).
+//!
+//! The committed `results/BENCH_perf.json` is the perf baseline; rerun
+//! with `--baseline results/BENCH_perf.json` to get a delta table and
+//! a non-zero exit on a multi-× per-cell regression. Wall-clock is the
+//! *only* interesting output here — the simulated measurements are
+//! deterministic and covered by the figure binaries.
+//!
+//! Usage: `perf [--ops N] [--seed S] [--threads T] [--json PATH]
+//! [--baseline PATH]` (default 5000 operations per cell).
+
+use cnet_harness::{derive_cell_seed, PAPER_WIDTH};
+use cnet_harness::{run_jobs_report, BenchArgs, BenchReport, Job, NetworkKind, ResultTable};
+use cnet_proteus::{WaitMode, Workload};
+
+/// The sweep corners: every `(n, W)` pair lands in a distinct
+/// event-queue regime.
+const CELLS: [(usize, u64); 8] = [
+    (4, 100),
+    (4, 100_000),
+    (16, 10_000),
+    (64, 100),
+    (64, 10_000),
+    (256, 100),
+    (256, 10_000),
+    (256, 100_000),
+];
+
+fn main() {
+    let args = BenchArgs::parse("perf");
+    let mut report = BenchReport::new("perf", args.threads);
+    println!("Simulator perf sweep — host wall-clock per cell");
+    println!(
+        "({} operations per cell, width {PAPER_WIDTH}, F = 25% delayed)\n",
+        args.ops
+    );
+    for kind in [NetworkKind::Bitonic, NetworkKind::DiffractingTree] {
+        let net = kind.build(PAPER_WIDTH);
+        let jobs: Vec<Job> = CELLS
+            .iter()
+            .map(|&(processors, wait_cycles)| {
+                let seed = derive_cell_seed(
+                    args.base_seed(0x9EBF),
+                    kind.label(),
+                    25,
+                    wait_cycles,
+                    processors,
+                );
+                Job {
+                    label: format!("W={wait_cycles},n={processors}"),
+                    kind: kind.label().to_string(),
+                    net: 0,
+                    config: kind.config(seed),
+                    workload: Workload {
+                        processors,
+                        delayed_percent: 25,
+                        wait_cycles,
+                        total_ops: args.ops,
+                        wait_mode: WaitMode::Fixed,
+                    },
+                }
+            })
+            .collect();
+        let (cells, grid) = run_jobs_report(
+            kind.label(),
+            args.base_seed(0x9EBF),
+            std::slice::from_ref(&net),
+            &jobs,
+            args.threads,
+        );
+        let mut table = ResultTable::new(
+            format!("{} — wall-clock", kind.label()),
+            &["wall ms", "ms/kop", "sim cycles", "sim thpt"],
+        );
+        for c in &cells {
+            table.push_row(
+                c.record.label.clone(),
+                vec![
+                    format!("{:.2}", c.record.wall_ms),
+                    format!("{:.3}", c.record.wall_ms / args.ops as f64 * 1e3),
+                    format!("{}", c.record.stats.sim_time),
+                    format!("{:.5}", c.record.stats.throughput),
+                ],
+            );
+        }
+        println!("{}", table.to_text());
+        report.push_table(&table);
+        report.push_grid(grid);
+    }
+    report.emit(&args);
+}

@@ -7,7 +7,7 @@
 //! every counter. The centralized counter is linearizable but flat;
 //! the networks scale.
 //!
-//! Usage: `scaling [--ops N] [--seed S] [--threads T] [--json PATH]`.
+//! Usage: `scaling [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`.
 
 use cnet_harness::{
     derive_seed, run_jobs_report, BenchArgs, BenchReport, Job, ResultTable, PAPER_WIDTH,

@@ -2,7 +2,7 @@
 //! executions** through the timed executor and reports the violations
 //! each produces, plus the Theorem 3.6 tightness sweep on trees.
 //!
-//! Usage: `section4 [--threads T] [--json PATH]` (the replays are
+//! Usage: `section4 [--threads T] [--json PATH] [--baseline PATH]` (the replays are
 //! deterministic; `--ops` and `--seed` are accepted but unused).
 
 use cnet_adversary::{

@@ -4,7 +4,7 @@
 //! gap at which the straggler/wave family still violates and reports it
 //! as a fraction of the theoretical bound `h·c2 - 2·h·c1`.
 //!
-//! Usage: `threshold [--threads T] [--json PATH]` (the sweep is
+//! Usage: `threshold [--threads T] [--json PATH] [--baseline PATH]` (the sweep is
 //! deterministic; `--ops` and `--seed` are accepted but unused).
 
 use cnet_harness::{pool, BenchArgs, BenchReport, ResultTable};

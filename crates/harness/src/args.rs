@@ -1,5 +1,5 @@
 //! The uniform flag surface of every bench binary:
-//! `--ops N --seed S --threads T --json PATH`.
+//! `--ops N --seed S --threads T --json PATH --baseline PATH`.
 //!
 //! Replaces the ad-hoc `ops_from_args` parser each binary used to
 //! carry. Unknown arguments are errors, so typos fail loudly instead of
@@ -22,6 +22,9 @@ pub struct BenchArgs {
     /// JSON report destination (`--json`). When absent, the report goes
     /// to `results/BENCH_<bin>.json` if `results/` exists.
     pub json: Option<PathBuf>,
+    /// A committed `BENCH_*.json` to compare this run's per-cell
+    /// wall-clock against (`--baseline`); see [`crate::baseline`].
+    pub baseline: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -36,7 +39,9 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("{bin}: {msg}");
-                eprintln!("usage: {bin} [--ops N] [--seed S] [--threads T] [--json PATH]");
+                eprintln!(
+                    "usage: {bin} [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -47,8 +52,9 @@ impl BenchArgs {
     ///
     /// # Errors
     ///
-    /// Returns a message on unknown arguments, missing values, or
-    /// non-numeric numbers.
+    /// Returns a message on unknown arguments, missing values,
+    /// non-numeric numbers, or degenerate values (`--ops 0`,
+    /// `--threads 0`) that would silently measure nothing.
     pub fn parse_from(bin: &str, raw: &[String]) -> Result<Self, String> {
         let mut args = BenchArgs {
             bin: bin.to_string(),
@@ -56,6 +62,7 @@ impl BenchArgs {
             seed: None,
             threads: 1,
             json: None,
+            baseline: None,
         };
         let mut it = raw.iter();
         while let Some(a) = it.next() {
@@ -67,12 +74,17 @@ impl BenchArgs {
             match a.as_str() {
                 "--ops" => args.ops = parse_num("ops", &value("ops")?)?,
                 "--seed" => args.seed = Some(parse_num("seed", &value("seed")?)?),
-                "--threads" => {
-                    args.threads = parse_num::<usize>("threads", &value("threads")?)?.max(1);
-                }
+                "--threads" => args.threads = parse_num("threads", &value("threads")?)?,
                 "--json" => args.json = Some(PathBuf::from(value("json")?)),
+                "--baseline" => args.baseline = Some(PathBuf::from(value("baseline")?)),
                 other => return Err(format!("unknown argument `{other}`")),
             }
+        }
+        if args.ops == 0 {
+            return Err("--ops must be at least 1 (a 0-op sweep measures nothing)".to_string());
+        }
+        if args.threads == 0 {
+            return Err("--threads must be at least 1".to_string());
         }
         Ok(args)
     }
@@ -144,9 +156,20 @@ mod tests {
     }
 
     #[test]
-    fn zero_threads_clamps_to_one() {
-        let a = BenchArgs::parse_from("x", &strs(&["--threads", "0"])).unwrap();
-        assert_eq!(a.threads, 1);
+    fn rejects_degenerate_values() {
+        assert!(BenchArgs::parse_from("x", &strs(&["--threads", "0"]))
+            .unwrap_err()
+            .contains("--threads must be at least 1"));
+        assert!(BenchArgs::parse_from("x", &strs(&["--ops", "0"]))
+            .unwrap_err()
+            .contains("--ops must be at least 1"));
+    }
+
+    #[test]
+    fn parses_baseline_path() {
+        let a = BenchArgs::parse_from("x", &strs(&["--baseline", "results/BENCH_x.json"])).unwrap();
+        assert_eq!(a.baseline, Some(PathBuf::from("results/BENCH_x.json")));
+        assert_eq!(BenchArgs::parse_from("x", &[]).unwrap().baseline, None);
     }
 
     #[test]

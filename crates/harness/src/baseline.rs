@@ -1,0 +1,351 @@
+//! Perf-regression comparison against a committed `BENCH_*.json`.
+//!
+//! Every bench binary emits a JSON report whose per-cell records carry
+//! host wall-clock (`wall_ms`). Committing those reports under
+//! `results/` turns them into perf baselines: a later run of the same
+//! binary with `--baseline results/BENCH_<bin>.json` loads the old
+//! report, matches cells by `(sweep title, cell label)`, and renders a
+//! delta table of per-operation wall-clock and simulated throughput.
+//!
+//! Comparisons are *per operation*, not per cell: `wall_ms` is divided
+//! by the cell's `total_ops` on both sides, so a `--ops 500` smoke run
+//! can be judged against a committed 5000-op baseline. Simulated
+//! throughput (ops per simulated cycle) is reported as a sanity column
+//! but never gates: it is deterministic, so it only moves when the
+//! simulated behaviour itself changed.
+//!
+//! Wall-clock on shared CI runners is noisy — multi-× swings between
+//! identical runs are routine — so the regression gate is deliberately
+//! coarse: a cell regresses only when it is more than
+//! [`REGRESSION_FACTOR`]× slower per op than the baseline. The gate
+//! catches accidental algorithmic regressions (dropping back to a
+//! pre-optimization code path), not percent-level drift.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use serde::{Deserialize as _, Value};
+
+use crate::record::GridReport;
+use crate::table::ResultTable;
+
+/// A run regresses when a cell's per-op wall-clock exceeds the
+/// baseline's by more than this factor. Coarse by design: CI
+/// wall-clock noise routinely spans 2×.
+pub const REGRESSION_FACTOR: f64 = 3.0;
+
+/// One cell of a loaded baseline report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineCell {
+    /// Sweep title the cell belongs to.
+    pub grid: String,
+    /// Cell label within the sweep (e.g. `"W=100,n=4"`).
+    pub label: String,
+    /// Operations the baseline cell ran.
+    pub total_ops: usize,
+    /// Host wall-clock of the baseline cell, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated throughput (ops per simulated cycle) of the baseline.
+    pub throughput: f64,
+}
+
+/// A parsed `BENCH_*.json` report, ready to compare runs against.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// The `name` field of the loaded report.
+    pub name: String,
+    cells: HashMap<(String, String), BaselineCell>,
+}
+
+/// The outcome of comparing a run against a [`Baseline`].
+#[derive(Debug, Clone)]
+pub struct BaselineComparison {
+    /// The rendered delta table (one row per matched cell).
+    pub table: ResultTable,
+    /// Human-readable descriptions of every regressed cell.
+    pub regressions: Vec<String>,
+    /// Cells present in both the run and the baseline.
+    pub matched: usize,
+    /// Run cells with no baseline counterpart (new sweeps/labels).
+    pub unmatched: usize,
+}
+
+impl Baseline {
+    /// Loads a report previously written by
+    /// [`crate::report::BenchReport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file is unreadable, is not JSON, or
+    /// has no `grids` array.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let value: Value = serde::json::from_str(&text)
+            .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+        Self::from_report(&value).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Builds a baseline from an already-parsed report value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value has no well-formed `grids`
+    /// array.
+    pub fn from_report(value: &Value) -> Result<Self, String> {
+        let name: String = value.field("name").map_err(|e| e.to_string())?;
+        let Some(Value::Array(grids)) = value.get("grids") else {
+            return Err("report has no `grids` array".to_string());
+        };
+        let mut cells = HashMap::new();
+        for g in grids {
+            let grid = GridReport::from_value(g).map_err(|e| e.to_string())?;
+            for r in grid.records {
+                cells.insert(
+                    (grid.title.clone(), r.label.clone()),
+                    BaselineCell {
+                        grid: grid.title.clone(),
+                        label: r.label,
+                        total_ops: r.total_ops,
+                        wall_ms: r.wall_ms,
+                        throughput: r.stats.throughput,
+                    },
+                );
+            }
+        }
+        Ok(Baseline { name, cells })
+    }
+
+    /// The baseline cell for `(grid title, label)`, if recorded.
+    #[must_use]
+    pub fn cell(&self, grid: &str, label: &str) -> Option<&BaselineCell> {
+        self.cells.get(&(grid.to_string(), label.to_string()))
+    }
+
+    /// Number of cells in the baseline.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the baseline holds no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Compares a run's sweeps cell-by-cell against this baseline.
+    ///
+    /// Cells are matched on `(sweep title, cell label)`; matched cells
+    /// get a delta row, unmatched run cells are counted but not
+    /// judged. A cell whose per-op wall-clock exceeds the baseline's
+    /// by more than [`REGRESSION_FACTOR`] lands in `regressions`.
+    #[must_use]
+    pub fn compare(&self, grids: &[GridReport]) -> BaselineComparison {
+        let mut table = ResultTable::new(
+            format!("vs baseline `{}` (per-op wall-clock)", self.name),
+            &[
+                "base ms/kop",
+                "now ms/kop",
+                "ratio",
+                "base thpt",
+                "now thpt",
+            ],
+        );
+        let mut regressions = Vec::new();
+        let mut matched = 0;
+        let mut unmatched = 0;
+        for grid in grids {
+            for r in &grid.records {
+                let Some(base) = self.cell(&grid.title, &r.label) else {
+                    unmatched += 1;
+                    continue;
+                };
+                matched += 1;
+                let base_per_op = per_op(base.wall_ms, base.total_ops);
+                let now_per_op = per_op(r.wall_ms, r.total_ops);
+                let ratio = if base_per_op > 0.0 {
+                    now_per_op / base_per_op
+                } else {
+                    1.0
+                };
+                table.push_row(
+                    format!("{} {}", grid.title, r.label),
+                    vec![
+                        format!("{:.3}", base_per_op * 1e3),
+                        format!("{:.3}", now_per_op * 1e3),
+                        format!("{ratio:.2}x"),
+                        format!("{:.5}", base.throughput),
+                        format!("{:.5}", r.stats.throughput),
+                    ],
+                );
+                if ratio > REGRESSION_FACTOR {
+                    regressions.push(format!(
+                        "{} {}: {:.3} ms/kop vs baseline {:.3} ms/kop ({ratio:.2}x > {REGRESSION_FACTOR}x)",
+                        grid.title,
+                        r.label,
+                        now_per_op * 1e3,
+                        base_per_op * 1e3,
+                    ));
+                }
+            }
+        }
+        BaselineComparison {
+            table,
+            regressions,
+            matched,
+            unmatched,
+        }
+    }
+}
+
+fn per_op(wall_ms: f64, total_ops: usize) -> f64 {
+    if total_ops == 0 {
+        0.0
+    } else {
+        wall_ms / total_ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunRecord;
+    use cnet_proteus::{RunStats, Workload};
+    use serde::Serialize;
+
+    fn record(label: &str, ops: usize, wall_ms: f64) -> RunRecord {
+        let stats = RunStats {
+            operations: vec![],
+            completed_by: vec![],
+            output_counts: cnet_topology::OutputCounts::zeros(2),
+            sim_time: 1000,
+            toggle_count: 2,
+            toggle_wait_total: 20,
+            diffraction_pairs: 0,
+            node_visits: 2,
+            node_wait_total: 20,
+            max_lock_queue: 1,
+            nonlinearizable: 0,
+        };
+        RunRecord::measure(
+            label,
+            "Bitonic Counting Network",
+            &Workload {
+                total_ops: ops,
+                ..Workload::paper(4, 25, 100)
+            },
+            42,
+            &stats,
+            wall_ms,
+        )
+    }
+
+    fn grid(title: &str, records: Vec<RunRecord>) -> GridReport {
+        GridReport {
+            title: title.to_string(),
+            base_seed: 1,
+            threads: 1,
+            wall_ms: 0.0,
+            records,
+        }
+    }
+
+    fn report_value(grids: &[GridReport]) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), "demo".to_value()),
+            ("threads".to_string(), 1usize.to_value()),
+            ("wall_ms".to_string(), 1.0.to_value()),
+            (
+                "grids".to_string(),
+                Value::Array(grids.iter().map(Serialize::to_value).collect()),
+            ),
+            ("tables".to_string(), Value::Array(vec![])),
+        ])
+    }
+
+    #[test]
+    fn loads_from_a_written_report() {
+        let dir = std::env::temp_dir().join("cnet-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_demo.json");
+        let grids = vec![grid("Figure 5", vec![record("W=100,n=4", 5000, 10.0)])];
+        std::fs::write(&path, serde::json::to_string_pretty(&report_value(&grids))).unwrap();
+        let base = Baseline::load(&path).unwrap();
+        assert_eq!(base.name, "demo");
+        assert_eq!(base.len(), 1);
+        let cell = base.cell("Figure 5", "W=100,n=4").unwrap();
+        assert_eq!(cell.total_ops, 5000);
+        assert!((cell.wall_ms - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_failures_are_described() {
+        let missing = Baseline::load(Path::new("/nonexistent/BENCH.json")).unwrap_err();
+        assert!(missing.contains("cannot read"));
+        let dir = std::env::temp_dir().join("cnet-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(Baseline::load(&bad).unwrap_err().contains("not valid JSON"));
+        let nogrids = dir.join("nogrids.json");
+        std::fs::write(&nogrids, "{\"name\": \"x\"}").unwrap();
+        assert!(Baseline::load(&nogrids)
+            .unwrap_err()
+            .contains("no `grids` array"));
+    }
+
+    #[test]
+    fn comparison_normalizes_per_op() {
+        // baseline at 5000 ops, run at 500 ops, same per-op speed:
+        // ratio 1, no regression
+        let base = Baseline::from_report(&report_value(&[grid(
+            "Figure 5",
+            vec![record("W=100,n=4", 5000, 10.0)],
+        )]))
+        .unwrap();
+        let run = [grid("Figure 5", vec![record("W=100,n=4", 500, 1.0)])];
+        let cmp = base.compare(&run);
+        assert_eq!(cmp.matched, 1);
+        assert_eq!(cmp.unmatched, 0);
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+        assert!(cmp.table.to_text().contains("1.00x"));
+    }
+
+    #[test]
+    fn slow_cells_regress_and_fast_cells_do_not() {
+        let base = Baseline::from_report(&report_value(&[grid(
+            "Figure 5",
+            vec![
+                record("W=100,n=4", 5000, 10.0),
+                record("W=100,n=16", 5000, 10.0),
+            ],
+        )]))
+        .unwrap();
+        let run = [grid(
+            "Figure 5",
+            vec![
+                record("W=100,n=4", 5000, 50.0),  // 5x slower: regression
+                record("W=100,n=16", 5000, 20.0), // 2x slower: inside the gate
+            ],
+        )];
+        let cmp = base.compare(&run);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("W=100,n=4"));
+        assert!(cmp.regressions[0].contains("5.00x"));
+    }
+
+    #[test]
+    fn unmatched_cells_are_counted_not_judged() {
+        let base = Baseline::from_report(&report_value(&[grid(
+            "Figure 5",
+            vec![record("W=100,n=4", 5000, 10.0)],
+        )]))
+        .unwrap();
+        let run = [grid("Figure 6", vec![record("W=100,n=4", 5000, 1000.0)])];
+        let cmp = base.compare(&run);
+        assert_eq!(cmp.matched, 0);
+        assert_eq!(cmp.unmatched, 1);
+        assert!(cmp.regressions.is_empty());
+    }
+}

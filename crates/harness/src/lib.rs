@@ -15,12 +15,17 @@
 //!   summaries of every cell, with per-cell wall-clock, emitted as JSON
 //!   next to the aligned-text/CSV tables;
 //! * **uniform flags** — [`BenchArgs`] gives every binary the same
-//!   `--ops`, `--seed`, `--threads`, `--json <path>` surface.
+//!   `--ops`, `--seed`, `--threads`, `--json <path>`,
+//!   `--baseline <path>` surface;
+//! * **perf regression** — [`baseline`] compares a run's per-cell
+//!   wall-clock against a committed `BENCH_*.json` and fails loudly on
+//!   multi-× slowdowns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod baseline;
 pub mod grid;
 pub mod pool;
 pub mod record;
@@ -29,6 +34,7 @@ pub mod seed;
 pub mod table;
 
 pub use args::BenchArgs;
+pub use baseline::{Baseline, BaselineComparison};
 pub use grid::{run_jobs, run_jobs_report, CellRun, Grid, GridOutcome, Job, NetworkKind};
 pub use record::{GridReport, RunRecord};
 pub use report::BenchReport;

@@ -138,6 +138,7 @@ mod tests {
             node_visits: 2,
             node_wait_total: 20,
             max_lock_queue: 1,
+            nonlinearizable: 0,
         };
         RunRecord::measure(
             label,

@@ -8,6 +8,7 @@ use std::time::Instant;
 use serde::{Serialize, Value};
 
 use crate::args::BenchArgs;
+use crate::baseline::Baseline;
 use crate::record::GridReport;
 use crate::table::ResultTable;
 
@@ -78,6 +79,13 @@ impl BenchReport {
     /// resolves — or nowhere, silently, when there is none. Exits with
     /// status 1 on a write failure (the binary's measurements are
     /// already on stdout at that point).
+    ///
+    /// When the invocation carries `--baseline PATH`, the run is then
+    /// compared cell-by-cell against that committed report (see
+    /// [`crate::baseline`]): the delta table goes to stdout, an
+    /// unloadable baseline exits with status 2, and any per-cell
+    /// wall-clock regression beyond
+    /// [`crate::baseline::REGRESSION_FACTOR`] exits with status 3.
     pub fn emit(&self, args: &BenchArgs) {
         if let Some(path) = args.json_path() {
             if let Err(e) = self.write(&path) {
@@ -85,6 +93,29 @@ impl BenchReport {
                 std::process::exit(1);
             }
             eprintln!("wrote {}", path.display());
+        }
+        if let Some(path) = &args.baseline {
+            let baseline = match Baseline::load(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{}: baseline: {e}", self.name);
+                    std::process::exit(2);
+                }
+            };
+            let cmp = baseline.compare(&self.grids);
+            println!("{}", cmp.table.to_text());
+            println!(
+                "baseline: {} matched, {} unmatched, {} regressed",
+                cmp.matched,
+                cmp.unmatched,
+                cmp.regressions.len()
+            );
+            if !cmp.regressions.is_empty() {
+                for r in &cmp.regressions {
+                    eprintln!("PERF REGRESSION: {r}");
+                }
+                std::process::exit(3);
+            }
         }
     }
 }

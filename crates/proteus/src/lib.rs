@@ -55,9 +55,12 @@
 
 mod config;
 mod node;
+mod queue;
+pub mod rng;
 mod sim;
 mod stats;
 
 pub use config::{Placement, PrismConfig, SimConfig, WaitMode, Workload};
+pub use rng::SimRng;
 pub use sim::Simulator;
 pub use stats::{RunStats, StatsSummary};

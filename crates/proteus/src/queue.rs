@@ -1,0 +1,601 @@
+//! The simulator's event queues.
+//!
+//! The discrete-event loop needs exactly one ordering guarantee: events
+//! pop in `(time, push-order)` order — earliest timestamp first, ties
+//! broken by insertion sequence. This module provides two
+//! implementations of that contract behind the [`Queue`] trait, picked
+//! per run by expected pending-event count:
+//!
+//! * [`HeapQueue`] — a plain `(time, seq)` binary heap. With only a
+//!   handful of pending events (one per processor, roughly) the whole
+//!   heap lives in one or two cache lines and `O(log n)` comparisons
+//!   are nearly free; no wheel can beat it.
+//! * [`WheelQueue`] — a bucket wheel with a far-event spill, for runs
+//!   with enough processors that heap sift paths blow out of L1 and
+//!   every comparison is a dependent load. Profiling the original
+//!   all-heap simulator showed queue push/pop eating ~70% of a
+//!   Figure 5 sweep at `n = 256`.
+//!
+//! The split is *static*: the simulator monomorphizes its run loop per
+//! queue type. An earlier attempt dispatched on a `heap_mode` flag
+//! inside one type; the untaken wheel-path call sites cost ~30% on
+//! small-`n` cells through lost inlining and register pressure around
+//! every push.
+//!
+//! # The wheel
+//!
+//! Simulated time only moves forward, so `push(t, ev)` appends to ring
+//! bucket `t & mask` and `pop` drains the bucket at `base` FIFO before
+//! advancing. Because the global push sequence is monotone, FIFO order
+//! *within a time bucket* is exactly push-sequence order — the wheel
+//! reproduces the heap's deterministic pop order without storing or
+//! comparing sequence numbers.
+//!
+//! Buckets are not `Vec`s: all queued events live in one small slab
+//! (`(event, next)` entries threaded through a free list), and a
+//! bucket is just a `(head, tail)` index pair. The slab holds only the
+//! *pending* events — a few hundred entries that stay hot in L1 — and
+//! steady state allocates nothing. An earlier ring-of-`Vec`s design
+//! kept 24-byte `Vec` headers per bucket; at the horizons the paper's
+//! `W = 100 000` rows need, those headers outgrow L2 and every push
+//! became a cold miss, measurably *slower* than the heap it replaced.
+//!
+//! Advancing across empty buckets is the classic calendar-queue
+//! weakness, so the wheel keeps a two-level occupancy bitmap: one bit
+//! per bucket, one summary bit per 64-bucket word. Finding the next
+//! occupied bucket is a handful of `trailing_zeros` scans instead of a
+//! linear walk.
+//!
+//! # The far spill
+//!
+//! The ring is capped at [`MAX_RING`] buckets (128 KiB of head/tail
+//! pairs). A push farther ahead than the ring spans — only the
+//! injected-delay arrivals of a large-`W` run ever are — goes to a
+//! small binary heap of [`FarEntry`]s keyed on `(time, seq)`, and
+//! migrates into the ring when `base` advances within range. (The old
+//! `QEntry` derived `PartialEq` over the payload too, violating the
+//! `Ord` contract; `FarEntry` derives every comparison from the same
+//! key.)
+//!
+//! Mixed orderings stay exact:
+//!
+//! * far/far ties pop in `seq` = push order;
+//! * far/near ties cannot invert: events are only pushed while the
+//!   simulator handles an event at `base`, and a near push at time `t`
+//!   needs `t - base <= mask` — but every advance first migrates all
+//!   far events within `base + mask`, so the far event is already in
+//!   bucket `t`, ahead of the newcomer.
+//!
+//! The unit tests pin this by differentially fuzzing both queues
+//! against each other across mixed near/far schedules.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Largest bucket ring the wheel will allocate: 2^14 head/tail pairs
+/// is 128 KiB — comfortably L2-resident, and wide enough that every
+/// non-delay schedule (links, jitter, toggles, counters, prism
+/// windows, mesh hops) lands in the ring even when `W` does not.
+pub(crate) const MAX_RING: u64 = 1 << 14;
+
+/// Below this many expected pending events [`HeapQueue`] beats
+/// [`WheelQueue`]: a handful of entries fit in one or two cache lines,
+/// where `O(log n)` comparisons beat the wheel's bitmap advance over
+/// mostly-empty buckets. Measured on the paper's Figure 5 sweep, the
+/// two are even at `n = 4` and the wheel is ~15% ahead by `n = 16`.
+pub(crate) const HEAP_CROSSOVER: usize = 8;
+
+/// "Empty" sentinel in bucket lists and the slab free list.
+const NIL: u32 = u32::MAX;
+
+/// The deterministic event-queue contract: `pop` returns events in
+/// `(time, push-order)` order, and `push` must never schedule into the
+/// past (before the last popped time).
+pub(crate) trait Queue<T: Copy>: Sized {
+    /// Builds a queue for schedules up to `horizon` cycles ahead of
+    /// the current pop time, expecting roughly `pending_hint`
+    /// simultaneously pending events.
+    fn with_horizon(horizon: u64, pending_hint: usize) -> Self;
+    /// Schedules `ev` at `time` (which must not be in the past).
+    fn push(&mut self, time: u64, ev: T);
+    /// Removes and returns the earliest event (ties in push order).
+    fn pop(&mut self) -> Option<(u64, T)>;
+}
+
+/// A heap entry, ordered by `(time, seq)` only.
+///
+/// Every comparison trait is derived from the same key, so
+/// `a == b ⟺ a.cmp(&b) == Equal` holds — the `Ord`-contract fix for
+/// the old `QEntry`, whose derived `PartialEq` also compared the
+/// payload.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FarEntry<T> {
+    time: u64,
+    seq: u64,
+    ev: T,
+}
+
+impl<T> PartialEq for FarEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl<T> Eq for FarEntry<T> {}
+
+impl<T> Ord for FarEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<T> PartialOrd for FarEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The small-run queue: a plain binary heap on `(time, seq)`.
+#[derive(Debug)]
+pub(crate) struct HeapQueue<T> {
+    heap: BinaryHeap<Reverse<FarEntry<T>>>,
+    seq: u64,
+    /// Last popped time, backing the past-push debug assertion.
+    #[cfg(debug_assertions)]
+    base: u64,
+}
+
+impl<T: Copy> Queue<T> for HeapQueue<T> {
+    fn with_horizon(_horizon: u64, _pending_hint: usize) -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            #[cfg(debug_assertions)]
+            base: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, time: u64, ev: T) {
+        #[cfg(debug_assertions)]
+        debug_assert!(time >= self.base, "event scheduled in the past");
+        self.heap.push(Reverse(FarEntry {
+            time,
+            seq: self.seq,
+            ev,
+        }));
+        self.seq += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, T)> {
+        let Reverse(e) = self.heap.pop()?;
+        #[cfg(debug_assertions)]
+        {
+            self.base = e.time;
+        }
+        Some((e.time, e.ev))
+    }
+}
+
+impl<T> HeapQueue<T> {
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// One slab cell: a queued event and the next cell in its bucket.
+#[derive(Debug, Clone, Copy)]
+struct Entry<T> {
+    ev: T,
+    next: u32,
+}
+
+/// The large-run queue: a bucket wheel plus far-event spill (see the
+/// module docs).
+#[derive(Debug)]
+pub(crate) struct WheelQueue<T> {
+    /// First slab index of each bucket's FIFO (`NIL` = empty).
+    heads: Vec<u32>,
+    /// Last slab index of each bucket's FIFO.
+    tails: Vec<u32>,
+    /// All pending near events, threaded through `next`.
+    slab: Vec<Entry<T>>,
+    /// Head of the slab free list.
+    free: u32,
+    /// One occupancy bit per bucket.
+    words: Vec<u64>,
+    /// One summary bit per `words` entry.
+    summary: Vec<u64>,
+    mask: u64,
+    /// Time of the bucket currently being drained.
+    base: u64,
+    /// Pending events, near and far together.
+    len: usize,
+    /// Spill for events farther than `mask` cycles ahead.
+    far: BinaryHeap<Reverse<FarEntry<T>>>,
+    far_seq: u64,
+}
+
+impl<T: Copy> Queue<T> for WheelQueue<T> {
+    fn with_horizon(horizon: u64, _pending_hint: usize) -> Self {
+        // a ring of `capacity` buckets can absorb deltas up to
+        // `capacity - 1`; the floor of 64 keeps the bitmap arithmetic
+        // word-aligned
+        let capacity = (horizon + 1).next_power_of_two().clamp(64, MAX_RING) as usize;
+        let words = capacity / 64;
+        WheelQueue {
+            heads: vec![NIL; capacity],
+            tails: vec![NIL; capacity],
+            slab: Vec::new(),
+            free: NIL,
+            words: vec![0; words],
+            summary: vec![0; words.div_ceil(64)],
+            mask: capacity as u64 - 1,
+            base: 0,
+            len: 0,
+            far: BinaryHeap::new(),
+            far_seq: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, time: u64, ev: T) {
+        debug_assert!(time >= self.base, "event scheduled in the past");
+        if time - self.base <= self.mask {
+            self.push_near(time, ev);
+        } else {
+            self.push_far(time, ev);
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let idx = (self.base & self.mask) as usize;
+            let head = self.heads[idx];
+            if head != NIL {
+                let Entry { ev, next } = self.slab[head as usize];
+                self.heads[idx] = next;
+                if next == NIL {
+                    self.tails[idx] = NIL;
+                    self.clear_bit(idx);
+                }
+                // recycle the cell
+                self.slab[head as usize].next = self.free;
+                self.free = head;
+                self.len -= 1;
+                return Some((self.base, ev));
+            }
+            self.advance(idx);
+        }
+    }
+}
+
+impl<T: Copy> WheelQueue<T> {
+    #[inline]
+    fn push_far(&mut self, time: u64, ev: T) {
+        self.far.push(Reverse(FarEntry {
+            time,
+            seq: self.far_seq,
+            ev,
+        }));
+        self.far_seq += 1;
+    }
+
+    #[inline]
+    fn push_near(&mut self, time: u64, ev: T) {
+        let idx = (time & self.mask) as usize;
+        // take a slab cell from the free list, or grow
+        let cell = if self.free != NIL {
+            let c = self.free;
+            self.free = self.slab[c as usize].next;
+            self.slab[c as usize] = Entry { ev, next: NIL };
+            c
+        } else {
+            self.slab.push(Entry { ev, next: NIL });
+            (self.slab.len() - 1) as u32
+        };
+        if self.heads[idx] == NIL {
+            self.heads[idx] = cell;
+            self.words[idx >> 6] |= 1 << (idx & 63);
+            self.summary[idx >> 12] |= 1 << ((idx >> 6) & 63);
+        } else {
+            self.slab[self.tails[idx] as usize].next = cell;
+        }
+        self.tails[idx] = cell;
+    }
+
+    /// Moves `base` to the next scheduled time — the earlier of the
+    /// next occupied ring bucket and the far-spill minimum — then
+    /// migrates every far event the ring can now hold. The migration
+    /// invariant (all far events within `base + mask` are in the ring)
+    /// is what keeps far/near ties in push order.
+    fn advance(&mut self, idx: usize) {
+        let wheel_next = self
+            .next_occupied(idx)
+            .map(|next| self.base + ((next as u64).wrapping_sub(idx as u64) & self.mask));
+        let far_next = self.far.peek().map(|Reverse(e)| e.time);
+        self.base = match (wheel_next, far_next) {
+            (Some(w), Some(f)) => w.min(f),
+            (Some(w), None) => w,
+            (None, Some(f)) => f,
+            (None, None) => unreachable!("len > 0 implies a pending event"),
+        };
+        while let Some(Reverse(e)) = self.far.peek() {
+            if e.time - self.base > self.mask {
+                break;
+            }
+            let Reverse(e) = self.far.pop().expect("peeked");
+            self.push_near(e.time, e.ev);
+        }
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, idx: usize) {
+        let w = idx >> 6;
+        self.words[w] &= !(1 << (idx & 63));
+        if self.words[w] == 0 {
+            self.summary[w >> 6] &= !(1 << (w & 63));
+        }
+    }
+
+    /// First occupied bucket strictly after `idx`, circularly.
+    fn next_occupied(&self, idx: usize) -> Option<usize> {
+        self.scan(idx + 1, self.heads.len())
+            .or_else(|| self.scan(0, idx + 1))
+    }
+
+    /// First occupied bucket in `[lo, hi)`.
+    fn scan(&self, lo: usize, hi: usize) -> Option<usize> {
+        if lo >= hi {
+            return None;
+        }
+        let w_lo = lo >> 6;
+        // partial first word
+        let m = self.words[w_lo] & (u64::MAX << (lo & 63));
+        if m != 0 {
+            let bit = (w_lo << 6) + m.trailing_zeros() as usize;
+            return (bit < hi).then_some(bit);
+        }
+        // whole words, skipped 64 at a time through the summary
+        let w_hi = (hi - 1) >> 6;
+        let mut w = w_lo + 1;
+        while w <= w_hi {
+            let s = w >> 6;
+            let sm = self.summary[s] & (u64::MAX << (w & 63));
+            if sm == 0 {
+                // no occupied word in this summary block at or after w
+                w = (s + 1) << 6;
+                continue;
+            }
+            w = (s << 6) + sm.trailing_zeros() as usize;
+            if w > w_hi {
+                return None;
+            }
+            let bit = (w << 6) + self.words[w].trailing_zeros() as usize;
+            return (bit < hi).then_some(bit);
+        }
+        None
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[cfg(test)]
+    fn ring_capacity(&self) -> usize {
+        self.heads.len()
+    }
+
+    #[cfg(test)]
+    fn far_len(&self) -> usize {
+        self.far.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_sizes_the_ring() {
+        assert_eq!(WheelQueue::<u32>::with_horizon(0, 64).ring_capacity(), 64);
+        assert_eq!(
+            WheelQueue::<u32>::with_horizon(1000, 64).ring_capacity(),
+            1024
+        );
+        // capped: large horizons spill to the far heap instead
+        assert_eq!(
+            WheelQueue::<u32>::with_horizon(1 << 40, 64).ring_capacity(),
+            MAX_RING as usize
+        );
+    }
+
+    #[test]
+    fn fifo_within_a_time() {
+        let mut q = WheelQueue::with_horizon(128, 64);
+        q.push(5, 1u32);
+        q.push(3, 2);
+        q.push(5, 3);
+        q.push(3, 4);
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(3, 2), (3, 4), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn heap_queue_pops_in_time_then_push_order() {
+        let mut q = HeapQueue::with_horizon(128, 1);
+        q.push(5, 1u32);
+        q.push(3, 2);
+        q.push(5, 3);
+        q.push(3, 4);
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(3, 2), (3, 4), (5, 1), (5, 3)]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn pushes_at_the_current_time_pop_after_pending_ones() {
+        let mut q = WheelQueue::with_horizon(128, 64);
+        q.push(7, 1u32);
+        q.push(7, 2);
+        assert_eq!(q.pop(), Some((7, 1)));
+        q.push(7, 3); // scheduled *while* draining time 7
+        assert_eq!(q.pop(), Some((7, 2)));
+        assert_eq!(q.pop(), Some((7, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let mut q = WheelQueue::with_horizon(100, 64);
+        let mut t = 0u64;
+        for round in 0..50u32 {
+            q.push(t + 90, round);
+            let (pt, pv) = q.pop().unwrap();
+            assert_eq!((pt, pv), (t + 90, round));
+            t += 90;
+        }
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn large_empty_gaps_are_skipped() {
+        let mut q = WheelQueue::with_horizon(10_000, 64);
+        q.push(0, 0u32);
+        q.push(8_000, 1);
+        assert_eq!(q.pop(), Some((0, 0)));
+        assert_eq!(q.pop(), Some((8_000, 1)));
+        q.push(17_000, 2);
+        assert_eq!(q.pop(), Some((17_000, 2)));
+    }
+
+    #[test]
+    fn far_pushes_spill_and_come_back() {
+        let mut q = WheelQueue::with_horizon(1 << 40, 64); // ring capped
+        assert_eq!(q.mask + 1, MAX_RING);
+        q.push(0, 0u32);
+        q.push(1 << 20, 1); // far
+        q.push(5, 2); // near
+        assert_eq!(q.far_len(), 1);
+        assert_eq!(q.pop(), Some((0, 0)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((1 << 20, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_near_ties_keep_push_order() {
+        let mut q = WheelQueue::<u32>::with_horizon(1 << 40, 64);
+        let t = MAX_RING + 100; // beyond the ring from base 0
+        q.push(t, 1); // spills far
+        q.push(0, 0);
+        assert_eq!(q.pop(), Some((0, 0)));
+        // base is now 0; t is still out of range until the advance
+        // that migrates it — a near push at t afterwards must queue
+        // *behind* the far one
+        q.push(200, 10);
+        assert_eq!(q.pop(), Some((200, 10)));
+        q.push(t, 2); // t - 200 > mask: still spills far
+        q.push(t + 1, 3);
+        let mut out = Vec::new();
+        while let Some(x) = q.pop() {
+            out.push(x);
+        }
+        assert_eq!(out, vec![(t, 1), (t, 2), (t + 1, 3)]);
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_fuzzed_schedules() {
+        // a deterministic LCG drives identical pushes into both
+        // queues; the pop streams must agree element for element.
+        // Deltas straddle MAX_RING so near, far, and migration paths
+        // all run.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for trial in 0..20 {
+            let mut wheel = WheelQueue::with_horizon(1 << 40, 64);
+            let mut heap = HeapQueue::with_horizon(1 << 40, 1);
+            let mut now = 0u64;
+            let mut pending = 0usize;
+            for step in 0..3000u32 {
+                let burst = next() % 4;
+                for _ in 0..burst {
+                    // mostly near, some far past the ring span
+                    let delta = if next() % 5 == 0 {
+                        MAX_RING + next() % 100_000
+                    } else {
+                        next() % 5000
+                    };
+                    wheel.push(now + delta, step);
+                    heap.push(now + delta, step);
+                    pending += 1;
+                }
+                if pending > 0 && next() % 3 != 0 {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "trial {trial} step {step}");
+                    now = a.unwrap().0;
+                    pending -= 1;
+                }
+            }
+            loop {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "trial {trial} drain");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slab_cells_are_recycled() {
+        let mut q = WheelQueue::with_horizon(64, 64);
+        for round in 0..1000u32 {
+            q.push(u64::from(round), round);
+            let _ = q.pop();
+        }
+        assert!(
+            q.slab.len() <= 2,
+            "steady single-pending traffic must reuse cells, slab grew to {}",
+            q.slab.len()
+        );
+    }
+
+    #[test]
+    fn far_entry_eq_is_consistent_with_ord() {
+        // same (time, seq) key, different payloads: equal under both
+        let a = FarEntry {
+            time: 3,
+            seq: 1,
+            ev: 10u32,
+        };
+        let b = FarEntry {
+            time: 3,
+            seq: 1,
+            ev: 99u32,
+        };
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        let c = FarEntry {
+            time: 3,
+            seq: 2,
+            ev: 10u32,
+        };
+        assert!(a < c);
+        assert_ne!(a, c);
+    }
+}

@@ -1,15 +1,31 @@
 //! The discrete-event simulation engine.
+//!
+//! # Hot-loop layout
+//!
+//! The per-event handlers touch only flat, pre-sized vectors:
+//!
+//! * toggles in one dense `Vec<BalancerState>` (16 bytes per node);
+//! * every FIFO lock (balancers *and* counters) in one [`LockBank`]
+//!   threaded through a single per-processor `next` array — no
+//!   per-lock heap buffers;
+//! * wiring flattened into a routing table of `(target, fixed cost)`
+//!   entries, where the fixed cost folds the link cost and the mesh
+//!   hop distance computed once at construction — the topology graph
+//!   is never consulted while events are in flight;
+//! * events packed to `u32` fields so queue entries stay small.
+//!
+//! None of this changes what is simulated: event order, RNG draw
+//! order, and therefore every statistic are bit-identical to the
+//! straightforward implementation (the golden-trace tests pin this).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use cnet_timing::linearizability::OnlineChecker;
 use cnet_timing::Operation;
-use cnet_topology::{NodeId, OutputCounts, Topology, WireEnd};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cnet_topology::{OutputCounts, Topology, WireEnd};
 
 use crate::config::{Placement, SimConfig, WaitMode, Workload};
-use crate::node::SimNode;
+use crate::node::{toggles_for, LockBank, Prism};
+use crate::queue::{HeapQueue, Queue, WheelQueue, HEAP_CROSSOVER};
+use crate::rng::SimRng;
 use crate::stats::RunStats;
 
 /// The events a simulated processor can experience.
@@ -17,51 +33,48 @@ use crate::stats::RunStats;
 enum Ev {
     /// Begin the next counting operation (or retire if the quota is
     /// reached).
-    StartOp { proc: usize },
+    StartOp { proc: u32 },
     /// Arrive at a balancer node.
-    ArriveNode { proc: usize, node: NodeId },
+    ArriveNode { proc: u32, node: u32 },
     /// Finish the balancer critical section: toggle, route, release.
-    ToggleDone { proc: usize, node: NodeId },
+    ToggleDone { proc: u32, node: u32 },
     /// A prism slot occupancy timed out without a collision.
     PrismTimeout {
-        proc: usize,
-        node: NodeId,
-        slot: usize,
-        stamp: u64,
+        proc: u32,
+        node: u32,
+        slot: u32,
+        stamp: u32,
     },
     /// Arrive at an output counter (and queue if it is busy).
-    ArriveCounter { proc: usize, counter: usize },
+    ArriveCounter { proc: u32, counter: u32 },
     /// The counter finishes serving this processor's fetch-and-inc.
-    CounterDone { proc: usize, counter: usize },
-}
-
-#[derive(Debug, PartialEq, Eq)]
-struct QEntry {
-    time: u64,
-    seq: u64,
-    ev: Ev,
-}
-
-impl Ord for QEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for QEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+    CounterDone { proc: u32, counter: u32 },
 }
 
 /// Per-processor simulation state.
 #[derive(Debug, Clone)]
 struct Proc {
     delayed: bool,
-    input: usize,
+    input: u32,
+    /// Entry node behind this processor's network input.
+    entry: u32,
     op_start: u64,
     /// Arrival time at the node currently being visited (for `Tog`).
     arrive_time: u64,
+}
+
+/// High bit of a route target: set when the target is a counter.
+const COUNTER_BIT: u32 = 1 << 31;
+
+/// One precomputed wire: where output `out` of a node leads and what
+/// the traversal costs before jitter and injected waits.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    /// Destination node index, or counter index with [`COUNTER_BIT`]
+    /// set.
+    target: u32,
+    /// `link_cost` plus the mesh hop cost between the two homes.
+    cost: u64,
 }
 
 /// The deterministic discrete-event simulator.
@@ -100,24 +113,41 @@ impl<'a> Simulator<'a> {
     /// at times `0..n`) and immediately begin a new operation whenever
     /// the previous one completes, until `workload.total_ops`
     /// operations have *started*; every started operation completes.
+    ///
+    /// The run loop is monomorphized per event-queue type (see
+    /// [`crate::queue`]): small-`n` runs use a plain binary heap,
+    /// large-`n` runs the bucket wheel. Both produce the identical
+    /// `(time, push-order)` pop stream, so the choice is invisible in
+    /// every statistic.
     #[must_use]
     pub fn run(&self, workload: &Workload) -> RunStats {
-        Runner::new(self.topology, self.config, workload).run()
+        if workload.processors < HEAP_CROSSOVER {
+            Runner::<HeapQueue<Ev>>::new(self.topology, self.config, workload).run()
+        } else {
+            Runner::<WheelQueue<Ev>>::new(self.topology, self.config, workload).run()
+        }
     }
 }
 
-struct Runner<'a> {
-    topology: &'a Topology,
+struct Runner<'a, Q> {
     config: SimConfig,
     workload: &'a Workload,
-    queue: BinaryHeap<Reverse<QEntry>>,
-    seq: u64,
-    nodes: Vec<Option<SimNode>>,
+    queue: Q,
+    /// Dense per-node toggle state, indexed by `NodeId::index`.
+    toggles: Vec<cnet_topology::BalancerState>,
+    /// Per-node prisms (empty vector when the config has none).
+    prisms: Vec<Option<Prism>>,
+    /// Locks `0..node_count` guard toggles; locks
+    /// `node_count..node_count + output_width` guard counters.
+    locks: LockBank,
+    /// First counter lock in `locks`.
+    counter_lock_base: usize,
     counters: Vec<u64>,
-    counter_locks: Vec<crate::node::QueueLock>,
+    output_width: u64,
     procs: Vec<Proc>,
-    rng: StdRng,
-    stamp: u64,
+    rng: SimRng,
+    checker: OnlineChecker,
+    stamp: u32,
     started_ops: usize,
     operations: Vec<Operation>,
     completed_by: Vec<usize>,
@@ -128,61 +158,130 @@ struct Runner<'a> {
     node_wait_total: u64,
     max_lock_queue: u64,
     sim_time: u64,
-    /// Home cell of each balancer (mesh placement only).
-    node_homes: Vec<(i64, i64)>,
-    /// Home cell of each counter.
-    counter_homes: Vec<(i64, i64)>,
+    /// Flat routing table: output `out` of node `i` is
+    /// `routes[route_base[i] + out]`.
+    routes: Vec<Route>,
+    route_base: Vec<u32>,
 }
 
 fn mesh_cell(index: usize, side: usize) -> (i64, i64) {
     ((index % side) as i64, ((index / side) % side) as i64)
 }
 
-impl<'a> Runner<'a> {
-    fn new(topology: &'a Topology, config: SimConfig, workload: &'a Workload) -> Self {
-        let mut nodes = vec![None; topology.node_count()];
-        for id in topology.iter_nodes() {
-            let prism_slots = config.prism.and_then(|p| {
-                // prisms only make sense on binary balancers
-                (topology.fan_out(id) == 2).then(|| p.slots_at_layer(topology.layer_of(id)))
-            });
-            nodes[id.index()] = Some(SimNode::new(topology.fan_out(id), prism_slots));
+/// Extra wire cost from mesh distance between two homes.
+fn hop_cost(placement: Placement, from: (i64, i64), to: (i64, i64)) -> u64 {
+    match placement {
+        Placement::Uniform => 0,
+        Placement::Mesh { per_hop, .. } => {
+            let d = (from.0 - to.0).unsigned_abs() + (from.1 - to.1).unsigned_abs();
+            per_hop * d
         }
+    }
+}
+
+/// The farthest ahead of "now" any single schedule can land, from the
+/// run's configuration — the bucket-wheel horizon. Saturating: an
+/// astronomically large parameter simply overflows into the queue's
+/// heap fallback.
+fn schedule_horizon(config: &SimConfig, workload: &Workload) -> u64 {
+    let mesh_max = match config.placement {
+        Placement::Uniform => 0,
+        Placement::Mesh { side, per_hop } => per_hop.saturating_mul(2 * (side.max(1) as u64 - 1)),
+    };
+    let prism_max = config
+        .prism
+        .map_or(0, |p| p.spin_window.saturating_add(p.pair_cost));
+    let step = [
+        config.link_cost,
+        config.link_jitter,
+        config.toggle_cost,
+        config.counter_cost,
+        workload.wait_cycles,
+        prism_max,
+        mesh_max,
+        1,
+    ]
+    .iter()
+    .fold(0u64, |acc, &x| acc.saturating_add(x));
+    // processors cover the initial start stagger at times 0..n
+    step.max(workload.processors as u64)
+}
+
+impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
+    fn new(topology: &'a Topology, config: SimConfig, workload: &'a Workload) -> Self {
+        let node_count = topology.node_count();
+        let width = topology.output_width();
+
+        // mesh homes (identity cost under uniform placement)
+        let node_home = |i: usize| match config.placement {
+            Placement::Uniform => (0, 0),
+            Placement::Mesh { side, .. } => mesh_cell(i, side.max(1)),
+        };
+        let counter_home = |c: usize| match config.placement {
+            Placement::Uniform => (0, 0),
+            Placement::Mesh { side, .. } => mesh_cell(c + node_count, side.max(1)),
+        };
+
+        // flatten the wiring into the routing table
+        let mut route_base = vec![0u32; node_count + 1];
+        for id in topology.iter_nodes() {
+            route_base[id.index() + 1] = topology.fan_out(id) as u32;
+        }
+        for i in 0..node_count {
+            route_base[i + 1] += route_base[i];
+        }
+        let mut routes = vec![Route { target: 0, cost: 0 }; route_base[node_count] as usize];
+        for id in topology.iter_nodes() {
+            let from = node_home(id.index());
+            for out in 0..topology.fan_out(id) {
+                let (target, to) = match topology.output_wire(id, out) {
+                    WireEnd::Node { node, .. } => (node.index() as u32, node_home(node.index())),
+                    WireEnd::Counter { index } => (index as u32 | COUNTER_BIT, counter_home(index)),
+                };
+                routes[route_base[id.index()] as usize + out] = Route {
+                    target,
+                    cost: config.link_cost + hop_cost(config.placement, from, to),
+                };
+            }
+        }
+
+        let mut prisms: Vec<Option<Prism>> = Vec::new();
+        if let Some(p) = config.prism {
+            prisms.resize(node_count, None);
+            for id in topology.iter_nodes() {
+                // prisms only make sense on binary balancers
+                if topology.fan_out(id) == 2 {
+                    prisms[id.index()] = Some(Prism::new(p.slots_at_layer(topology.layer_of(id))));
+                }
+            }
+        }
+
         let procs = (0..workload.processors)
-            .map(|p| Proc {
-                delayed: workload.is_delayed(p),
-                input: p % topology.input_width(),
-                op_start: 0,
-                arrive_time: 0,
+            .map(|p| {
+                let input = p % topology.input_width();
+                Proc {
+                    delayed: workload.is_delayed(p),
+                    input: input as u32,
+                    entry: topology.input(input).node.index() as u32,
+                    op_start: 0,
+                    arrive_time: 0,
+                }
             })
             .collect();
-        let (node_homes, counter_homes) = match config.placement {
-            Placement::Uniform => (Vec::new(), Vec::new()),
-            Placement::Mesh { side, .. } => {
-                let side = side.max(1);
-                (
-                    (0..topology.node_count())
-                        .map(|i| mesh_cell(i, side))
-                        .collect(),
-                    (0..topology.output_width())
-                        .map(|i| mesh_cell(i + topology.node_count(), side))
-                        .collect(),
-                )
-            }
-        };
+
         Runner {
-            topology,
             config,
             workload,
-            queue: BinaryHeap::new(),
-            seq: 0,
-            nodes,
-            counters: vec![0; topology.output_width()],
-            counter_locks: (0..topology.output_width())
-                .map(|_| crate::node::QueueLock::default())
-                .collect(),
+            queue: Q::with_horizon(schedule_horizon(&config, workload), workload.processors),
+            toggles: toggles_for(topology),
+            prisms,
+            locks: LockBank::new(node_count + width, workload.processors),
+            counter_lock_base: node_count,
+            counters: vec![0; width],
+            output_width: width as u64,
             procs,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: SimRng::seed_from_u64(config.seed),
+            checker: OnlineChecker::new(),
             stamp: 0,
             started_ops: 0,
             operations: Vec::with_capacity(workload.total_ops),
@@ -194,53 +293,30 @@ impl<'a> Runner<'a> {
             node_wait_total: 0,
             max_lock_queue: 0,
             sim_time: 0,
-            node_homes,
-            counter_homes,
+            routes,
+            route_base,
         }
     }
 
-    /// Extra wire cost from mesh distance between two homes.
-    fn hop_cost(&self, from: (i64, i64), to: (i64, i64)) -> u64 {
-        match self.config.placement {
-            Placement::Uniform => 0,
-            Placement::Mesh { per_hop, .. } => {
-                let d = (from.0 - to.0).unsigned_abs() + (from.1 - to.1).unsigned_abs();
-                per_hop * d
-            }
-        }
-    }
-
-    fn home_of_node(&self, node: NodeId) -> (i64, i64) {
-        self.node_homes.get(node.index()).copied().unwrap_or((0, 0))
-    }
-
-    fn home_of_counter(&self, counter: usize) -> (i64, i64) {
-        self.counter_homes.get(counter).copied().unwrap_or((0, 0))
-    }
-
+    #[inline]
     fn push(&mut self, time: u64, ev: Ev) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QEntry { time, seq, ev }));
-    }
-
-    fn node_mut(&mut self, id: NodeId) -> &mut SimNode {
-        self.nodes[id.index()]
-            .as_mut()
-            .expect("node exists in topology")
+        self.queue.push(time, ev);
     }
 
     fn run(mut self) -> RunStats {
         for p in 0..self.workload.processors {
-            self.push(p as u64, Ev::StartOp { proc: p });
+            self.push(p as u64, Ev::StartOp { proc: p as u32 });
         }
-        while let Some(Reverse(QEntry { time, ev, .. })) = self.queue.pop() {
-            self.sim_time = self.sim_time.max(time);
+        while let Some((time, ev)) = self.queue.pop() {
+            // pops are globally time-ordered, so the last popped time
+            // is the maximum
+            self.sim_time = time;
             self.handle(time, ev);
         }
         RunStats {
             operations: self.operations,
             completed_by: self.completed_by,
+            nonlinearizable: self.checker.finish(),
             output_counts: self.counters.iter().copied().collect::<OutputCounts>(),
             sim_time: self.sim_time,
             toggle_count: self.toggle_count,
@@ -252,6 +328,7 @@ impl<'a> Runner<'a> {
         }
     }
 
+    #[inline]
     fn handle(&mut self, now: u64, ev: Ev) {
         match ev {
             Ev::StartOp { proc } => self.start_op(now, proc),
@@ -268,105 +345,97 @@ impl<'a> Runner<'a> {
         }
     }
 
-    fn start_op(&mut self, now: u64, proc: usize) {
+    fn start_op(&mut self, now: u64, proc: u32) {
         if self.started_ops >= self.workload.total_ops {
             return; // quota reached: this processor retires
         }
         self.started_ops += 1;
-        self.procs[proc].op_start = now;
-        let input = self.procs[proc].input;
-        let entry = self.topology.input(input).node;
+        let p = &mut self.procs[proc as usize];
+        p.op_start = now;
+        let entry = p.entry;
         self.push(now, Ev::ArriveNode { proc, node: entry });
     }
 
-    fn arrive_node(&mut self, now: u64, proc: usize, node: NodeId) {
-        self.procs[proc].arrive_time = now;
+    fn arrive_node(&mut self, now: u64, proc: u32, node: u32) {
+        self.procs[proc as usize].arrive_time = now;
         // prism front-end first, if this node has one
-        let has_prism = self.node_mut(node).prism.is_some();
-        if has_prism {
-            let slots = self
-                .node_mut(node)
-                .prism
-                .as_ref()
-                .expect("checked")
-                .slot_count();
-            let slot = self.rng.gen_range(0..slots);
-            self.stamp += 1;
-            let stamp = self.stamp;
-            let collision = self
-                .node_mut(node)
-                .prism
-                .as_mut()
-                .expect("checked")
-                .visit(slot, proc, stamp);
-            match collision {
-                Some(occupant) => {
-                    // Diffraction: the waiting processor takes output
-                    // 0, the arriving one output 1; the toggle is
-                    // untouched. The pair leaves after `pair_cost`.
-                    let pair_cost = self.config.prism.expect("prism configured").pair_cost;
-                    self.diffraction_pairs += 1;
-                    self.node_visits += 2;
-                    self.node_wait_total += now - self.procs[occupant.proc].arrive_time;
-                    self.node_wait_total += 0; // the arriver waits only pair_cost
-                    let depart = now + pair_cost;
-                    self.depart(depart, occupant.proc, node, 0);
-                    self.depart(depart, proc, node, 1);
+        if !self.prisms.is_empty() {
+            if let Some(slots) = self.prisms[node as usize].as_ref().map(Prism::slot_count) {
+                let slot = self.rng.below(slots as u64) as usize;
+                self.stamp = self.stamp.wrapping_add(1);
+                let stamp = self.stamp;
+                let collision = self.prisms[node as usize]
+                    .as_mut()
+                    .expect("checked")
+                    .visit(slot, proc, stamp);
+                match collision {
+                    Some(occupant) => {
+                        // Diffraction: the waiting processor takes
+                        // output 0, the arriving one output 1; the
+                        // toggle is untouched. The pair leaves after
+                        // `pair_cost`.
+                        let pair_cost = self.config.prism.expect("prism configured").pair_cost;
+                        self.diffraction_pairs += 1;
+                        self.node_visits += 2;
+                        self.node_wait_total +=
+                            now - self.procs[occupant.proc as usize].arrive_time;
+                        // the arriver itself waits only pair_cost
+                        let depart = now + pair_cost;
+                        self.depart(depart, occupant.proc, node, 0);
+                        self.depart(depart, proc, node, 1);
+                    }
+                    None => {
+                        let window = self.config.prism.expect("prism configured").spin_window;
+                        self.push(
+                            now + window,
+                            Ev::PrismTimeout {
+                                proc,
+                                node,
+                                slot: slot as u32,
+                                stamp,
+                            },
+                        );
+                    }
                 }
-                None => {
-                    let window = self.config.prism.expect("prism configured").spin_window;
-                    self.push(
-                        now + window,
-                        Ev::PrismTimeout {
-                            proc,
-                            node,
-                            slot,
-                            stamp,
-                        },
-                    );
-                }
+                return;
             }
-            return;
         }
         self.request_lock(now, proc, node);
     }
 
-    fn prism_timeout(&mut self, now: u64, proc: usize, node: NodeId, slot: usize, stamp: u64) {
-        let still_waiting = self
-            .node_mut(node)
-            .prism
+    fn prism_timeout(&mut self, now: u64, proc: u32, node: u32, slot: u32, stamp: u32) {
+        let still_waiting = self.prisms[node as usize]
             .as_mut()
             .expect("timeout only scheduled for prism nodes")
-            .timeout(slot, stamp);
+            .timeout(slot as usize, stamp);
         if still_waiting {
             // fall through to the toggle lock
             self.request_lock(now, proc, node);
         }
     }
 
-    fn request_lock(&mut self, now: u64, proc: usize, node: NodeId) {
-        let toggle_cost = self.config.toggle_cost;
-        if self.node_mut(node).lock.acquire(proc) {
-            self.push(now + toggle_cost, Ev::ToggleDone { proc, node });
+    #[inline]
+    fn request_lock(&mut self, now: u64, proc: u32, node: u32) {
+        if self.locks.acquire(node as usize, proc) {
+            self.push(now + self.config.toggle_cost, Ev::ToggleDone { proc, node });
         } else {
-            let depth = self.node_mut(node).lock.queue_len() as u64;
+            let depth = u64::from(self.locks.queue_len(node as usize));
             self.max_lock_queue = self.max_lock_queue.max(depth);
         }
         // otherwise the processor spins in the FIFO queue; ToggleDone
         // for it will be scheduled by the releasing holder
     }
 
-    fn toggle_done(&mut self, now: u64, proc: usize, node: NodeId) {
-        let wait = now - self.procs[proc].arrive_time;
+    fn toggle_done(&mut self, now: u64, proc: u32, node: u32) {
+        let wait = now - self.procs[proc as usize].arrive_time;
         self.toggle_count += 1;
         self.toggle_wait_total += wait;
         self.node_visits += 1;
         self.node_wait_total += wait;
-        let out = self.node_mut(node).toggle.route();
-        if let Some(next_holder) = self.node_mut(node).lock.release() {
-            let toggle_cost = self.config.toggle_cost;
+        let out = self.toggles[node as usize].route();
+        if let Some(next_holder) = self.locks.release(node as usize) {
             self.push(
-                now + toggle_cost,
+                now + self.config.toggle_cost,
                 Ev::ToggleDone {
                     proc: next_holder,
                     node,
@@ -380,10 +449,11 @@ impl<'a> Runner<'a> {
     /// schedules its arrival at the next node or counter after the wire
     /// latency plus any injected delay ("waits W cycles after
     /// traversing a node in the net").
-    fn depart(&mut self, t: u64, proc: usize, node: NodeId, out: usize) {
+    #[inline]
+    fn depart(&mut self, t: u64, proc: u32, node: u32, out: usize) {
         let wait = match self.workload.wait_mode {
             WaitMode::Fixed => {
-                if self.procs[proc].delayed {
+                if self.procs[proc as usize].delayed {
                     self.workload.wait_cycles
                 } else {
                     0
@@ -393,53 +463,61 @@ impl<'a> Runner<'a> {
                 if self.workload.wait_cycles == 0 {
                     0
                 } else {
-                    self.rng.gen_range(0..=self.workload.wait_cycles)
+                    self.rng.inclusive(self.workload.wait_cycles)
                 }
             }
         };
         let jitter = if self.config.link_jitter == 0 {
             0
         } else {
-            self.rng.gen_range(0..=self.config.link_jitter)
+            self.rng.inclusive(self.config.link_jitter)
         };
-        let base = t + self.config.link_cost + jitter + wait;
-        let from = self.home_of_node(node);
-        match self.topology.output_wire(node, out) {
-            WireEnd::Node { node: next, .. } => {
-                let arrival = base + self.hop_cost(from, self.home_of_node(next));
-                self.push(arrival, Ev::ArriveNode { proc, node: next });
-            }
-            WireEnd::Counter { index } => {
-                let arrival = base + self.hop_cost(from, self.home_of_counter(index));
-                self.push(
-                    arrival,
-                    Ev::ArriveCounter {
-                        proc,
-                        counter: index,
-                    },
-                );
-            }
+        let route = self.routes[self.route_base[node as usize] as usize + out];
+        let arrival = t + jitter + wait + route.cost;
+        if route.target & COUNTER_BIT == 0 {
+            self.push(
+                arrival,
+                Ev::ArriveNode {
+                    proc,
+                    node: route.target,
+                },
+            );
+        } else {
+            self.push(
+                arrival,
+                Ev::ArriveCounter {
+                    proc,
+                    counter: route.target & !COUNTER_BIT,
+                },
+            );
         }
     }
 
-    fn arrive_counter(&mut self, now: u64, proc: usize, counter: usize) {
+    fn arrive_counter(&mut self, now: u64, proc: u32, counter: u32) {
         if self.config.counter_cost == 0 {
             self.counter_done(now, proc, counter);
             return;
         }
-        if self.counter_locks[counter].acquire(proc) {
-            let cost = self.config.counter_cost;
-            self.push(now + cost, Ev::CounterDone { proc, counter });
+        if self
+            .locks
+            .acquire(self.counter_lock_base + counter as usize, proc)
+        {
+            self.push(
+                now + self.config.counter_cost,
+                Ev::CounterDone { proc, counter },
+            );
         }
         // otherwise queued; CounterDone is scheduled on release
     }
 
-    fn counter_done(&mut self, now: u64, proc: usize, counter: usize) {
+    fn counter_done(&mut self, now: u64, proc: u32, counter: u32) {
         if self.config.counter_cost > 0 {
-            if let Some(next) = self.counter_locks[counter].release() {
-                let cost = self.config.counter_cost;
+            if let Some(next) = self
+                .locks
+                .release(self.counter_lock_base + counter as usize)
+            {
                 self.push(
-                    now + cost,
+                    now + self.config.counter_cost,
                     Ev::CounterDone {
                         proc: next,
                         counter,
@@ -447,19 +525,24 @@ impl<'a> Runner<'a> {
                 );
             }
         }
-        let w = self.topology.output_width() as u64;
-        let value = counter as u64 + w * self.counters[counter];
-        self.counters[counter] += 1;
+        let value = u64::from(counter) + self.output_width * self.counters[counter as usize];
+        self.counters[counter as usize] += 1;
         let token = self.operations.len();
-        self.completed_by.push(proc);
-        self.operations.push(Operation {
+        self.completed_by.push(proc as usize);
+        let op = Operation {
             token,
-            input: self.procs[proc].input,
-            start: self.procs[proc].op_start,
+            input: self.procs[proc as usize].input as usize,
+            start: self.procs[proc as usize].op_start,
             end: now,
-            counter,
+            counter: counter as usize,
             value,
-        });
+        };
+        self.operations.push(op);
+        // completions arrive in nondecreasing `end` order (event pops
+        // are time-ordered), which is exactly the streaming checker's
+        // contract — the Definition 2.4 count is ready the moment the
+        // run ends, with no end-of-run sort
+        self.checker.observe(op);
         // the next operation begins strictly after this one's response,
         // so a processor's successive operations are ordered under
         // Definition 2.4's strict precedence

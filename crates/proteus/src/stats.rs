@@ -1,6 +1,6 @@
 //! Measurements collected from a simulation run.
 
-use cnet_timing::{linearizability, program_order, Operation};
+use cnet_timing::{program_order, sweep, Operation};
 use cnet_topology::OutputCounts;
 
 /// Everything measured during one simulated benchmark run.
@@ -37,20 +37,28 @@ pub struct RunStats {
     /// The deepest FIFO queue observed at any balancer lock — a direct
     /// contention indicator.
     pub max_lock_queue: u64,
+    /// Non-linearizable operations (Definition 2.4), accumulated by the
+    /// simulator's streaming checker as operations complete — no
+    /// post-run sweep needed.
+    pub nonlinearizable: usize,
 }
 
 impl RunStats {
     /// The number of non-linearizable operations (Definition 2.4).
     #[must_use]
     pub fn nonlinearizable_count(&self) -> usize {
-        linearizability::count_nonlinearizable(&self.operations)
+        self.nonlinearizable
     }
 
     /// The fraction of non-linearizable operations — the y-axis of the
     /// paper's Figures 5 and 6.
     #[must_use]
     pub fn nonlinearizable_ratio(&self) -> f64 {
-        linearizability::nonlinearizable_ratio(&self.operations)
+        if self.operations.is_empty() {
+            0.0
+        } else {
+            self.nonlinearizable as f64 / self.operations.len() as f64
+        }
     }
 
     /// The average time a token waits before toggling a balancer — the
@@ -95,12 +103,9 @@ impl RunStats {
     /// [`Self::nonlinearizable_count`].
     #[must_use]
     pub fn program_order_violations(&self) -> usize {
-        // rebuild per-process traces using the completed_by map
-        let mut tagged: Vec<Operation> = self.operations.clone();
-        for (op, &proc) in tagged.iter_mut().zip(&self.completed_by) {
-            op.input = proc;
-        }
-        program_order::count_program_order_violations(&tagged, program_order::by_input)
+        // look processes up by index in the completed_by map — no
+        // clone-and-retag of the trace
+        program_order::count_program_order_violations_by(&self.operations, |i| self.completed_by[i])
     }
 
     /// Operation-latency histogram over power-of-two buckets: entry
@@ -142,17 +147,23 @@ impl RunStats {
     /// The serializable scalar summary of this run: every headline
     /// number, none of the per-operation trace. `wait_cycles` is the
     /// workload's `W`, needed for the Figure 7 ratio.
+    ///
+    /// Trace-derived metrics (program order, latency) come from one
+    /// shared pass over the trace ([`sweep::trace_metrics`]); the
+    /// non-linearizable count was already streamed during the run.
     #[must_use]
     pub fn summary(&self, wait_cycles: u64) -> StatsSummary {
+        let m = sweep::trace_metrics(&self.operations, |i| self.completed_by[i]);
+        debug_assert_eq!(m.nonlinearizable, self.nonlinearizable);
         StatsSummary {
             completed_ops: self.operations.len(),
             sim_time: self.sim_time,
-            nonlinearizable: self.nonlinearizable_count(),
+            nonlinearizable: self.nonlinearizable,
             nonlinearizable_ratio: self.nonlinearizable_ratio(),
-            program_order_violations: self.program_order_violations(),
+            program_order_violations: m.program_order_violations,
             avg_toggle_wait: self.avg_toggle_wait(),
             average_ratio: self.average_ratio(wait_cycles),
-            mean_latency: self.mean_latency(),
+            mean_latency: m.mean_latency(),
             throughput: self.throughput(),
             toggle_count: self.toggle_count,
             toggle_wait_total: self.toggle_wait_total,
@@ -224,6 +235,7 @@ mod tests {
 
     fn stats_with(ops: Vec<Operation>) -> RunStats {
         let n = ops.len();
+        let nonlinearizable = cnet_timing::linearizability::count_nonlinearizable(&ops);
         RunStats {
             operations: ops,
             completed_by: vec![0; n],
@@ -235,6 +247,7 @@ mod tests {
             node_visits: 4,
             node_wait_total: 40,
             max_lock_queue: 0,
+            nonlinearizable,
         }
     }
 
@@ -332,6 +345,7 @@ mod consistency_tests {
                 value: 1,
             },
         ];
+        let nonlinearizable = cnet_timing::linearizability::count_nonlinearizable(&ops);
         let stats = RunStats {
             operations: ops,
             completed_by: vec![0, 1], // different processors
@@ -343,6 +357,7 @@ mod consistency_tests {
             node_visits: 1,
             node_wait_total: 1,
             max_lock_queue: 0,
+            nonlinearizable,
         };
         assert_eq!(stats.nonlinearizable_count(), 1);
         assert_eq!(stats.program_order_violations(), 0);
@@ -401,6 +416,7 @@ mod consistency_tests {
             node_visits: 1,
             node_wait_total: 1,
             max_lock_queue: 0,
+            nonlinearizable: 0,
         };
         assert_eq!(stats.latency_histogram(), vec![1, 1, 0, 1]);
     }

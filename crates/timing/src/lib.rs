@@ -72,6 +72,7 @@ pub mod program_order;
 pub mod random;
 pub mod render;
 pub mod schedule;
+pub mod sweep;
 pub mod threshold;
 pub mod windows;
 

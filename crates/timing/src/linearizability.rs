@@ -41,19 +41,25 @@ pub fn count_nonlinearizable(ops: &[Operation]) -> usize {
 
 /// The tokens whose operations are non-linearizable, in no particular
 /// order.
+///
+/// The sweep walks two *index*-sorted views (`u32` indices, not
+/// `&Operation` references), halving the per-call scratch relative to
+/// the earlier ref-vector implementation.
 #[must_use]
 pub fn nonlinearizable_tokens(ops: &[Operation]) -> Vec<usize> {
-    let mut by_start: Vec<&Operation> = ops.iter().collect();
-    by_start.sort_unstable_by_key(|o| o.start);
-    let mut by_end: Vec<&Operation> = ops.iter().collect();
-    by_end.sort_unstable_by_key(|o| o.end);
+    assert!(u32::try_from(ops.len()).is_ok(), "trace too large");
+    let mut by_start: Vec<u32> = (0..ops.len() as u32).collect();
+    by_start.sort_unstable_by_key(|&i| ops[i as usize].start);
+    let mut by_end: Vec<u32> = (0..ops.len() as u32).collect();
+    by_end.sort_unstable_by_key(|&i| ops[i as usize].end);
 
     let mut bad = Vec::new();
     let mut finished = 0usize; // index into by_end
     let mut max_finished_value: Option<u64> = None;
-    for op in by_start {
-        while finished < by_end.len() && by_end[finished].end < op.start {
-            let v = by_end[finished].value;
+    for &i in &by_start {
+        let op = &ops[i as usize];
+        while finished < by_end.len() && ops[by_end[finished] as usize].end < op.start {
+            let v = ops[by_end[finished] as usize].value;
             max_finished_value = Some(max_finished_value.map_or(v, |m| m.max(v)));
             finished += 1;
         }

@@ -40,24 +40,45 @@ pub fn by_input(op: &Operation) -> usize {
 /// counted, mirroring Definition 2.4).
 #[must_use]
 pub fn count_program_order_violations(ops: &[Operation], process_of: ProcessOf) -> usize {
+    count_program_order_violations_by(ops, |i| process_of(&ops[i]))
+}
+
+/// Like [`count_program_order_violations`], but the process of each
+/// operation is looked up *by index* — so a caller holding a parallel
+/// `completed_by` map (the simulator's [`RunStats`]) needs neither to
+/// clone nor to re-tag the trace.
+///
+/// One index sort by start time replaces the group-then-sort of the
+/// earlier implementation: per-process operations are non-overlapping,
+/// so walking *all* operations in global start order while keeping one
+/// running maximum per process visits each process's operations in its
+/// program order.
+///
+/// [`RunStats`]: https://docs.rs/cnet-proteus
+#[must_use]
+pub fn count_program_order_violations_by<F: FnMut(usize) -> usize>(
+    ops: &[Operation],
+    mut process_of: F,
+) -> usize {
     use std::collections::HashMap;
-    // group by process, order by start time (per-process ops are
-    // non-overlapping, so start order is program order)
-    let mut per_process: HashMap<usize, Vec<&Operation>> = HashMap::new();
-    for op in ops {
-        per_process.entry(process_of(op)).or_default().push(op);
-    }
+    let mut by_start: Vec<u32> = (0..ops.len() as u32).collect();
+    by_start.sort_unstable_by_key(|&i| ops[i as usize].start);
+    let mut max_of: HashMap<usize, u64> = HashMap::new();
     let mut violations = 0;
-    for (_, mut seq) in per_process {
-        seq.sort_unstable_by_key(|o| o.start);
-        let mut max_value: Option<u64> = None;
-        for op in seq {
-            if let Some(m) = max_value {
+    for &i in &by_start {
+        let op = &ops[i as usize];
+        match max_of.entry(process_of(i as usize)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let m = *e.get();
                 if op.value < m {
                     violations += 1;
+                } else {
+                    e.insert(op.value);
                 }
             }
-            max_value = Some(max_value.map_or(op.value, |m| m.max(op.value)));
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(op.value);
+            }
         }
     }
     violations

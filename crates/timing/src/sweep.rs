@@ -1,0 +1,224 @@
+//! One-pass trace metrics: the Definition 2.4 sweep, program-order
+//! counting, and latency statistics over a *single* sorted view.
+//!
+//! [`linearizability::count_nonlinearizable`], [`program_order`] and
+//! the latency accessors each walk (and in the sweep's case sort) the
+//! trace independently. Summarising a run touches all of them, so a
+//! 5000-op summary used to sort the trace three times and scan it
+//! five. [`trace_metrics`] computes everything in one walk over one
+//! start-sorted index view, with the end-ordered view borrowed for
+//! free when the trace is already in completion order — which
+//! simulator traces always are, because the event loop emits
+//! operations as they finish.
+//!
+//! Each metric is defined to count *identically* to its standalone
+//! sibling (property-tested below), so [`trace_metrics`] is a pure
+//! performance substitution.
+
+use std::collections::HashMap;
+
+use crate::execution::Operation;
+
+/// Every per-trace metric the run summary needs, from one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMetrics {
+    /// Non-linearizable operations (Definition 2.4); matches
+    /// [`crate::linearizability::count_nonlinearizable`].
+    pub nonlinearizable: usize,
+    /// Per-process value regressions; matches
+    /// [`crate::program_order::count_program_order_violations_by`].
+    pub program_order_violations: usize,
+    /// Sum of `end - start` over all operations.
+    pub total_latency: u64,
+    /// Power-of-two latency buckets: entry `i` counts operations with
+    /// latency in `[2^i, 2^(i+1))` (entry 0 also holds latency 0).
+    pub latency_histogram: Vec<u64>,
+    /// Operations in the trace.
+    pub operations: usize,
+}
+
+impl TraceMetrics {
+    /// Mean operation latency (`0.0` for an empty trace).
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.operations as f64
+        }
+    }
+
+    /// `nonlinearizable / operations` (`0.0` for an empty trace).
+    #[must_use]
+    pub fn nonlinearizable_ratio(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.nonlinearizable as f64 / self.operations as f64
+        }
+    }
+}
+
+/// Computes [`TraceMetrics`] in `O(n log n)` time and one `u32` index
+/// vector of scratch (two when the trace is not already end-sorted).
+///
+/// `process_of` maps an operation's *index* to its process, as in
+/// [`crate::program_order::count_program_order_violations_by`].
+///
+/// # Panics
+///
+/// Panics if the trace holds more than `u32::MAX` operations.
+#[must_use]
+pub fn trace_metrics<F: FnMut(usize) -> usize>(
+    ops: &[Operation],
+    mut process_of: F,
+) -> TraceMetrics {
+    assert!(u32::try_from(ops.len()).is_ok(), "trace too large");
+    let mut by_start: Vec<u32> = (0..ops.len() as u32).collect();
+    by_start.sort_unstable_by_key(|&i| ops[i as usize].start);
+    // The sweep consumes finishers in end order. Simulator traces are
+    // already completion-ordered, so the identity view is free; only a
+    // shuffled trace pays for a second sort.
+    let by_end: Option<Vec<u32>> = if ops.windows(2).all(|w| w[0].end <= w[1].end) {
+        None
+    } else {
+        let mut v: Vec<u32> = (0..ops.len() as u32).collect();
+        v.sort_unstable_by_key(|&i| ops[i as usize].end);
+        Some(v)
+    };
+    let end_idx = |k: usize| match &by_end {
+        Some(v) => v[k] as usize,
+        None => k,
+    };
+
+    let mut finished = 0usize;
+    let mut max_finished_value: Option<u64> = None;
+    let mut nonlinearizable = 0usize;
+    let mut process_max: HashMap<usize, u64> = HashMap::new();
+    let mut program_order_violations = 0usize;
+    let mut total_latency = 0u64;
+    let mut latency_histogram: Vec<u64> = Vec::new();
+
+    for &i in &by_start {
+        let op = &ops[i as usize];
+
+        while finished < ops.len() && ops[end_idx(finished)].end < op.start {
+            let v = ops[end_idx(finished)].value;
+            max_finished_value = Some(max_finished_value.map_or(v, |m| m.max(v)));
+            finished += 1;
+        }
+        if let Some(m) = max_finished_value {
+            if m > op.value {
+                nonlinearizable += 1;
+            }
+        }
+
+        match process_max.entry(process_of(i as usize)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if op.value < *e.get() {
+                    program_order_violations += 1;
+                } else {
+                    e.insert(op.value);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(op.value);
+            }
+        }
+
+        let lat = op.end - op.start;
+        total_latency += lat;
+        let b = (64 - lat.max(1).leading_zeros()) as usize - 1;
+        if latency_histogram.len() <= b {
+            latency_histogram.resize(b + 1, 0);
+        }
+        latency_histogram[b] += 1;
+    }
+
+    TraceMetrics {
+        nonlinearizable,
+        program_order_violations,
+        total_latency,
+        latency_histogram,
+        operations: ops.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{linearizability, program_order};
+    use proptest::prelude::*;
+
+    fn op(token: usize, input: usize, start: u64, end: u64, value: u64) -> Operation {
+        Operation {
+            token,
+            input,
+            start,
+            end,
+            counter: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let m = trace_metrics(&[], |_| 0);
+        assert_eq!(m.nonlinearizable, 0);
+        assert_eq!(m.program_order_violations, 0);
+        assert_eq!(m.total_latency, 0);
+        assert!(m.latency_histogram.is_empty());
+        assert_eq!(m.mean_latency(), 0.0);
+        assert_eq!(m.nonlinearizable_ratio(), 0.0);
+    }
+
+    #[test]
+    fn matches_standalone_metrics_on_a_small_trace() {
+        let ops = vec![op(0, 0, 0, 3, 7), op(1, 1, 4, 6, 2), op(2, 0, 7, 15, 1)];
+        let m = trace_metrics(&ops, |i| ops[i].input);
+        assert_eq!(
+            m.nonlinearizable,
+            linearizability::count_nonlinearizable(&ops)
+        );
+        assert_eq!(
+            m.program_order_violations,
+            program_order::count_program_order_violations_by(&ops, |i| ops[i].input)
+        );
+        assert_eq!(m.total_latency, 3 + 2 + 8);
+        assert_eq!(m.latency_histogram, vec![0, 2, 0, 1]);
+        assert!((m.mean_latency() - 13.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The one-pass metrics agree with each standalone
+        /// implementation — in and out of completion order, with ties.
+        #[test]
+        fn one_pass_matches_standalone(
+            raw in proptest::collection::vec(
+                (0usize..4, 0u64..50, 0u64..20, 0u64..30),
+                0..60
+            ),
+            sort_by_end in 0u32..2,
+        ) {
+            let mut ops: Vec<Operation> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(input, start, len, value))| op(i, input, start, start + len, value))
+                .collect();
+            if sort_by_end == 1 {
+                ops.sort_by_key(|o| o.end);
+            }
+            let m = trace_metrics(&ops, |i| ops[i].input);
+            prop_assert_eq!(m.nonlinearizable, linearizability::count_nonlinearizable(&ops));
+            prop_assert_eq!(
+                m.program_order_violations,
+                program_order::count_program_order_violations_by(&ops, |i| ops[i].input)
+            );
+            let total: u64 = ops.iter().map(|o| o.end - o.start).sum();
+            prop_assert_eq!(m.total_latency, total);
+            prop_assert_eq!(m.operations, ops.len());
+        }
+    }
+}
