@@ -1,6 +1,6 @@
 //! Lock-free toggle balancers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// A wait-free balancer: the `t`-th traversal (atomically numbered)
 /// exits on output `t mod fan_out`.
@@ -65,26 +65,31 @@ mod tests {
 
     #[test]
     fn concurrent_traversals_satisfy_step_property() {
-        let b = Arc::new(ToggleBalancer::new(2));
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let b = Arc::clone(&b);
-            handles.push(std::thread::spawn(move || {
-                let mut outs = [0u64; 2];
-                for _ in 0..1000 {
-                    outs[b.traverse()] += 1;
-                }
-                outs
-            }));
-        }
-        let mut totals = [0u64; 2];
-        for h in handles {
-            let outs = h.join().expect("no panic");
-            totals[0] += outs[0];
-            totals[1] += outs[1];
-        }
-        // 4000 tokens through a 2-way balancer: exactly 2000 each way
-        assert_eq!(totals, [2000, 2000]);
+        let cfg = crate::testcfg::stress().with_per_thread(1000);
+        crate::testcfg::with_seed_report(crate::testcfg::seed(), |_| {
+            let b = Arc::new(ToggleBalancer::new(2));
+            let mut handles = Vec::new();
+            for _ in 0..cfg.threads {
+                let b = Arc::clone(&b);
+                let per_thread = cfg.per_thread;
+                handles.push(std::thread::spawn(move || {
+                    let mut outs = [0u64; 2];
+                    for _ in 0..per_thread {
+                        outs[b.traverse()] += 1;
+                    }
+                    outs
+                }));
+            }
+            let mut totals = [0u64; 2];
+            for h in handles {
+                let outs = h.join().expect("no panic");
+                totals[0] += outs[0];
+                totals[1] += outs[1];
+            }
+            // the step property: output 0 gets the extra token if the
+            // total is odd
+            assert_eq!(totals, [cfg.total().div_ceil(2), cfg.total() / 2]);
+        });
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The shared-counter abstraction and the centralized baselines.
 
 use std::fmt::Debug;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+
+use crate::sync::{AtomicU64, Ordering};
 
 /// A shared fetch-and-increment counter: every call returns a distinct
 /// value, and the set of returned values is exactly `0..n` after `n`
@@ -71,12 +72,12 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    fn exercise(counter: Arc<dyn Counter>, threads: usize, per_thread: usize) -> Vec<u64> {
+    fn exercise(counter: Arc<dyn Counter>, cfg: crate::testcfg::StressParams) -> Vec<u64> {
         let mut handles = Vec::new();
-        for _ in 0..threads {
+        for _ in 0..cfg.threads {
             let c = Arc::clone(&counter);
             handles.push(std::thread::spawn(move || {
-                (0..per_thread).map(|_| c.next()).collect::<Vec<u64>>()
+                (0..cfg.per_thread).map(|_| c.next()).collect::<Vec<u64>>()
             }));
         }
         let mut all: Vec<u64> = handles
@@ -89,14 +90,20 @@ mod tests {
 
     #[test]
     fn fetch_add_counts_exactly() {
-        let all = exercise(Arc::new(FetchAddCounter::new()), 4, 500);
-        assert_eq!(all, (0..2000).collect::<Vec<u64>>());
+        let cfg = crate::testcfg::stress();
+        crate::testcfg::with_seed_report(crate::testcfg::seed(), |_| {
+            let all = exercise(Arc::new(FetchAddCounter::new()), cfg);
+            assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>());
+        });
     }
 
     #[test]
     fn lock_counter_counts_exactly() {
-        let all = exercise(Arc::new(LockCounter::new()), 4, 500);
-        assert_eq!(all, (0..2000).collect::<Vec<u64>>());
+        let cfg = crate::testcfg::stress();
+        crate::testcfg::with_seed_report(crate::testcfg::seed(), |_| {
+            let all = exercise(Arc::new(LockCounter::new()), cfg);
+            assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>());
+        });
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub mod counter;
 pub mod lock;
 pub mod mp;
 pub mod network;
+pub mod sync;
+pub mod testcfg;
 pub mod tree;
 
 pub use counter::Counter;

@@ -8,7 +8,7 @@
 //! performance property that does not change any ordering); the
 //! substitution is recorded in DESIGN.md.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{spin_loop, yield_now, AtomicU64, Ordering};
 
 /// A FIFO spin lock: tickets are granted in acquisition order.
 ///
@@ -32,6 +32,18 @@ pub struct TicketLock {
 #[derive(Debug)]
 pub struct TicketGuard<'a> {
     lock: &'a TicketLock,
+    ticket: u64,
+}
+
+impl TicketGuard<'_> {
+    /// The ticket this acquisition drew. Tickets are granted in
+    /// strictly increasing order, so the sequence of `ticket()` values
+    /// observed inside critical sections is the FIFO grant order —
+    /// which is what the model-checking tests assert.
+    #[must_use]
+    pub fn ticket(&self) -> u64 {
+        self.ticket
+    }
 }
 
 impl TicketLock {
@@ -49,12 +61,12 @@ impl TicketLock {
         while self.now_serving.load(Ordering::Acquire) != ticket {
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(64) {
-                std::thread::yield_now();
+                yield_now();
             } else {
-                std::hint::spin_loop();
+                spin_loop();
             }
         }
-        TicketGuard { lock: self }
+        TicketGuard { lock: self, ticket }
     }
 
     /// Whether anyone currently holds or waits for the lock.
@@ -121,29 +133,46 @@ mod tests {
 
     #[test]
     fn lock_provides_mutual_exclusion() {
-        let lock = Arc::new(TicketLock::new());
-        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let shared = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let lock = Arc::clone(&lock);
-            let counter = Arc::clone(&counter);
-            let shared = Arc::clone(&shared);
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..2000 {
-                    let _g = lock.lock();
-                    // non-atomic-style read-modify-write under the lock
-                    let v = shared.load(Ordering::Relaxed);
-                    shared.store(v + 1, Ordering::Relaxed);
-                    counter.fetch_add(1, Ordering::Relaxed);
-                }
-            }));
+        let cfg = crate::testcfg::stress().with_per_thread(2000);
+        crate::testcfg::with_seed_report(crate::testcfg::seed(), |_| {
+            let lock = Arc::new(TicketLock::new());
+            let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let shared = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..cfg.threads {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                let shared = Arc::clone(&shared);
+                let per_thread = cfg.per_thread;
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        let _g = lock.lock();
+                        // non-atomic-style read-modify-write under the lock
+                        let v = shared.load(Ordering::Relaxed);
+                        shared.store(v + 1, Ordering::Relaxed);
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("no panic");
+            }
+            assert_eq!(
+                shared.load(Ordering::Relaxed),
+                cfg.total(),
+                "no lost updates"
+            );
+            assert!(!lock.is_contended());
+        });
+    }
+
+    #[test]
+    fn guards_report_their_tickets_in_order() {
+        let lock = TicketLock::new();
+        for expect in 0..3 {
+            let g = lock.lock();
+            assert_eq!(g.ticket(), expect);
         }
-        for h in handles {
-            h.join().expect("no panic");
-        }
-        assert_eq!(shared.load(Ordering::Relaxed), 8000, "no lost updates");
-        assert!(!lock.is_contended());
     }
 
     #[test]

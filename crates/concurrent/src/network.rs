@@ -1,6 +1,6 @@
 //! Any validated topology as a real concurrent counter.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 
 use cnet_topology::{Topology, WireEnd};
 
@@ -71,15 +71,24 @@ fn fast_thread_rand() -> u64 {
     thread_local! {
         static RNG: Cell<u64> = const { Cell::new(0) };
     }
-    RNG.with(|c| {
-        let mut x = c.get();
-        if x == 0 {
-            let probe = 0u64;
-            x = (&probe as *const u64 as u64) | 1;
-        }
+    fn step(mut x: u64) -> u64 {
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
+        x
+    }
+    // under the model checker the cache must not be used: it would
+    // carry state across explored executions (the main virtual thread
+    // keeps its OS thread) and break schedule replay
+    if crate::sync::in_model() {
+        return step(crate::sync::thread_rng_seed());
+    }
+    RNG.with(|c| {
+        let mut x = c.get();
+        if x == 0 {
+            x = crate::sync::thread_rng_seed();
+        }
+        x = step(x);
         c.set(x);
         x
     })
@@ -243,22 +252,24 @@ mod tests {
     use cnet_topology::constructions;
     use std::sync::Arc;
 
-    fn hammer(counter: &Arc<NetworkCounter>, threads: usize, per_thread: usize) -> Vec<u64> {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let c = Arc::clone(counter);
-            handles.push(std::thread::spawn(move || {
-                (0..per_thread)
-                    .map(|_| c.next_on(t % c.entries.len()))
-                    .collect::<Vec<u64>>()
-            }));
-        }
-        let mut all: Vec<u64> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("no panic"))
-            .collect();
-        all.sort_unstable();
-        all
+    fn hammer(counter: &Arc<NetworkCounter>, cfg: crate::testcfg::StressParams) -> Vec<u64> {
+        crate::testcfg::with_seed_report(crate::testcfg::seed(), |_| {
+            let mut handles = Vec::new();
+            for t in 0..cfg.threads {
+                let c = Arc::clone(counter);
+                handles.push(std::thread::spawn(move || {
+                    (0..cfg.per_thread)
+                        .map(|_| c.next_on(t % c.entries.len()))
+                        .collect::<Vec<u64>>()
+                }));
+            }
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("no panic"))
+                .collect();
+            all.sort_unstable();
+            all
+        })
     }
 
     #[test]
@@ -272,70 +283,83 @@ mod tests {
 
     #[test]
     fn concurrent_bitonic_hands_out_each_value_once() {
+        let cfg = crate::testcfg::stress().with_per_thread(1000);
         let net = constructions::bitonic(8).unwrap();
         let c = Arc::new(NetworkCounter::new(&net));
-        let all = hammer(&c, 4, 1000);
-        assert_eq!(all, (0..4000).collect::<Vec<u64>>());
+        let all = hammer(&c, cfg);
+        assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>());
         let counts: Vec<u64> = c.output_counts();
-        assert_eq!(counts.iter().sum::<u64>(), 4000);
+        assert_eq!(counts.iter().sum::<u64>(), cfg.total());
     }
 
     #[test]
     fn concurrent_periodic_counts_exactly() {
+        let cfg = crate::testcfg::stress();
         let net = constructions::periodic(4).unwrap();
         let c = Arc::new(NetworkCounter::new(&net));
-        let all = hammer(&c, 4, 500);
-        assert_eq!(all, (0..2000).collect::<Vec<u64>>());
+        let all = hammer(&c, cfg);
+        assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>());
     }
 
     #[test]
     fn locked_balancers_count_exactly() {
+        let cfg = crate::testcfg::stress();
         let net = constructions::bitonic(4).unwrap();
         let c = Arc::new(NetworkCounter::with_kind(&net, BalancerKind::Locked));
-        let all = hammer(&c, 4, 500);
-        assert_eq!(all, (0..2000).collect::<Vec<u64>>());
+        let all = hammer(&c, cfg);
+        assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>());
     }
 
     #[test]
     fn padded_network_counts_exactly() {
+        let cfg = crate::testcfg::stress().with_per_thread(400);
         let inner = constructions::bitonic(4).unwrap();
         let padded = constructions::pad_inputs(&inner, 3).unwrap();
         let c = Arc::new(NetworkCounter::new(&padded));
-        let all = hammer(&c, 4, 400);
-        assert_eq!(all, (0..1600).collect::<Vec<u64>>());
+        let all = hammer(&c, cfg);
+        assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>());
         assert_eq!(c.depth(), inner.depth() + 3);
     }
 
     #[test]
     fn quiescent_counts_form_a_step() {
+        // deliberately not a multiple of the width
+        let cfg = crate::testcfg::stress().with_per_thread(251);
         let net = constructions::bitonic(8).unwrap();
         let c = Arc::new(NetworkCounter::new(&net));
-        let _ = hammer(&c, 4, 251); // deliberately not a multiple of width
+        let _ = hammer(&c, cfg);
         let counts = cnet_topology::OutputCounts::from(c.output_counts());
         assert!(counts.is_step(), "{counts}");
     }
 
     #[test]
     fn delay_injection_does_not_break_counting() {
-        let net = constructions::bitonic(4).unwrap();
-        let c = Arc::new(NetworkCounter::new(&net));
-        let mut handles = Vec::new();
-        for t in 0..4usize {
-            let c = Arc::clone(&c);
-            // half the threads are "slow"
-            let spin = if t % 2 == 0 { 200 } else { 0 };
-            handles.push(std::thread::spawn(move || {
-                (0..300)
-                    .map(|_| c.next_on_with_delay(t, spin))
-                    .collect::<Vec<u64>>()
-            }));
-        }
-        let mut all: Vec<u64> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("no panic"))
-            .collect();
-        all.sort_unstable();
-        assert_eq!(all, (0..1200).collect::<Vec<u64>>());
+        let cfg = crate::testcfg::stress().with_per_thread(300);
+        crate::testcfg::with_seed_report(crate::testcfg::seed(), |_| {
+            let net = constructions::bitonic(4).unwrap();
+            let c = Arc::new(NetworkCounter::new(&net));
+            let mut handles = Vec::new();
+            for t in 0..cfg.threads.min(4) {
+                let c = Arc::clone(&c);
+                // half the threads are "slow"
+                let spin = if t % 2 == 0 { 200 } else { 0 };
+                handles.push(std::thread::spawn(move || {
+                    (0..cfg.per_thread)
+                        .map(|_| c.next_on_with_delay(t, spin))
+                        .collect::<Vec<u64>>()
+                }));
+            }
+            let spawned = cfg.threads.min(4);
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("no panic"))
+                .collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (0..(spawned * cfg.per_thread) as u64).collect::<Vec<u64>>()
+            );
+        });
     }
 
     #[test]
@@ -355,27 +379,32 @@ mod diffracting_network_tests {
 
     #[test]
     fn diffracting_bitonic_counts_exactly() {
-        let net = constructions::bitonic(8).unwrap();
-        let kind = BalancerKind::Diffracting {
-            slots: 2,
-            spin: 500,
-        };
-        let c = Arc::new(NetworkCounter::with_kind(&net, kind));
-        let mut handles = Vec::new();
-        for t in 0..4usize {
-            let c = Arc::clone(&c);
-            handles.push(std::thread::spawn(move || {
-                (0..800).map(|_| c.next_on(t % 8)).collect::<Vec<u64>>()
-            }));
-        }
-        let mut all: Vec<u64> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker"))
-            .collect();
-        all.sort_unstable();
-        assert_eq!(all, (0..3200).collect::<Vec<u64>>());
-        let counts = cnet_topology::OutputCounts::from(c.output_counts());
-        assert!(counts.is_step(), "{counts}");
+        let cfg = crate::testcfg::stress().with_per_thread(800);
+        crate::testcfg::with_seed_report(crate::testcfg::seed(), |_| {
+            let net = constructions::bitonic(8).unwrap();
+            let kind = BalancerKind::Diffracting {
+                slots: 2,
+                spin: 500,
+            };
+            let c = Arc::new(NetworkCounter::with_kind(&net, kind));
+            let mut handles = Vec::new();
+            for t in 0..cfg.threads {
+                let c = Arc::clone(&c);
+                handles.push(std::thread::spawn(move || {
+                    (0..cfg.per_thread)
+                        .map(|_| c.next_on(t % 8))
+                        .collect::<Vec<u64>>()
+                }));
+            }
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker"))
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>());
+            let counts = cnet_topology::OutputCounts::from(c.output_counts());
+            assert!(counts.is_step(), "{counts}");
+        });
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! The concurrency facade: every shared-memory primitive this crate
+//! uses, switchable between real atomics and the model checker.
+//!
+//! Ordinary builds re-export `std::sync::atomic` directly — the facade
+//! is zero-cost, nothing is wrapped. Building with
+//! `RUSTFLAGS="--cfg modelcheck"` swaps in
+//! [`cnet_modelcheck::sync`](../../cnet_modelcheck/sync/index.html),
+//! whose atomics are yield points of a cooperative virtual-thread
+//! scheduler: `cnet-modelcheck` can then enumerate (DFS) or sample
+//! (PCT) every interleaving of the structures in this crate. Outside a
+//! model execution the virtual primitives degrade to the `std`
+//! behaviour, so a `--cfg modelcheck` build still passes the ordinary
+//! unit tests.
+//!
+//! `modelcheck` is a custom `--cfg`, not a Cargo feature, following the
+//! loom convention: features unify across a workspace build, and a
+//! feature-activated scheduler would leak into release binaries.
+//!
+//! Code in this crate must use `crate::sync::{AtomicU64, …}` (never
+//! `std::sync::atomic` directly) for any state the model checker
+//! should see, plus the three functions below for the operations whose
+//! model behaviour differs:
+//!
+//! * [`spin_loop`] — in a model, *deprioritizes* the calling virtual
+//!   thread until another thread steps, which is what keeps exhaustive
+//!   exploration of spin-wait loops finite;
+//! * [`yield_now`] — same deprioritization in a model, OS yield
+//!   outside;
+//! * [`thread_rng_seed`] — deterministic per virtual thread in a
+//!   model (so explored executions are replayable), address entropy
+//!   outside.
+//!
+//! Pure *delay* loops (the `W`-cycle injection of `next_with_delay`)
+//! intentionally stay on `std::hint::spin_loop`: they model elapsed
+//! time, not waiting-for-a-write, and must stay invisible to the
+//! scheduler or they would multiply the state space without adding
+//! behaviours.
+
+#[cfg(modelcheck)]
+pub use cnet_modelcheck::sync::{
+    in_model, spin_loop, thread_rng_seed, yield_now, AtomicU64, AtomicUsize, Ordering,
+};
+
+#[cfg(not(modelcheck))]
+pub use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Spin-loop hint (`std::hint::spin_loop`).
+#[cfg(not(modelcheck))]
+pub fn spin_loop() {
+    std::hint::spin_loop();
+}
+
+/// Yields the OS thread (`std::thread::yield_now`).
+#[cfg(not(modelcheck))]
+pub fn yield_now() {
+    std::thread::yield_now();
+}
+
+/// A per-thread RNG seed from stack-address entropy; always odd, so it
+/// can seed xorshift generators directly.
+#[cfg(not(modelcheck))]
+#[must_use]
+pub fn thread_rng_seed() -> u64 {
+    let probe = 0u64;
+    (std::ptr::from_ref(&probe) as u64) | 1
+}
+
+/// Whether a model execution is currently driving this thread — always
+/// `false` in ordinary builds. Thread-local RNG caches check this: a
+/// cache carried across model executions would make replay unsound, so
+/// inside a model they re-derive from [`thread_rng_seed`] every call.
+#[cfg(not(modelcheck))]
+#[must_use]
+pub fn in_model() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_atomics_behave_like_atomics() {
+        let a = AtomicU64::new(5);
+        assert_eq!(a.fetch_add(2, Ordering::AcqRel), 5);
+        assert_eq!(a.load(Ordering::Acquire), 7);
+        let u = AtomicUsize::new(0);
+        assert_eq!(u.fetch_add(1, Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn seed_is_odd() {
+        assert_eq!(thread_rng_seed() % 2, 1);
+    }
+
+    #[test]
+    fn hints_do_not_block() {
+        spin_loop();
+        yield_now();
+    }
+}

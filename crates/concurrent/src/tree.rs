@@ -11,11 +11,11 @@
 //! while the toggle (the contention hot-spot) is bypassed.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use cnet_topology::TopologyError;
 
 use crate::counter::Counter;
+use crate::sync::{spin_loop, thread_rng_seed, AtomicU64, Ordering};
 
 const EMPTY: u64 = 0;
 const WAITING: u64 = 1;
@@ -70,7 +70,7 @@ impl Exchanger {
                         self.state.store(EMPTY, Ordering::Release);
                         return ExchangeOutcome::DiffractedFirst;
                     }
-                    std::hint::spin_loop();
+                    spin_loop();
                 }
                 // withdraw — unless a partner sneaks in right now
                 match self.state.compare_exchange(
@@ -250,11 +250,17 @@ impl DiffractingTreeCounter {
     /// after each node — the real-threads analogue of the paper's
     /// `W`-cycle delay injection.
     pub fn next_with_delay(&self, spin_per_node: u64) -> u64 {
-        let mut rng = PRISM_RNG.with(Cell::get);
+        // under the model checker the cache must not be used: it would
+        // carry state across explored executions (the main virtual
+        // thread keeps its OS thread) and break schedule replay
+        let mut rng = if crate::sync::in_model() {
+            thread_rng_seed()
+        } else {
+            PRISM_RNG.with(Cell::get)
+        };
         if rng == 0 {
-            // first use on this thread: seed from stack-address entropy
-            let probe = 0u64;
-            rng = (&probe as *const u64 as u64) | 1;
+            // first use on this thread
+            rng = thread_rng_seed();
         }
         let mut idx = 1usize; // root
         let mut leaf = 0usize;
@@ -266,7 +272,9 @@ impl DiffractingTreeCounter {
                 std::hint::spin_loop();
             }
         }
-        PRISM_RNG.with(|c| c.set(rng));
+        if !crate::sync::in_model() {
+            PRISM_RNG.with(|c| c.set(rng));
+        }
         let prior = self.counters[leaf].fetch_add(1, Ordering::AcqRel);
         leaf as u64 + self.width * prior
     }
@@ -318,38 +326,53 @@ mod tests {
 
     #[test]
     fn concurrent_tree_hands_out_each_value_once() {
-        let tree = Arc::new(DiffractingTreeCounter::new(8).unwrap());
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let t = Arc::clone(&tree);
-            handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| t.next()).collect::<Vec<u64>>()
-            }));
-        }
-        let mut all: Vec<u64> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("no panic"))
-            .collect();
-        all.sort_unstable();
-        assert_eq!(all, (0..4000).collect::<Vec<u64>>());
-        let counts = cnet_topology::OutputCounts::from(tree.output_counts());
-        assert!(counts.is_step(), "{counts}");
+        let cfg = crate::testcfg::stress().with_per_thread(1000);
+        crate::testcfg::with_seed_report(crate::testcfg::seed(), |_| {
+            let tree = Arc::new(DiffractingTreeCounter::new(8).unwrap());
+            let mut handles = Vec::new();
+            for _ in 0..cfg.threads {
+                let t = Arc::clone(&tree);
+                handles.push(std::thread::spawn(move || {
+                    (0..cfg.per_thread).map(|_| t.next()).collect::<Vec<u64>>()
+                }));
+            }
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("no panic"))
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>());
+            let counts = cnet_topology::OutputCounts::from(tree.output_counts());
+            assert!(counts.is_step(), "{counts}");
+        });
     }
 
     #[test]
     fn exchanger_pairs_exactly_two() {
+        // deterministic handshake, no sleeps: the main thread keeps
+        // offering to pair until a collision happens. Whichever thread
+        // reaches the slot first becomes the waiter, so the roles can
+        // land either way — but a collision always produces exactly one
+        // First and one Second.
         let ex = Arc::new(Exchanger::new());
         let a = Arc::clone(&ex);
-        let waiter = std::thread::spawn(move || {
-            // generous spin so the partner always makes it
-            a.visit(50_000_000)
-        });
-        // give the waiter a head start
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        let second = ex.visit(1);
-        let first = waiter.join().expect("no panic");
-        assert_eq!(first, ExchangeOutcome::DiffractedFirst);
-        assert_eq!(second, ExchangeOutcome::DiffractedSecond);
+        let peer = std::thread::spawn(move || a.visit(u32::MAX));
+        let mine = loop {
+            match ex.visit(1) {
+                ExchangeOutcome::Timeout => std::thread::yield_now(),
+                hit => break hit,
+            }
+        };
+        let theirs = peer.join().expect("no panic");
+        let mut pair = [mine, theirs];
+        pair.sort_by_key(|o| *o as u8);
+        assert_eq!(
+            pair,
+            [
+                ExchangeOutcome::DiffractedFirst,
+                ExchangeOutcome::DiffractedSecond
+            ]
+        );
     }
 
     #[test]
@@ -368,22 +391,25 @@ mod tests {
 
     #[test]
     fn delay_injection_preserves_counting() {
-        let tree = Arc::new(DiffractingTreeCounter::new(4).unwrap());
-        let mut handles = Vec::new();
-        for t in 0..4u64 {
-            let tr = Arc::clone(&tree);
-            let spin = if t % 2 == 0 { 300 } else { 0 };
-            handles.push(std::thread::spawn(move || {
-                (0..500)
-                    .map(|_| tr.next_with_delay(spin))
-                    .collect::<Vec<u64>>()
-            }));
-        }
-        let mut all: Vec<u64> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("no panic"))
-            .collect();
-        all.sort_unstable();
-        assert_eq!(all, (0..2000).collect::<Vec<u64>>());
+        let cfg = crate::testcfg::stress();
+        crate::testcfg::with_seed_report(crate::testcfg::seed(), |_| {
+            let tree = Arc::new(DiffractingTreeCounter::new(4).unwrap());
+            let mut handles = Vec::new();
+            for t in 0..cfg.threads {
+                let tr = Arc::clone(&tree);
+                let spin = if t % 2 == 0 { 300 } else { 0 };
+                handles.push(std::thread::spawn(move || {
+                    (0..cfg.per_thread)
+                        .map(|_| tr.next_with_delay(spin))
+                        .collect::<Vec<u64>>()
+                }));
+            }
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("no panic"))
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>());
+        });
     }
 }

@@ -1,0 +1,364 @@
+//! Exploration strategies: bounded exhaustive DFS, seeded PCT, and
+//! exact replay.
+//!
+//! Every strategy drives the same runtime ([`loom::rt`]); failures are
+//! strategy-independent once recorded, because the runtime logs the
+//! chosen-thread index at every decision and [`replay`] feeds that
+//! sequence straight back. A PCT failure therefore reports *both* its
+//! seed (to re-derive the priorities) and the concrete schedule (to
+//! replay without PCT at all).
+
+use std::collections::HashMap;
+
+use loom::dfs::{Dfs, ReplayStrategy};
+use loom::rt::{self, Strategy};
+
+use crate::rng::{mix, SplitMix64};
+
+/// Budgets for one exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Scheduling decisions allowed per execution before the run is
+    /// reported as a livelock.
+    pub max_steps: usize,
+    /// Executions allowed before DFS gives up (`exhausted` stays
+    /// `false` if this trips first).
+    pub max_schedules: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_steps: rt::DEFAULT_MAX_STEPS,
+            max_schedules: 100_000,
+        }
+    }
+}
+
+/// Parameters of a PCT (probabilistic concurrency testing) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PctConfig {
+    /// Base seed; iteration `i` runs with `mix(seed ^ i)`.
+    pub seed: u64,
+    /// Random schedules to try.
+    pub schedules: usize,
+    /// Bug depth `d`: the number of priority-change points injected
+    /// per schedule (PCT finds every depth-`d` bug with probability
+    /// ≥ 1/(n·k^(d-1)) per run).
+    pub depth: usize,
+    /// Estimated execution length `k`: priority-change points are
+    /// sampled uniformly from `[1, horizon]`, so this should be close
+    /// to the number of scheduling decisions one execution makes —
+    /// over-estimating dilutes the probability of a change point
+    /// landing inside the run at all.
+    pub horizon: usize,
+}
+
+impl Default for PctConfig {
+    fn default() -> Self {
+        PctConfig {
+            seed: 0xC0FF_EE00,
+            schedules: 200,
+            depth: 3,
+            horizon: 64,
+        }
+    }
+}
+
+/// A failing interleaving, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The panic / deadlock / budget message.
+    pub message: String,
+    /// Chosen-thread indices at every decision — feed to [`replay`].
+    pub schedule: Vec<usize>,
+    /// The per-iteration PCT seed, when found by [`explore_pct`].
+    pub seed: Option<u64>,
+    /// Which execution (0-based) failed.
+    pub schedule_index: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "schedule #{} failed: {}",
+            self.schedule_index, self.message
+        )?;
+        if let Some(seed) = self.seed {
+            write!(f, " (pct seed {seed:#x})")?;
+        }
+        write!(f, "; replay with schedule {:?}", self.schedule)
+    }
+}
+
+/// The outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Executions actually driven.
+    pub schedules_explored: usize,
+    /// DFS: the whole bounded space was enumerated. PCT: every
+    /// requested schedule ran.
+    pub exhausted: bool,
+    /// The first failing interleaving, if any (exploration stops at
+    /// the first failure).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panics with the full replay recipe if the exploration failed;
+    /// returns the report otherwise. Convenience for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure` is set.
+    pub fn expect_ok(self) -> Report {
+        if let Some(f) = &self.failure {
+            panic!("model checking failed: {f}");
+        }
+        self
+    }
+}
+
+/// Bounded exhaustive DFS over every interleaving of `f`.
+///
+/// Stops at the first failure. `exhausted` is `true` when the whole
+/// space fit inside `config.max_schedules`.
+pub fn explore_dfs<F: Fn()>(config: &Config, f: F) -> Report {
+    let mut dfs = Dfs::new();
+    let mut explored = 0usize;
+    loop {
+        let outcome = rt::run_with(Box::new(dfs.strategy()), config.max_steps, &f);
+        explored += 1;
+        if let Some(message) = outcome.failure.clone() {
+            return Report {
+                schedules_explored: explored,
+                exhausted: false,
+                failure: Some(Failure {
+                    message,
+                    schedule: outcome.choices(),
+                    seed: None,
+                    schedule_index: explored - 1,
+                }),
+            };
+        }
+        if !dfs.advance(&outcome) {
+            return Report {
+                schedules_explored: explored,
+                exhausted: true,
+                failure: None,
+            };
+        }
+        if explored >= config.max_schedules {
+            return Report {
+                schedules_explored: explored,
+                exhausted: false,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// Seeded PCT: `pct.schedules` runs with random thread priorities and
+/// `pct.depth - 1` priority-change points each. Deterministic for a
+/// fixed seed. Stops at the first failure.
+pub fn explore_pct<F: Fn()>(config: &Config, pct: &PctConfig, f: F) -> Report {
+    for i in 0..pct.schedules {
+        let iter_seed = mix(pct.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        let strategy = PctStrategy::new(iter_seed, pct.depth, pct.horizon);
+        let outcome = rt::run_with(Box::new(strategy), config.max_steps, &f);
+        if let Some(message) = outcome.failure.clone() {
+            return Report {
+                schedules_explored: i + 1,
+                exhausted: false,
+                failure: Some(Failure {
+                    message,
+                    schedule: outcome.choices(),
+                    seed: Some(iter_seed),
+                    schedule_index: i,
+                }),
+            };
+        }
+    }
+    Report {
+        schedules_explored: pct.schedules,
+        exhausted: true,
+        failure: None,
+    }
+}
+
+/// Re-runs `f` under an exact recorded schedule (see
+/// [`Failure::schedule`]). Returns the failure message if the run
+/// fails again — for a deterministic body it always does.
+pub fn replay<F: FnOnce()>(schedule: &[usize], f: F) -> Option<String> {
+    let outcome = rt::run_with(
+        Box::new(ReplayStrategy::new(schedule.to_vec())),
+        rt::DEFAULT_MAX_STEPS,
+        f,
+    );
+    outcome.failure
+}
+
+/// PCT scheduling: random static priorities, `depth - 1` random
+/// priority-change points, highest-priority runnable thread wins.
+#[derive(Debug)]
+struct PctStrategy {
+    rng: SplitMix64,
+    /// Static priority per virtual thread; assigned on first sight,
+    /// all above `next_low`.
+    priorities: HashMap<usize, u64>,
+    /// Steps at which the running thread's priority drops below every
+    /// static priority.
+    change_points: Vec<usize>,
+    /// Next "lowered" priority value (counts down, so later drops rank
+    /// below earlier ones, as in the PCT paper).
+    next_low: u64,
+}
+
+impl PctStrategy {
+    fn new(seed: u64, depth: usize, horizon: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let horizon = horizon.max(2) as u64;
+        let change_points = (0..depth.saturating_sub(1))
+            .map(|_| rng.below(horizon) as usize + 1)
+            .collect();
+        PctStrategy {
+            rng,
+            priorities: HashMap::new(),
+            change_points,
+            next_low: 1 << 20,
+        }
+    }
+}
+
+impl Strategy for PctStrategy {
+    fn next_thread(&mut self, step: usize, runnable: &[usize], current: usize) -> usize {
+        for &t in runnable {
+            if !self.priorities.contains_key(&t) {
+                // static priorities live above every possible lowered
+                // value
+                let p = (1 << 21) + self.rng.below(1 << 20);
+                self.priorities.insert(t, p);
+            }
+        }
+        if self.change_points.contains(&step) {
+            self.next_low -= 1;
+            let low = self.next_low;
+            self.priorities.insert(current, low);
+        }
+        runnable
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| self.priorities.get(t).copied().unwrap_or(0))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{spawn, AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+    use std::sync::Arc;
+
+    /// load;store increment — racy on purpose.
+    fn racy_body(assert_clean: bool) -> impl Fn() {
+        move || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let h = spawn(move || {
+                let v = c2.load(Ordering::Acquire);
+                c2.store(v + 1, Ordering::Release);
+            });
+            let v = c.load(Ordering::Acquire);
+            c.store(v + 1, Ordering::Release);
+            h.join();
+            if assert_clean {
+                assert_eq!(c.load(Ordering::Acquire), 2, "lost update");
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_exhausts_small_models_and_counts_schedules() {
+        let report = explore_dfs(&Config::default(), racy_body(false));
+        assert!(report.exhausted);
+        assert!(report.failure.is_none());
+        assert!(
+            report.schedules_explored >= 3,
+            "two racing threads must yield several interleavings, got {}",
+            report.schedules_explored
+        );
+    }
+
+    #[test]
+    fn dfs_finds_the_lost_update_and_replay_reproduces_it() {
+        let report = explore_dfs(&Config::default(), racy_body(true));
+        let failure = report.failure.expect("lost update must be found");
+        assert!(failure.message.contains("lost update"));
+        let msg =
+            replay(&failure.schedule, racy_body(true)).expect("replay must reproduce the failure");
+        assert!(msg.contains("lost update"));
+    }
+
+    #[test]
+    fn pct_finds_the_lost_update_with_a_fixed_seed() {
+        let pct = PctConfig {
+            seed: 7,
+            schedules: 64,
+            depth: 3,
+            horizon: 16,
+        };
+        let report = explore_pct(&Config::default(), &pct, racy_body(true));
+        let failure = report.failure.expect("PCT must find the depth-1 bug");
+        assert!(failure.seed.is_some());
+        // the schedule replays without re-deriving priorities
+        assert!(replay(&failure.schedule, racy_body(true)).is_some());
+    }
+
+    #[test]
+    fn pct_is_deterministic_for_a_fixed_seed() {
+        let pct = PctConfig {
+            seed: 99,
+            schedules: 32,
+            depth: 2,
+            horizon: 16,
+        };
+        let a = explore_pct(&Config::default(), &pct, racy_body(true));
+        let b = explore_pct(&Config::default(), &pct, racy_body(true));
+        match (a.failure, b.failure) {
+            (Some(fa), Some(fb)) => {
+                assert_eq!(fa.schedule, fb.schedule);
+                assert_eq!(fa.seed, fb.seed);
+                assert_eq!(fa.schedule_index, fb.schedule_index);
+            }
+            (None, None) => {}
+            other => panic!("nondeterministic PCT outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_budget_reports_not_exhausted() {
+        let config = Config {
+            max_schedules: 2,
+            ..Config::default()
+        };
+        let report = explore_dfs(&config, racy_body(false));
+        assert_eq!(report.schedules_explored, 2);
+        assert!(!report.exhausted);
+        assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn expect_ok_passes_through_clean_reports() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&seen);
+        let report = explore_dfs(&Config::default(), move || {
+            s.fetch_add(1, StdOrdering::Relaxed);
+        })
+        .expect_ok();
+        assert_eq!(report.schedules_explored, 1);
+        assert_eq!(seen.load(StdOrdering::Relaxed), 1);
+    }
+}

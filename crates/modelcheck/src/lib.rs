@@ -1,0 +1,63 @@
+//! Deterministic schedule exploration for the concurrent crate.
+//!
+//! `cnet-concurrent` reproduces the paper's Section 5 counters over
+//! real atomics, but free-running stress tests sample a vanishingly
+//! thin, nondeterministic slice of the interleaving space. This crate
+//! is the correctness-tooling counterpart of the perf-regression
+//! layer: it drives the same code under a cooperative virtual-thread
+//! scheduler (the vendored `loom` shim) in which *every* shared-memory
+//! operation is a recorded scheduling decision, so
+//!
+//! * small configurations (2–3 threads, width-2/4 networks) can be
+//!   checked under **bounded exhaustive DFS** — every interleaving,
+//!   enumerated and counted ([`explore::explore_dfs`]);
+//! * larger ones can be fuzzed with **seeded probabilistic concurrency
+//!   testing** — PCT-style random priorities with a handful of
+//!   priority-change points ([`explore::explore_pct`]); and
+//! * every failure reports a replayable `(seed, schedule)` pair:
+//!   [`explore::replay`] re-runs the exact interleaving that failed
+//!   ([`explore::Failure`] carries everything needed).
+//!
+//! The [`sync`] module is the facade `cnet-concurrent` routes its
+//! atomics and spin loops through when built with
+//! `RUSTFLAGS="--cfg modelcheck"`; in ordinary builds the facade
+//! resolves to `std::sync::atomic` re-exports instead, so release
+//! binaries are byte-for-byte unaffected.
+//!
+//! [`trace::Recorder`] timestamps operations inside a model execution
+//! with a virtual logical clock and emits `cnet_timing::Operation`
+//! records, so explored executions feed directly into the
+//! linearizability checkers — including the brute-force
+//! `linearizability::check_exhaustive` oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use cnet_modelcheck::explore::{explore_dfs, Config};
+//! use cnet_modelcheck::sync::{spawn, AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! // a correct counter: fetch_add is atomic in every interleaving
+//! let report = explore_dfs(&Config::default(), || {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let c2 = Arc::clone(&c);
+//!     let h = spawn(move || c2.fetch_add(1, Ordering::AcqRel));
+//!     c.fetch_add(1, Ordering::AcqRel);
+//!     h.join();
+//!     assert_eq!(c.load(Ordering::Acquire), 2);
+//! });
+//! assert!(report.failure.is_none());
+//! assert!(report.exhausted && report.schedules_explored >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod explore;
+pub mod sync;
+pub mod trace;
+
+pub(crate) mod rng;
+
+pub use explore::{explore_dfs, explore_pct, replay, Config, Failure, PctConfig, Report};

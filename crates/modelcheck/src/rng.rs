@@ -1,0 +1,32 @@
+//! SplitMix64: the tiny seeded generator behind PCT priorities and
+//! per-thread deterministic seeds (same constants as
+//! `cnet_proteus::rng::SimRng`).
+
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound > 0`).
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// One-shot mix of a seed, for deriving per-iteration sub-seeds.
+pub(crate) fn mix(seed: u64) -> u64 {
+    SplitMix64::new(seed).next()
+}

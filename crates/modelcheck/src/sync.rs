@@ -1,0 +1,95 @@
+//! The virtual side of the concurrency facade.
+//!
+//! `cnet-concurrent` declares its own `sync` module that re-exports
+//! either `std::sync::atomic` (ordinary builds) or *this* module
+//! (`RUSTFLAGS="--cfg modelcheck"`). Everything here routes through
+//! the vendored loom scheduler when a model execution is running and
+//! degrades to the `std` behaviour when none is — so a
+//! `--cfg modelcheck` build still passes its ordinary unit tests.
+
+pub use loom::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+pub use loom::thread::{spawn, yield_now, JoinHandle};
+
+/// Spin-loop hint. Inside a model execution this deprioritizes the
+/// calling virtual thread until another thread makes a step — which is
+/// what keeps exhaustive DFS finite around spin-wait loops; outside,
+/// it is `std::hint::spin_loop`.
+pub fn spin_loop() {
+    loom::rt::spin_yield();
+}
+
+/// Whether a model execution is currently driving this thread. Code
+/// with *persistent* per-thread randomness (thread-local RNG caches)
+/// must not carry that state across executions — the cache on the main
+/// virtual thread would survive from one explored schedule to the
+/// next, making replay unsound — so it checks this and re-derives from
+/// [`thread_rng_seed`] instead.
+#[must_use]
+pub fn in_model() -> bool {
+    loom::rt::in_model()
+}
+
+/// A per-thread RNG seed: deterministic (derived from the virtual
+/// thread id) inside a model execution, stack-address entropy outside.
+/// Always odd, so it can seed xorshift generators directly.
+#[must_use]
+pub fn thread_rng_seed() -> u64 {
+    match loom::rt::thread_id() {
+        Some(id) => crate::rng::mix(0x5EED_5EED ^ (id as u64 + 1)) | 1,
+        None => {
+            let probe = 0u64;
+            (std::ptr::from_ref(&probe) as u64) | 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_dfs, Config};
+    use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+    use std::sync::Arc;
+
+    #[test]
+    fn seeds_are_deterministic_per_vthread_in_model() {
+        let main_seen = Arc::new(StdAtomicU64::new(0));
+        let child_seen = Arc::new(StdAtomicU64::new(0));
+        let (m, c) = (Arc::clone(&main_seen), Arc::clone(&child_seen));
+        explore_dfs(&Config::default(), move || {
+            let s0 = thread_rng_seed();
+            let h = spawn(thread_rng_seed);
+            let s1 = h.join();
+            assert_ne!(s0, s1, "threads must get distinct seeds");
+            // stash for cross-execution comparison
+            m.store(s0, StdOrdering::Relaxed);
+            c.store(s1, StdOrdering::Relaxed);
+            assert_eq!(s0, thread_rng_seed(), "stable within a thread");
+        })
+        .expect_ok();
+        // same ids across executions -> same seeds (replayability)
+        let first = (
+            main_seen.load(StdOrdering::Relaxed),
+            child_seen.load(StdOrdering::Relaxed),
+        );
+        let (m2, c2) = (Arc::clone(&main_seen), Arc::clone(&child_seen));
+        explore_dfs(&Config::default(), move || {
+            assert_eq!(thread_rng_seed(), m2.load(StdOrdering::Relaxed));
+            let h = spawn(thread_rng_seed);
+            assert_eq!(h.join(), c2.load(StdOrdering::Relaxed));
+        })
+        .expect_ok();
+        assert_eq!(
+            first,
+            (
+                main_seen.load(StdOrdering::Relaxed),
+                child_seen.load(StdOrdering::Relaxed)
+            )
+        );
+    }
+
+    #[test]
+    fn outside_model_seed_is_odd_entropy() {
+        let s = thread_rng_seed();
+        assert_eq!(s % 2, 1);
+    }
+}

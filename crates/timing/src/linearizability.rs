@@ -81,6 +81,104 @@ pub fn count_nonlinearizable_naive(ops: &[Operation]) -> usize {
         .count()
 }
 
+/// Maximum trace size [`check_exhaustive`] accepts; beyond it the
+/// permutation search (exponential in the worst case) is refused.
+pub const EXHAUSTIVE_MAX_OPS: usize = 16;
+
+/// Brute-force linearizability **oracle**: decides, by permutation
+/// search, whether the execution is linearizable *as a
+/// fetch-and-increment counter* — i.e. whether some total order of the
+/// operations (a) extends the real-time precedence relation
+/// (`p.end < o.start` ⟹ `p` before `o`, Definition 2.3's "completely
+/// precedes") and (b) returns the counting sequence `0, 1, 2, …`.
+/// Returns the witness order (operation indices) if one exists.
+///
+/// The search places operations one at a time: the `k`-th slot can
+/// only take a not-yet-placed operation whose value is exactly `k` and
+/// which no other unplaced operation completely precedes. Traces with
+/// pairwise-distinct values therefore admit at most one candidate per
+/// slot and the search is effectively linear; duplicated values (which
+/// only buggy counters produce) branch, which is why the input size is
+/// capped at [`EXHAUSTIVE_MAX_OPS`].
+///
+/// Relation to the sweep: for traces whose values are a permutation of
+/// `0..n` — every trace a *correct* counter can produce — the unique
+/// candidate linearization is sort-by-value, so the oracle answers
+/// `Some` exactly when [`count_nonlinearizable`] is zero (the
+/// differential property `tests/oracle.rs` checks on thousands of
+/// random executions). On traces with duplicated or skipped values the
+/// oracle is strictly stronger: it answers `None` even though the
+/// Definition 2.4 sweep, which only measures reordering, may count
+/// nothing. That is what makes it the right acceptance check for
+/// model-checked executions, where an injected atomicity bug shows up
+/// as a duplicate before it shows up as a reordering.
+///
+/// # Panics
+///
+/// Panics if `ops.len() > EXHAUSTIVE_MAX_OPS`.
+///
+/// # Example
+///
+/// ```
+/// use cnet_timing::{linearizability, Operation};
+///
+/// let ok = [
+///     Operation { token: 0, input: 0, start: 0, end: 3, value: 0, counter: 0 },
+///     Operation { token: 1, input: 0, start: 1, end: 4, value: 1, counter: 1 },
+/// ];
+/// assert_eq!(linearizability::check_exhaustive(&ok), Some(vec![0, 1]));
+///
+/// // value 1 completely precedes value 0: no valid counting order
+/// let bad = [
+///     Operation { token: 0, input: 0, start: 0, end: 1, value: 1, counter: 1 },
+///     Operation { token: 1, input: 0, start: 2, end: 3, value: 0, counter: 0 },
+/// ];
+/// assert_eq!(linearizability::check_exhaustive(&bad), None);
+/// ```
+#[must_use]
+pub fn check_exhaustive(ops: &[Operation]) -> Option<Vec<usize>> {
+    assert!(
+        ops.len() <= EXHAUSTIVE_MAX_OPS,
+        "check_exhaustive is a brute-force oracle for at most {EXHAUSTIVE_MAX_OPS} operations \
+         (got {}); use count_nonlinearizable for measurement-sized traces",
+        ops.len()
+    );
+    let mut order = Vec::with_capacity(ops.len());
+    if place_next(ops, &mut order, 0) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Depth-first placement: tries every eligible operation for slot
+/// `order.len()` and backtracks. `used` is a bitmask over `ops`.
+fn place_next(ops: &[Operation], order: &mut Vec<usize>, used: u32) -> bool {
+    let n = ops.len();
+    if order.len() == n {
+        return true;
+    }
+    let next_value = order.len() as u64;
+    for i in 0..n {
+        if used & (1 << i) != 0 || ops[i].value != next_value {
+            continue;
+        }
+        // precedence-minimal among the unplaced: placing i now would
+        // otherwise put it before an operation that completely
+        // precedes it
+        let blocked = (0..n).any(|j| j != i && used & (1 << j) == 0 && ops[j].end < ops[i].start);
+        if blocked {
+            continue;
+        }
+        order.push(i);
+        if place_next(ops, order, used | (1 << i)) {
+            return true;
+        }
+        order.pop();
+    }
+    false
+}
+
 /// The fraction of non-linearizable operations (`0.0` for an empty
 /// execution).
 #[must_use]
@@ -192,6 +290,54 @@ mod tests {
     fn worst_witness_none_when_clean() {
         let ops = [op(0, 0, 1, 0), op(1, 2, 3, 1)];
         assert_eq!(worst_witness(&ops, &ops[1]), None);
+    }
+
+    #[test]
+    fn exhaustive_oracle_empty_and_singleton() {
+        assert_eq!(check_exhaustive(&[]), Some(vec![]));
+        assert_eq!(check_exhaustive(&[op(0, 0, 1, 0)]), Some(vec![0]));
+        // a lone operation returning 1 skipped the value 0
+        assert_eq!(check_exhaustive(&[op(0, 0, 1, 1)]), None);
+    }
+
+    #[test]
+    fn exhaustive_oracle_orders_overlapping_operations_freely() {
+        // values arrive in reverse recording order, but the intervals
+        // overlap, so the counting order [1, 0] is a valid
+        // linearization
+        let ops = [op(0, 0, 10, 1), op(1, 1, 9, 0)];
+        assert_eq!(check_exhaustive(&ops), Some(vec![1, 0]));
+    }
+
+    #[test]
+    fn exhaustive_oracle_rejects_duplicates_and_gaps_the_sweep_misses() {
+        // fully overlapping intervals: no "completely precedes" pairs
+        // exist, so the Definition 2.4 sweep has nothing to count —
+        // but no counting linearization returns 0 twice...
+        let dup = [op(0, 0, 10, 0), op(1, 1, 9, 0)];
+        assert_eq!(count_nonlinearizable(&dup), 0);
+        assert_eq!(check_exhaustive(&dup), None);
+        // ...or skips 1
+        let gap = [op(0, 0, 10, 0), op(1, 1, 9, 2)];
+        assert_eq!(count_nonlinearizable(&gap), 0);
+        assert_eq!(check_exhaustive(&gap), None);
+    }
+
+    #[test]
+    fn exhaustive_oracle_detects_the_reordering_violation() {
+        // same trace as simple_violation_detected: value 7 completely
+        // precedes value 2
+        let ops = [op(0, 0, 3, 7), op(1, 4, 6, 2)];
+        assert_eq!(check_exhaustive(&ops), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn exhaustive_oracle_refuses_large_traces() {
+        let ops: Vec<Operation> = (0..=EXHAUSTIVE_MAX_OPS)
+            .map(|i| op(i, 2 * i as u64, 2 * i as u64 + 1, i as u64))
+            .collect();
+        let _ = check_exhaustive(&ops);
     }
 
     proptest! {

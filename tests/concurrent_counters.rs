@@ -1,21 +1,27 @@
 //! Native-threads integration tests through the facade crate: every
 //! counter implementation, exercised concurrently, hands out each value
 //! exactly once and keeps its quiescent step property.
+//!
+//! Thread/op counts come from the shared
+//! [`counting_networks::concurrent::testcfg`] helper (overridable via
+//! `CNET_STRESS_THREADS` / `CNET_STRESS_OPS`); failures print a
+//! `CNET_TEST_SEED` reproduction line.
 
 use std::sync::Arc;
 
 use counting_networks::concurrent::audit::{run_stress, StressConfig};
 use counting_networks::concurrent::counter::{Counter, FetchAddCounter, LockCounter};
 use counting_networks::concurrent::network::{BalancerKind, NetworkCounter};
+use counting_networks::concurrent::testcfg;
 use counting_networks::concurrent::tree::{DiffractingTreeCounter, TreeConfig};
 use counting_networks::topology::{constructions, OutputCounts};
 
-fn hammer(counter: Arc<dyn Counter>, threads: usize, per_thread: usize) -> Vec<u64> {
+fn hammer(counter: Arc<dyn Counter>, cfg: testcfg::StressParams) -> Vec<u64> {
     let mut handles = Vec::new();
-    for _ in 0..threads {
+    for _ in 0..cfg.threads {
         let c = Arc::clone(&counter);
         handles.push(std::thread::spawn(move || {
-            (0..per_thread).map(|_| c.next()).collect::<Vec<u64>>()
+            (0..cfg.per_thread).map(|_| c.next()).collect::<Vec<u64>>()
         }));
     }
     let mut all: Vec<u64> = handles
@@ -28,107 +34,110 @@ fn hammer(counter: Arc<dyn Counter>, threads: usize, per_thread: usize) -> Vec<u
 
 #[test]
 fn every_counter_implementation_counts_exactly() {
-    let bitonic = constructions::bitonic(8).unwrap();
-    let periodic = constructions::periodic(4).unwrap();
-    let padded = constructions::pad_inputs(&bitonic, 2).unwrap();
-    let counters: Vec<(&str, Arc<dyn Counter>)> = vec![
-        ("fetch_add", Arc::new(FetchAddCounter::new())),
-        ("mutex", Arc::new(LockCounter::new())),
-        ("bitonic8", Arc::new(NetworkCounter::new(&bitonic))),
-        (
-            "bitonic8-locked",
-            Arc::new(NetworkCounter::with_kind(&bitonic, BalancerKind::Locked)),
-        ),
-        ("periodic4", Arc::new(NetworkCounter::new(&periodic))),
-        ("bitonic8-padded", Arc::new(NetworkCounter::new(&padded))),
-        ("tree8", Arc::new(DiffractingTreeCounter::new(8).unwrap())),
-        (
-            "tree8-noprism",
-            Arc::new(
-                DiffractingTreeCounter::with_config(
-                    8,
-                    TreeConfig {
-                        root_slots: 0,
-                        spin: 0,
-                    },
-                )
-                .unwrap(),
+    let cfg = testcfg::stress().with_per_thread(750);
+    testcfg::with_seed_report(testcfg::seed(), |_| {
+        let bitonic = constructions::bitonic(8).unwrap();
+        let periodic = constructions::periodic(4).unwrap();
+        let padded = constructions::pad_inputs(&bitonic, 2).unwrap();
+        let counters: Vec<(&str, Arc<dyn Counter>)> = vec![
+            ("fetch_add", Arc::new(FetchAddCounter::new())),
+            ("mutex", Arc::new(LockCounter::new())),
+            ("bitonic8", Arc::new(NetworkCounter::new(&bitonic))),
+            (
+                "bitonic8-locked",
+                Arc::new(NetworkCounter::with_kind(&bitonic, BalancerKind::Locked)),
             ),
-        ),
-    ];
-    for (name, counter) in counters {
-        let all = hammer(counter, 4, 750);
-        assert_eq!(all, (0..3000).collect::<Vec<u64>>(), "{name}");
-    }
+            ("periodic4", Arc::new(NetworkCounter::new(&periodic))),
+            ("bitonic8-padded", Arc::new(NetworkCounter::new(&padded))),
+            ("tree8", Arc::new(DiffractingTreeCounter::new(8).unwrap())),
+            (
+                "tree8-noprism",
+                Arc::new(
+                    DiffractingTreeCounter::with_config(
+                        8,
+                        TreeConfig {
+                            root_slots: 0,
+                            spin: 0,
+                        },
+                    )
+                    .unwrap(),
+                ),
+            ),
+        ];
+        for (name, counter) in counters {
+            let all = hammer(counter, cfg);
+            assert_eq!(all, (0..cfg.total()).collect::<Vec<u64>>(), "{name}");
+        }
+    });
 }
 
 #[test]
 fn network_quiescent_state_is_a_step() {
-    let net = constructions::bitonic(8).unwrap();
-    let counter = Arc::new(NetworkCounter::new(&net));
     // deliberately not a multiple of the width
-    let _ = hammer(
-        Arc::<NetworkCounter>::clone(&counter) as Arc<dyn Counter>,
-        4,
-        333,
-    );
-    let counts: OutputCounts = counter.output_counts().into_iter().collect();
-    assert_eq!(counts.total(), 4 * 333);
-    assert!(counts.is_step(), "{counts}");
+    let cfg = testcfg::stress().with_per_thread(333);
+    testcfg::with_seed_report(testcfg::seed(), |_| {
+        let net = constructions::bitonic(8).unwrap();
+        let counter = Arc::new(NetworkCounter::new(&net));
+        let _ = hammer(
+            Arc::<NetworkCounter>::clone(&counter) as Arc<dyn Counter>,
+            cfg,
+        );
+        let counts: OutputCounts = counter.output_counts().into_iter().collect();
+        assert_eq!(counts.total(), cfg.total());
+        assert!(counts.is_step(), "{counts}");
+    });
 }
 
 #[test]
 fn tree_quiescent_state_is_a_step() {
-    let tree = Arc::new(DiffractingTreeCounter::new(16).unwrap());
-    let _ = hammer(
-        Arc::<DiffractingTreeCounter>::clone(&tree) as Arc<dyn Counter>,
-        4,
-        500,
-    );
-    let counts: OutputCounts = tree.output_counts().into_iter().collect();
-    assert_eq!(counts.total(), 2000);
-    assert!(counts.is_step(), "{counts}");
+    let cfg = testcfg::stress();
+    testcfg::with_seed_report(testcfg::seed(), |_| {
+        let tree = Arc::new(DiffractingTreeCounter::new(16).unwrap());
+        let _ = hammer(
+            Arc::<DiffractingTreeCounter>::clone(&tree) as Arc<dyn Counter>,
+            cfg,
+        );
+        let counts: OutputCounts = tree.output_counts().into_iter().collect();
+        assert_eq!(counts.total(), cfg.total());
+        assert!(counts.is_step(), "{counts}");
+    });
 }
 
 #[test]
 fn audited_stress_preserves_counting_under_heavy_skew() {
-    let net = constructions::bitonic(4).unwrap();
-    let counter = NetworkCounter::new(&net);
-    let report = run_stress(
-        &counter,
-        StressConfig {
-            threads: 4,
-            ops_per_thread: 1_000,
-            delayed_threads: 2,
-            spin_per_node: 5_000,
-        },
-    );
-    assert_eq!(report.operations.len(), 4_000);
-    assert!(report.counts_exactly());
-    // the ratio is machine-dependent; it only needs to be well-defined
-    assert!(report.nonlinearizable_ratio() >= 0.0);
+    let cfg = testcfg::stress().with_per_thread(1_000);
+    testcfg::with_seed_report(testcfg::seed(), |_| {
+        let net = constructions::bitonic(4).unwrap();
+        let counter = NetworkCounter::new(&net);
+        let report = run_stress(
+            &counter,
+            StressConfig {
+                threads: cfg.threads,
+                ops_per_thread: cfg.per_thread,
+                delayed_threads: cfg.threads / 2,
+                spin_per_node: 5_000,
+            },
+        );
+        assert_eq!(report.operations.len(), cfg.total() as usize);
+        assert!(report.counts_exactly());
+        // the ratio is machine-dependent; it only needs to be well-defined
+        assert!(report.nonlinearizable_ratio() >= 0.0);
+    });
 }
 
 #[test]
 fn centralized_counters_stay_linearizable_under_audit() {
-    let report = run_stress(
-        &FetchAddCounter::new(),
-        StressConfig {
-            threads: 4,
-            ops_per_thread: 1_500,
+    let cfg = testcfg::stress().with_per_thread(1_500);
+    testcfg::with_seed_report(testcfg::seed(), |_| {
+        let stress = StressConfig {
+            threads: cfg.threads,
+            ops_per_thread: cfg.per_thread,
             delayed_threads: 0,
             spin_per_node: 0,
-        },
-    );
-    assert_eq!(report.nonlinearizable_count(), 0);
-    let report = run_stress(
-        &LockCounter::new(),
-        StressConfig {
-            threads: 4,
-            ops_per_thread: 1_500,
-            delayed_threads: 0,
-            spin_per_node: 0,
-        },
-    );
-    assert_eq!(report.nonlinearizable_count(), 0);
+        };
+        let report = run_stress(&FetchAddCounter::new(), stress);
+        assert_eq!(report.nonlinearizable_count(), 0);
+        let report = run_stress(&LockCounter::new(), stress);
+        assert_eq!(report.nonlinearizable_count(), 0);
+    });
 }

@@ -1,0 +1,100 @@
+//! Bounded exhaustive depth-first search over scheduling decisions.
+//!
+//! The search tree's nodes are [`crate::rt::ChoicePoint`]s: at every
+//! decision the runtime records which index into the runnable set was
+//! taken and how many alternatives existed. [`Dfs`] walks that tree
+//! iteratively: each execution replays a forced prefix and takes the
+//! first branch everywhere beyond it; [`Dfs::advance`] then backtracks
+//! to the deepest decision with an untried sibling. Enumeration is
+//! complete for terminating models: every schedule of the model is
+//! visited exactly once.
+
+use crate::rt::{ChoicePoint, RunOutcome, Strategy};
+
+/// Iterative DFS frontier over schedules.
+#[derive(Debug, Default)]
+pub struct Dfs {
+    /// Forced decision prefix for the next execution.
+    prefix: Vec<ChoicePoint>,
+}
+
+impl Dfs {
+    /// Starts a fresh search (first execution takes branch 0
+    /// everywhere).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The strategy replaying the current prefix (first-branch beyond
+    /// it) for the next execution.
+    #[must_use]
+    pub fn strategy(&self) -> DfsStrategy {
+        DfsStrategy {
+            forced: self.prefix.iter().map(|c| c.chosen).collect(),
+            pos: 0,
+        }
+    }
+
+    /// Backtracks from a completed execution to the next unexplored
+    /// schedule. Returns `false` when the space is exhausted.
+    pub fn advance(&mut self, outcome: &RunOutcome) -> bool {
+        let mut path = outcome.schedule.clone();
+        while let Some(last) = path.pop() {
+            if last.chosen + 1 < last.alternatives {
+                path.push(ChoicePoint {
+                    chosen: last.chosen + 1,
+                    alternatives: last.alternatives,
+                });
+                self.prefix = path;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Replays a forced choice prefix, then takes branch 0.
+#[derive(Debug)]
+pub struct DfsStrategy {
+    forced: Vec<usize>,
+    pos: usize,
+}
+
+impl Strategy for DfsStrategy {
+    fn next_thread(&mut self, _step: usize, runnable: &[usize], _current: usize) -> usize {
+        let choice = if self.pos < self.forced.len() {
+            self.forced[self.pos]
+        } else {
+            0
+        };
+        self.pos += 1;
+        choice.min(runnable.len() - 1)
+    }
+}
+
+/// Replays an exact recorded choice sequence (indices into the
+/// runnable set); beyond its end, takes branch 0. With a deterministic
+/// model body this reproduces the recorded execution bit-for-bit.
+#[derive(Debug)]
+pub struct ReplayStrategy {
+    choices: Vec<usize>,
+    pos: usize,
+}
+
+impl ReplayStrategy {
+    /// Builds a replayer from a recorded choice sequence (see
+    /// [`RunOutcome::choices`]).
+    #[must_use]
+    pub fn new(choices: Vec<usize>) -> Self {
+        ReplayStrategy { choices, pos: 0 }
+    }
+}
+
+impl Strategy for ReplayStrategy {
+    fn next_thread(&mut self, _step: usize, runnable: &[usize], _current: usize) -> usize {
+        let choice = self.choices.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        choice.min(runnable.len() - 1)
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for the `loom` crate: a deterministic cooperative
+//! virtual-thread scheduler for interleaving exploration.
+//!
+//! Like the real loom, this shim provides mock versions of
+//! `std::sync::atomic` types and `std::thread::{spawn, yield_now}` that
+//! route every shared-memory access through a scheduler, so a test body
+//! can be executed under *every* (bounded) interleaving or under seeded
+//! random schedules, and any failing interleaving can be replayed from
+//! its recorded choice sequence.
+//!
+//! Unlike the real loom, which suspends threads with generators, this
+//! shim keeps everything in safe Rust: every virtual thread is an OS
+//! thread, but exactly one of them runs at a time. The running thread
+//! owns an execution *token*; at every yield point (each atomic
+//! operation, spawn, join, or explicit yield) it asks the installed
+//! [`rt::Strategy`] which runnable thread proceeds, hands the token
+//! over if needed, and blocks on a condvar until the token returns.
+//! Because all cross-thread communication in the model goes through
+//! these yield points, the recorded choice sequence fully determines
+//! the execution — replaying the same choices replays the same run.
+//!
+//! Two deliberate simplifications, documented here once:
+//!
+//! * **Sequential consistency.** The mock atomics execute every
+//!   operation on a real `SeqCst`-equivalent shared location, so the
+//!   explored space is the set of *interleavings*, not the set of
+//!   C++11 weak-memory behaviours. Memory-ordering arguments are passed
+//!   through but do not weaken anything; a `Relaxed`-vs-`Acquire` bug
+//!   is invisible, an atomicity or ordering bug is not.
+//! * **Cooperative preemption only.** A virtual thread that loops
+//!   without touching a mock primitive can never be preempted; spin
+//!   loops must call [`thread::yield_now`] (or any atomic op) so the
+//!   scheduler gets control. A yielded thread is deprioritized until
+//!   another thread makes a step, which keeps bounded exhaustive
+//!   search finite in the presence of spin-wait loops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfs;
+pub mod rt;
+pub mod sync;
+pub mod thread;
+
+/// Explores `f` under bounded exhaustive DFS with default budgets,
+/// panicking on the first failing interleaving (loom-compatible entry
+/// point).
+///
+/// # Panics
+///
+/// Panics if any explored interleaving fails, or if the default
+/// schedule budget is exhausted before the search completes.
+pub fn model<F: Fn() + 'static>(f: F) {
+    const DEFAULT_MAX_SCHEDULES: usize = 100_000;
+    let mut dfs = dfs::Dfs::new();
+    let mut explored = 0usize;
+    loop {
+        let outcome = rt::run_with(Box::new(dfs.strategy()), rt::DEFAULT_MAX_STEPS, &f);
+        explored += 1;
+        if let Some(failure) = &outcome.failure {
+            panic!(
+                "loom: interleaving {explored} failed: {failure}; replay choices {:?}",
+                outcome.choices()
+            );
+        }
+        if !dfs.advance(&outcome) {
+            break;
+        }
+        assert!(
+            explored < DEFAULT_MAX_SCHEDULES,
+            "loom: schedule budget ({DEFAULT_MAX_SCHEDULES}) exhausted; shrink the model"
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! The cooperative scheduler runtime: one OS thread per virtual
+//! thread, one execution token, and a recorded choice sequence.
+//!
+//! Protocol invariant: at most one virtual thread is *active* (owns the
+//! token) at any instant. Every yield point is a *decision*: the
+//! installed [`Strategy`] picks the next thread from the runnable set,
+//! the pick is appended to the schedule as a [`ChoicePoint`], and the
+//! token moves. Virtual threads that are not active block on a condvar,
+//! so the OS scheduler has no say in the interleaving.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Panic payload used to unwind virtual threads when an execution
+/// aborts (failure elsewhere, deadlock, or step budget). Wrappers
+/// recognize it and do not report it as a fresh failure.
+pub const ABORT_MSG: &str = "loom-shim: execution aborted";
+
+/// Default per-execution step budget; exceeding it is reported as a
+/// failure (livelock or an unbounded spin not routed through a yield
+/// point).
+pub const DEFAULT_MAX_STEPS: usize = 50_000;
+
+/// One recorded scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChoicePoint {
+    /// Index *into the runnable set* that was chosen.
+    pub chosen: usize,
+    /// Size of the runnable set at this decision.
+    pub alternatives: usize,
+}
+
+/// A scheduling policy: picks the next thread at every decision point.
+pub trait Strategy: Send {
+    /// Returns an index into `runnable` (virtual-thread ids in
+    /// ascending order). `step` is the 1-based decision counter and
+    /// `current` the thread relinquishing (or keeping) the token.
+    /// Out-of-range returns are clamped by the runtime.
+    fn next_thread(&mut self, step: usize, runnable: &[usize], current: usize) -> usize;
+}
+
+/// The result of driving one execution to completion.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Every decision made, in order.
+    pub schedule: Vec<ChoicePoint>,
+    /// Decisions made (equals `schedule.len()`).
+    pub steps: usize,
+    /// The first failure observed, if any: a panic message from the
+    /// model body, a deadlock, or an exhausted step budget.
+    pub failure: Option<String>,
+}
+
+impl RunOutcome {
+    /// The chosen-index sequence alone — the replayable schedule.
+    #[must_use]
+    pub fn choices(&self) -> Vec<usize> {
+        self.schedule.iter().map(|c| c.chosen).collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Eligible to receive the token.
+    Runnable,
+    /// Spin-yielded: ineligible until another thread makes a step.
+    Yielded,
+    /// Blocked joining another virtual thread.
+    Blocked,
+    /// Body returned (or unwound); never scheduled again.
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    /// Owns the execution token.
+    active: bool,
+    /// Join target while `Blocked`.
+    waiting_on: Option<usize>,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            status: Status::Runnable,
+            active: false,
+            waiting_on: None,
+        }
+    }
+}
+
+struct State {
+    threads: Vec<ThreadState>,
+    schedule: Vec<ChoicePoint>,
+    strategy: Box<dyn Strategy>,
+    steps: usize,
+    max_steps: usize,
+    failure: Option<String>,
+    abort: bool,
+    /// Virtual threads not yet `Finished`.
+    live: usize,
+}
+
+/// Shared between the driver, every virtual thread, and the TLS
+/// ambient-runtime pointer.
+pub(crate) struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// OS handles of spawned virtual threads, joined by the driver.
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ambient() -> Option<(Arc<Shared>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn with_ambient<T>(f: impl FnOnce(&Arc<Shared>, usize) -> T) -> Option<T> {
+    ambient().map(|(shared, id)| f(&shared, id))
+}
+
+/// The current virtual-thread id, if running inside a model execution.
+#[must_use]
+pub fn thread_id() -> Option<usize> {
+    ambient().map(|(_, id)| id)
+}
+
+/// Whether the caller is running inside a model execution.
+#[must_use]
+pub fn in_model() -> bool {
+    ambient().is_some()
+}
+
+/// A yield point: lets the strategy move the token before the caller's
+/// next shared-memory operation. No-op outside a model execution.
+pub fn yield_point() {
+    if let Some((shared, me)) = ambient() {
+        shared.decision(me, false);
+    }
+}
+
+/// A deprioritizing yield for spin loops: the caller is not runnable
+/// again until some other thread makes a step. Outside a model
+/// execution this is `std::hint::spin_loop`.
+pub fn spin_yield() {
+    match ambient() {
+        Some((shared, me)) => shared.decision(me, true),
+        None => std::hint::spin_loop(),
+    }
+}
+
+fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<&str>() == Some(&ABORT_MSG)
+}
+
+impl Shared {
+    fn new(strategy: Box<dyn Strategy>, max_steps: usize) -> Self {
+        let mut threads = Vec::new();
+        let mut main = ThreadState::new();
+        main.active = true;
+        threads.push(main);
+        Shared {
+            state: Mutex::new(State {
+                threads,
+                schedule: Vec::new(),
+                strategy,
+                steps: 0,
+                max_steps,
+                failure: None,
+                abort: false,
+                live: 1,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records `message` as the execution's failure (first one wins)
+    /// and aborts every virtual thread.
+    pub(crate) fn fail(&self, message: String) {
+        let mut st = lock_state(self);
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        st.abort = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// One scheduling decision made by the active thread `me`.
+    /// `deprioritize` marks `me` as spin-yielded first.
+    fn decision(self: &Arc<Self>, me: usize, deprioritize: bool) {
+        let mut st = lock_state(self);
+        if st.abort {
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        if deprioritize {
+            st.threads[me].status = Status::Yielded;
+        }
+        let chosen = match self.pick_locked(&mut st, me) {
+            Ok(id) => id,
+            Err(msg) => {
+                st.failure.get_or_insert(msg);
+                st.abort = true;
+                drop(st);
+                self.cv.notify_all();
+                panic!("{ABORT_MSG}");
+            }
+        };
+        if chosen == me {
+            return;
+        }
+        st.threads[me].active = false;
+        st.threads[chosen].active = true;
+        self.cv.notify_all();
+        self.wait_for_token(st, me);
+    }
+
+    /// Blocks until `me` is active again (or the execution aborts, in
+    /// which case the caller unwinds).
+    fn wait_for_token(&self, mut st: MutexGuard<'_, State>, me: usize) {
+        while !st.threads[me].active && !st.abort {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let abort = st.abort && !st.threads[me].active;
+        drop(st);
+        if abort {
+            panic!("{ABORT_MSG}");
+        }
+    }
+
+    /// Chooses and records the next thread to run. Promotes yielded
+    /// threads, consults the strategy, bumps the step counter, and
+    /// enforces budgets. Returns the chosen thread id, or an error
+    /// describing a deadlock / exhausted budget.
+    ///
+    /// Caller must already have made `me` non-runnable if it is
+    /// yielding, blocking, or finishing.
+    fn pick_locked(&self, st: &mut State, me: usize) -> Result<usize, String> {
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            return Err(format!(
+                "step budget ({}) exhausted: livelock, or a spin loop not routed through a yield point",
+                st.max_steps
+            ));
+        }
+        // spin-yielded threads become runnable again one step later —
+        // except the thread yielding in *this* decision, whose status
+        // was set by the caller just before the step counter advanced
+        let mut runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].status == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            for t in &mut st.threads {
+                if t.status == Status::Yielded {
+                    t.status = Status::Runnable;
+                }
+            }
+            runnable = (0..st.threads.len())
+                .filter(|&t| st.threads[t].status == Status::Runnable)
+                .collect();
+        } else {
+            // promote the rest for the *next* decision
+            for (t, ts) in st.threads.iter_mut().enumerate() {
+                if ts.status == Status::Yielded && t != me {
+                    ts.status = Status::Runnable;
+                    runnable.push(t);
+                }
+            }
+            runnable.sort_unstable();
+        }
+        if runnable.is_empty() {
+            return Err(format!(
+                "deadlock: {} live thread(s), none runnable",
+                st.live
+            ));
+        }
+        let step = st.steps;
+        let raw = st.strategy.next_thread(step, &runnable, me);
+        let idx = raw.min(runnable.len() - 1);
+        st.schedule.push(ChoicePoint {
+            chosen: idx,
+            alternatives: runnable.len(),
+        });
+        Ok(runnable[idx])
+    }
+
+    /// Registers a new virtual thread; returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = lock_state(self);
+        st.threads.push(ThreadState::new());
+        st.live += 1;
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h);
+    }
+
+    /// Parks a freshly spawned virtual thread until it is first
+    /// scheduled. Returns `false` if the execution aborted before the
+    /// thread ever ran.
+    pub(crate) fn wait_first_activation(&self, me: usize) -> bool {
+        let mut st = lock_state(self);
+        while !st.threads[me].active && !st.abort {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.threads[me].active
+    }
+
+    /// Whether `target` has finished; if not, blocks `me` on it and
+    /// hands the token off. Returns once `me` holds the token *and*
+    /// `target` is finished.
+    pub(crate) fn join_wait(self: &Arc<Self>, me: usize, target: usize) {
+        loop {
+            let mut st = lock_state(self);
+            if st.abort {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            if st.threads[target].status == Status::Finished {
+                return;
+            }
+            st.threads[me].status = Status::Blocked;
+            st.threads[me].waiting_on = Some(target);
+            st.threads[me].active = false;
+            let chosen = match self.pick_locked(&mut st, me) {
+                Ok(id) => id,
+                Err(msg) => {
+                    st.failure.get_or_insert(msg);
+                    st.abort = true;
+                    drop(st);
+                    self.cv.notify_all();
+                    panic!("{ABORT_MSG}");
+                }
+            };
+            st.threads[chosen].active = true;
+            self.cv.notify_all();
+            self.wait_for_token(st, me);
+        }
+    }
+
+    /// Marks `me` finished, wakes joiners, and passes the token on (or
+    /// signals completion when it was the last live thread).
+    pub(crate) fn finish_thread(self: &Arc<Self>, me: usize) {
+        let mut st = lock_state(self);
+        st.threads[me].status = Status::Finished;
+        st.threads[me].active = false;
+        st.live -= 1;
+        for t in &mut st.threads {
+            if t.waiting_on == Some(me) {
+                t.status = Status::Runnable;
+                t.waiting_on = None;
+            }
+        }
+        if st.abort || st.live == 0 {
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        match self.pick_locked(&mut st, me) {
+            Ok(chosen) => {
+                st.threads[chosen].active = true;
+                drop(st);
+                self.cv.notify_all();
+            }
+            Err(msg) => {
+                st.failure.get_or_insert(msg);
+                st.abort = true;
+                drop(st);
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs `f` as virtual thread 0 under `strategy`, drives the execution
+/// to quiescence, and returns the recorded outcome.
+///
+/// # Panics
+///
+/// Panics if called from inside another model execution (nesting is
+/// not supported).
+pub fn run_with<F: FnOnce()>(strategy: Box<dyn Strategy>, max_steps: usize, f: F) -> RunOutcome {
+    assert!(!in_model(), "nested model executions are not supported");
+    let shared = Arc::new(Shared::new(strategy, max_steps));
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&shared), 0)));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    if let Err(payload) = result {
+        if !is_abort(payload.as_ref()) {
+            shared.fail(panic_message(payload.as_ref()));
+        }
+    }
+    shared.finish_thread(0);
+    // drain: every spawned virtual thread must finish (normally or by
+    // unwinding on abort) before the outcome is read
+    {
+        let mut st = lock_state(&shared);
+        while st.live > 0 {
+            st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let handles = std::mem::take(
+        &mut *shared
+            .os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner),
+    );
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = lock_state(&shared);
+    RunOutcome {
+        schedule: std::mem::take(&mut st.schedule),
+        steps: st.steps,
+        failure: st.failure.take(),
+    }
+}
+
+/// Installs the ambient runtime for a spawned virtual thread's OS
+/// thread, for the duration of `body`.
+pub(crate) fn enter_vthread<T>(shared: &Arc<Shared>, id: usize, body: impl FnOnce() -> T) -> T {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(shared), id)));
+    let out = body();
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    out
+}

@@ -1,0 +1,139 @@
+//! Mock `std::sync::atomic` types instrumented with yield points.
+//!
+//! Every operation is a scheduler decision followed by the real atomic
+//! operation on an inner `std` atomic, so explored executions are the
+//! sequentially-consistent interleavings of the model (see the crate
+//! docs for what that does and does not catch). Outside a model
+//! execution the yield point is a no-op and these types behave exactly
+//! like their `std` counterparts.
+
+/// Atomic types routed through the scheduler.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    macro_rules! virtual_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $int:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                #[must_use]
+                pub const fn new(v: $int) -> Self {
+                    $name {
+                        inner: std::sync::atomic::$std::new(v),
+                    }
+                }
+
+                /// Consumes the atomic, returning the contained value.
+                #[must_use]
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+
+                /// Loads the value (a yield point).
+                #[must_use]
+                pub fn load(&self, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.load(order)
+                }
+
+                /// Stores a value (a yield point).
+                pub fn store(&self, val: $int, order: Ordering) {
+                    rt::yield_point();
+                    self.inner.store(val, order);
+                }
+
+                /// Swaps the value (a yield point).
+                pub fn swap(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.swap(val, order)
+                }
+
+                /// Adds to the value, returning the previous value (a
+                /// yield point).
+                pub fn fetch_add(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_add(val, order)
+                }
+
+                /// Subtracts from the value, returning the previous
+                /// value (a yield point).
+                pub fn fetch_sub(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_sub(val, order)
+                }
+
+                /// Bitwise-or, returning the previous value (a yield
+                /// point).
+                pub fn fetch_or(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_or(val, order)
+                }
+
+                /// Stores `new` if the current value equals `current`
+                /// (a yield point).
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value on comparison failure.
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    rt::yield_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Like [`Self::compare_exchange`]; the mock never
+                /// fails spuriously.
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value on comparison failure.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    virtual_atomic!(
+        /// Mock `AtomicU64`: every operation is a scheduler yield point.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    virtual_atomic!(
+        /// Mock `AtomicU32`: every operation is a scheduler yield point.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    virtual_atomic!(
+        /// Mock `AtomicUsize`: every operation is a scheduler yield point.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+
+    /// A memory fence: in the mock, just a yield point (the interleaving
+    /// model is already sequentially consistent).
+    pub fn fence(_order: Ordering) {
+        rt::yield_point();
+    }
+}

@@ -1,0 +1,124 @@
+//! Virtual-thread spawn/join with the `std::thread` surface.
+//!
+//! Inside a model execution, [`spawn`] registers a new virtual thread
+//! (backed by a parked OS thread that only runs while it holds the
+//! scheduler token). Outside a model execution everything delegates to
+//! `std::thread`, so code written against this module behaves
+//! identically under `cargo test` with no model running.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::rt;
+
+enum Inner<T> {
+    Virtual {
+        target: usize,
+        /// `Err` carries the panic message of the child body.
+        result: Arc<Mutex<Option<Result<T, String>>>>,
+    },
+    Native(std::thread::JoinHandle<T>),
+}
+
+/// Owned permission to join a (virtual or native) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Inner::Virtual { target, .. } => f
+                .debug_struct("JoinHandle")
+                .field("vthread", target)
+                .finish(),
+            Inner::Native(_) => f.debug_struct("JoinHandle").field("native", &true).finish(),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the joined thread panicked (inside a model the whole
+    /// execution is already aborting in that case).
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Native(h) => h.join().expect("joined thread panicked"),
+            Inner::Virtual { target, result } => {
+                let (shared, me) = rt::with_ambient(|shared, me| (Arc::clone(shared), me))
+                    .expect("virtual JoinHandle joined outside its model execution");
+                shared.join_wait(me, target);
+                let slot = result.lock().unwrap_or_else(PoisonError::into_inner).take();
+                match slot {
+                    Some(Ok(v)) => v,
+                    Some(Err(msg)) => panic!("joined virtual thread panicked: {msg}"),
+                    None => panic!("virtual thread finished without a result"),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model execution this creates a scheduled
+/// virtual thread and immediately hits a yield point (so the strategy
+/// may run the child before the parent continues); outside, it is
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((shared, _me)) = rt::with_ambient(|s, id| (Arc::clone(s), id)) else {
+        return JoinHandle {
+            inner: Inner::Native(std::thread::spawn(f)),
+        };
+    };
+    let id = shared.register_thread();
+    let result: Arc<Mutex<Option<Result<T, String>>>> = Arc::new(Mutex::new(None));
+    let result_slot = Arc::clone(&result);
+    let os_shared = Arc::clone(&shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-vthread-{id}"))
+        .spawn(move || {
+            rt::enter_vthread(&os_shared, id, || {
+                if os_shared.wait_first_activation(id) {
+                    match catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => {
+                            *result_slot.lock().unwrap_or_else(PoisonError::into_inner) =
+                                Some(Ok(v));
+                        }
+                        Err(payload) => {
+                            let msg = rt::panic_message(payload.as_ref());
+                            if !rt::is_abort(payload.as_ref()) {
+                                os_shared.fail(msg.clone());
+                            }
+                            *result_slot.lock().unwrap_or_else(PoisonError::into_inner) =
+                                Some(Err(msg));
+                        }
+                    }
+                }
+                os_shared.finish_thread(id);
+            });
+        })
+        .expect("spawn virtual-thread carrier");
+    shared.push_os_handle(handle);
+    // the child is runnable from this instant: give the strategy the
+    // chance to preempt the parent right away
+    rt::yield_point();
+    JoinHandle {
+        inner: Inner::Virtual { target: id, result },
+    }
+}
+
+/// Cooperative yield. Inside a model this deprioritizes the caller
+/// until another thread steps; outside it is `std::thread::yield_now`.
+pub fn yield_now() {
+    if rt::in_model() {
+        rt::spin_yield();
+    } else {
+        std::thread::yield_now();
+    }
+}

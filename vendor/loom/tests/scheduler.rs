@@ -1,0 +1,209 @@
+//! Scheduler-core tests: determinism, coverage, replay, and failure
+//! detection of the vendored loom shim.
+
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use loom::dfs::{Dfs, ReplayStrategy};
+use loom::rt;
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::thread;
+
+/// Drives a DFS to completion, returning (executions, first failure
+/// with its schedule).
+fn explore_all<F: Fn()>(f: F, cap: usize) -> (usize, Option<(String, Vec<usize>)>) {
+    let mut dfs = Dfs::new();
+    let mut n = 0;
+    loop {
+        let outcome = rt::run_with(Box::new(dfs.strategy()), rt::DEFAULT_MAX_STEPS, &f);
+        n += 1;
+        if let Some(msg) = outcome.failure.clone() {
+            return (n, Some((msg, outcome.choices())));
+        }
+        if !dfs.advance(&outcome) || n >= cap {
+            return (n, None);
+        }
+    }
+}
+
+#[test]
+fn sequential_body_runs_once() {
+    let (n, failure) = explore_all(
+        || {
+            let a = AtomicU64::new(0);
+            a.store(7, Ordering::SeqCst);
+            assert_eq!(a.load(Ordering::SeqCst), 7);
+        },
+        1000,
+    );
+    // one thread -> one runnable choice at every decision -> one schedule
+    assert_eq!(n, 1);
+    assert!(failure.is_none());
+}
+
+#[test]
+fn dfs_covers_both_outcomes_of_a_racy_increment() {
+    // load;store increments lose updates only under some interleavings:
+    // DFS must witness final values 1 AND 2
+    let saw_one = Arc::new(AtomicUsize::new(0));
+    let saw_two = Arc::new(AtomicUsize::new(0));
+    let (s1, s2) = (Arc::clone(&saw_one), Arc::clone(&saw_two));
+    let (n, failure) = explore_all(
+        move || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let h = thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+            h.join();
+            match c.load(Ordering::SeqCst) {
+                1 => s1.fetch_add(1, StdOrdering::Relaxed),
+                2 => s2.fetch_add(1, StdOrdering::Relaxed),
+                other => panic!("impossible count {other}"),
+            };
+        },
+        100_000,
+    );
+    assert!(failure.is_none());
+    assert!(n >= 2, "expected multiple schedules, got {n}");
+    assert!(
+        saw_one.load(StdOrdering::Relaxed) > 0,
+        "lost update never explored"
+    );
+    assert!(
+        saw_two.load(StdOrdering::Relaxed) > 0,
+        "clean run never explored"
+    );
+}
+
+#[test]
+fn atomic_rmw_is_never_lost() {
+    let (n, failure) = explore_all(
+        || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let h = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            h.join();
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        },
+        100_000,
+    );
+    assert!(failure.is_none(), "fetch_add lost an update: {failure:?}");
+    assert!(n >= 2);
+}
+
+#[test]
+fn failing_interleaving_is_replayable() {
+    let body = || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        h.join();
+        // fails exactly in the lost-update interleavings
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let (_n, failure) = explore_all(body, 100_000);
+    let (msg, choices) = failure.expect("DFS must find the lost update");
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+
+    // replaying the recorded choices reproduces the same failure...
+    let replay = rt::run_with(
+        Box::new(ReplayStrategy::new(choices.clone())),
+        rt::DEFAULT_MAX_STEPS,
+        body,
+    );
+    assert!(
+        replay.failure.is_some_and(|m| m.contains("lost update")),
+        "replay did not reproduce"
+    );
+    // ...and produces the identical schedule
+    assert_eq!(
+        replay.schedule.iter().map(|c| c.chosen).collect::<Vec<_>>(),
+        choices
+    );
+}
+
+#[test]
+fn spin_wait_with_yield_terminates() {
+    let (n, failure) = explore_all(
+        || {
+            let flag = Arc::new(AtomicU64::new(0));
+            let f2 = Arc::clone(&flag);
+            let h = thread::spawn(move || {
+                while f2.load(Ordering::SeqCst) == 0 {
+                    thread::yield_now();
+                }
+            });
+            flag.store(1, Ordering::SeqCst);
+            h.join();
+        },
+        100_000,
+    );
+    assert!(failure.is_none(), "spin wait failed: {failure:?}");
+    assert!(n >= 1);
+}
+
+#[test]
+fn unbounded_livelock_hits_the_step_budget() {
+    let outcome = rt::run_with(Box::new(Dfs::new().strategy()), 200, || {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        let h = thread::spawn(move || {
+            // nobody ever sets the flag
+            while f2.load(Ordering::SeqCst) == 0 {
+                thread::yield_now();
+            }
+        });
+        h.join();
+    });
+    let msg = outcome.failure.expect("budget must trip");
+    assert!(msg.contains("step budget"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn model_entry_point_passes_clean_bodies() {
+    loom::model(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.fetch_add(3, Ordering::SeqCst));
+        c.fetch_add(2, Ordering::SeqCst);
+        h.join();
+        assert_eq!(c.load(Ordering::SeqCst), 5);
+    });
+}
+
+#[test]
+fn thread_ids_are_stable_per_vthread() {
+    let (_n, failure) = explore_all(
+        || {
+            assert_eq!(rt::thread_id(), Some(0));
+            let h = thread::spawn(|| rt::thread_id().expect("in model"));
+            let child = h.join();
+            assert_eq!(child, 1);
+        },
+        100_000,
+    );
+    assert!(failure.is_none(), "{failure:?}");
+}
+
+#[test]
+fn outside_model_everything_degrades_to_std() {
+    assert!(!rt::in_model());
+    assert_eq!(rt::thread_id(), None);
+    let a = AtomicU64::new(1);
+    assert_eq!(a.fetch_add(1, Ordering::SeqCst), 1);
+    let h = thread::spawn(|| 40 + 2);
+    assert_eq!(h.join(), 42);
+    thread::yield_now(); // std yield, not a scheduler call
+}
