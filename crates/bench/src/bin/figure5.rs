@@ -18,6 +18,17 @@ fn main() {
         let table = outcome.ratio_table(kind.label());
         println!("{}", table.to_text());
         println!("{}", table.to_csv());
+        let observed = outcome
+            .report
+            .records
+            .iter()
+            .filter(|r| r.metrics.is_some())
+            .count();
+        if observed > 0 {
+            println!(
+                "(probe layer on: {observed} cells carry a metrics block in the JSON report)\n"
+            );
+        }
         report.push_table(&table);
         report.push_grid(outcome.report);
     }

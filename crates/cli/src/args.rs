@@ -60,6 +60,10 @@ const VALUED: &[&str] = &[
     "threads", "json",
 ];
 
+/// Valued options that may also appear bare, as a flag (`--json path`
+/// writes a file, a trailing `--json` selects stdout).
+const FLAG_OR_VALUED: &[&str] = &["json"];
+
 impl ParsedArgs {
     /// Splits raw arguments into positionals, options, and flags.
     ///
@@ -68,14 +72,19 @@ impl ParsedArgs {
     /// Returns a usage error when a valued option is missing its value.
     pub fn parse(raw: &[String]) -> Result<Self, CliError> {
         let mut out = ParsedArgs::default();
-        let mut it = raw.iter();
+        let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
                 if VALUED.contains(&name) {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| CliError::usage(format!("--{name} needs a value")))?;
-                    out.options.insert(name.to_string(), value.clone());
+                    let next_is_value = it.peek().is_some_and(|v| !v.starts_with("--"));
+                    if next_is_value {
+                        let value = it.next().expect("peeked");
+                        out.options.insert(name.to_string(), value.clone());
+                    } else if FLAG_OR_VALUED.contains(&name) {
+                        out.flags.push(name.to_string());
+                    } else {
+                        return Err(CliError::usage(format!("--{name} needs a value")));
+                    }
                 } else {
                     out.flags.push(name.to_string());
                 }
@@ -198,5 +207,23 @@ mod tests {
         assert_eq!(a.str_opt("json"), Some("out.json"));
         assert_eq!(a.u64_opt("threads").unwrap(), Some(4));
         assert_eq!(a.str_opt("absent"), None);
+    }
+
+    #[test]
+    fn bare_json_is_a_flag() {
+        // trailing
+        let a = ParsedArgs::parse(&strs(&["--ops", "10", "--json"])).unwrap();
+        assert!(a.flag("json"));
+        assert_eq!(a.str_opt("json"), None);
+        // followed by another option
+        let a = ParsedArgs::parse(&strs(&["--json", "--ops", "10"])).unwrap();
+        assert!(a.flag("json"));
+        assert_eq!(a.u64_opt("ops").unwrap(), Some(10));
+    }
+
+    #[test]
+    fn other_valued_options_still_require_values() {
+        let e = ParsedArgs::parse(&strs(&["--ops", "--json"])).unwrap_err();
+        assert!(e.to_string().contains("--ops needs a value"));
     }
 }

@@ -7,7 +7,7 @@ use cnet_adversary::{
     bitonic_attack, intro_example, search_violations, tree_attack, wave_attack, Scenario,
     SearchConfig,
 };
-use cnet_harness::{run_jobs_report, Job};
+use cnet_harness::{run_jobs_report, Job, ResultTable};
 use cnet_proteus::{SimConfig, WaitMode, Workload};
 use cnet_timing::executor::TimedExecutor;
 use cnet_timing::{interleave, io, measure, render, threshold as thresh, LinkTiming};
@@ -228,6 +228,119 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
         stats.operations.len(),
         stats.nonlinearizable_ratio() * 100.0
     );
+    Ok(out)
+}
+
+/// `cnet observe` — run one Section 5 cell with the recording probe
+/// layer and report per-balancer contention plus the live `c2/c1`
+/// estimates, cross-checked against the offline `timing::sweep`
+/// analysis of the same trace.
+pub fn observe(args: &ParsedArgs) -> Result<String, CliError> {
+    let kind = args.positional_opt(0).unwrap_or("bitonic");
+    let width = args.u64_opt("width")?.unwrap_or(32) as usize;
+    let net = match kind {
+        "bitonic" => constructions::bitonic(width),
+        "periodic" => constructions::periodic(width),
+        "tree" => constructions::counting_tree(width),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown network kind `{other}` (bitonic|periodic|tree)"
+            )))
+        }
+    }
+    .map_err(CliError::failed)?;
+    let workload = Workload {
+        processors: args.u64_opt("n")?.unwrap_or(64) as usize,
+        delayed_percent: args.u64_opt("f")?.unwrap_or(25) as u32,
+        wait_cycles: args.u64_opt("w")?.unwrap_or(1000),
+        total_ops: args.u64_opt("ops")?.unwrap_or(5000) as usize,
+        wait_mode: WaitMode::Fixed,
+    };
+    let seed = args.u64_opt("seed")?.unwrap_or(0x0B5E);
+    let config = if args.flag("prism") {
+        SimConfig::diffracting(seed)
+    } else {
+        SimConfig::queue_lock(seed)
+    };
+    let job = Job {
+        label: format!(
+            "n={},F={}%,W={}",
+            workload.processors, workload.delayed_percent, workload.wait_cycles
+        ),
+        kind: kind.to_string(),
+        net: 0,
+        config,
+        workload,
+    };
+    let (cells, _grid) = run_jobs_report(
+        "cnet observe",
+        seed,
+        std::slice::from_ref(&net),
+        std::slice::from_ref(&job),
+        1,
+    );
+    let stats = &cells[0].stats;
+    let Some(metrics) = stats.metrics.as_ref() else {
+        return Err(CliError::usage(
+            "this binary was built without the probe layer (cnet-proteus feature `obs`)",
+        ));
+    };
+    let w = workload.wait_cycles;
+    let mut table = ResultTable::new(
+        format!(
+            "per-balancer contention ({kind} width {width}, {})",
+            job.label
+        ),
+        &[
+            "visits",
+            "toggles",
+            "Tog",
+            "diffr",
+            "lock wait",
+            "lock hold",
+            "(Tog+W)/Tog",
+        ],
+    );
+    for b in metrics.balancers.iter().filter(|b| b.visits > 0) {
+        table.push_row(
+            format!("node {}", b.node),
+            vec![
+                b.visits.to_string(),
+                b.toggles.to_string(),
+                format!("{:.1}", b.avg_toggle_wait()),
+                b.diffracted.to_string(),
+                b.lock_wait_total.to_string(),
+                b.lock_hold_total.to_string(),
+                format!("{:.2}", b.average_ratio(w)),
+            ],
+        );
+    }
+    let offline = stats.average_ratio(w);
+    let live = &metrics.network;
+    let mut out = table.to_text();
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "operations: {}  wire latency c1/c2 estimate: {:.0}/{:.0} cycles",
+        live.operations, live.c1_estimate, live.c2_estimate
+    );
+    let _ = writeln!(
+        out,
+        "live Tog: {:.1}  live avg c2/c1 = (Tog+W)/Tog: {:.4}  offline (timing::sweep): {:.4}",
+        live.avg_toggle_wait, live.average_ratio, offline
+    );
+    let _ = writeln!(
+        out,
+        "non-linearizable: {}  magnitude total/max: {}/{}",
+        live.nonlinearizable, live.violation_magnitude_total, live.violation_magnitude_max
+    );
+    // bare `--json` selects stdout; `--json <path>` writes a file
+    if args.flag("json") {
+        out.push_str(&serde::json::to_string_pretty(&metrics.to_value()));
+        out.push('\n');
+    } else {
+        write_json(args, &metrics.to_value())?;
+    }
     Ok(out)
 }
 
@@ -689,6 +802,104 @@ mod extra_tests {
         // and the check subcommand can read it back
         let report = check(&parse(&[path.to_str().unwrap()])).unwrap();
         assert!(report.contains("50 operations"));
+    }
+}
+
+#[cfg(test)]
+mod observe_tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn observe_reports_per_balancer_contention() {
+        let out = observe(&parse(&["--width", "8", "--n", "16", "--ops", "400"])).unwrap();
+        assert!(out.contains("per-balancer contention"), "{out}");
+        assert!(out.contains("node 0"));
+        assert!(out.contains("(Tog+W)/Tog"));
+        assert!(out.contains("live avg c2/c1"));
+    }
+
+    #[test]
+    fn live_ratio_matches_offline_sweep_within_tolerance() {
+        // the acceptance check: on a deterministic seed the live
+        // estimate and the offline timing::sweep analysis agree
+        let out = observe(&parse(&["--width", "32", "--ops", "5000"])).unwrap();
+        // the line carries three decimals: live Tog, live ratio,
+        // offline ratio — integers like "c2/c1" are filtered out by
+        // requiring a decimal point
+        let nums: Vec<f64> = out
+            .lines()
+            .find(|l| l.contains("live avg c2/c1"))
+            .expect("summary line present")
+            .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .filter(|s| s.contains('.'))
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        assert_eq!(nums.len(), 3, "Tog + two ratios: {nums:?}");
+        let (live, offline) = (nums[1], nums[2]);
+        assert!(
+            (live - offline).abs() / offline < 0.05,
+            "live {live} vs offline {offline}"
+        );
+    }
+
+    #[test]
+    fn bare_json_flag_prints_metrics_to_stdout() {
+        let out = observe(&parse(&[
+            "--width", "8", "--n", "8", "--ops", "200", "--json",
+        ]))
+        .unwrap();
+        let json_start = out.find('{').expect("JSON object in output");
+        let v = serde::json::from_str(&out[json_start..]).expect("valid JSON");
+        let snap = <cnet_obs::MetricsSnapshot as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(snap.schema_version, cnet_obs::METRICS_SCHEMA_VERSION);
+        assert_eq!(snap.network.operations, 200);
+        assert!(!snap.balancers.is_empty());
+    }
+
+    #[test]
+    fn json_path_writes_metrics_file() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("observe.json");
+        observe(&parse(&[
+            "--width",
+            "8",
+            "--n",
+            "8",
+            "--ops",
+            "200",
+            "--json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let v = serde::json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let snap = <cnet_obs::MetricsSnapshot as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(snap.network.operations, 200);
+    }
+
+    #[test]
+    fn observe_is_deterministic_for_a_seed() {
+        let a = observe(&parse(&["--width", "8", "--ops", "300", "--seed", "7"])).unwrap();
+        let b = observe(&parse(&["--width", "8", "--ops", "300", "--seed", "7"])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observe_prism_counts_diffractions() {
+        let out = observe(&parse(&[
+            "tree", "--width", "8", "--n", "32", "--ops", "500", "--prism",
+        ]))
+        .unwrap();
+        assert!(out.contains("per-balancer contention (tree"), "{out}");
+    }
+
+    #[test]
+    fn observe_rejects_unknown_kind() {
+        assert!(observe(&parse(&["torus", "--width", "8"])).is_err());
     }
 }
 

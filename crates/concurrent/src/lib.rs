@@ -55,6 +55,21 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// The probe layer this build records through: `cnet_obs::live` with
+/// the `obs` feature, the zero-sized `cnet_obs::noop` shims without.
+/// Counters call probes unconditionally through this alias; disabled
+/// probes are ZSTs with empty inline methods, so the hot paths carry
+/// no observability cost (pinned by the size tests in `network`).
+#[cfg(feature = "obs")]
+pub use cnet_obs::live as obs;
+/// The probe layer this build records through: `cnet_obs::live` with
+/// the `obs` feature, the zero-sized `cnet_obs::noop` shims without.
+/// Counters call probes unconditionally through this alias; disabled
+/// probes are ZSTs with empty inline methods, so the hot paths carry
+/// no observability cost (pinned by the size tests in `network`).
+#[cfg(not(feature = "obs"))]
+pub use cnet_obs::noop as obs;
+
 pub mod audit;
 pub mod balancer;
 pub mod counter;

@@ -119,9 +119,23 @@ impl LockBalancer {
     /// Routes one token: acquire the FIFO lock, read and advance the
     /// toggle, release.
     pub fn traverse(&self) -> usize {
-        let _guard = self.lock.lock();
+        self.traverse_probed(crate::obs::BalancerProbe::sink())
+    }
+
+    /// Like [`traverse`](Self::traverse), reporting to `probe` how long
+    /// the token queued for the lock, how long it held it, and the
+    /// toggle wait (queueing time — the real-threads `Tog`). With the
+    /// disabled probe layer the timing arithmetic folds to nothing.
+    pub fn traverse_probed(&self, probe: &crate::obs::BalancerProbe) -> usize {
+        let enter = crate::obs::now();
+        let guard = self.lock.lock();
+        let acquired = crate::obs::now();
         let t = self.toggle.load(Ordering::Relaxed);
         self.toggle.store(t + 1, Ordering::Relaxed);
+        drop(guard);
+        let released = crate::obs::now();
+        probe.record_lock(acquired - enter, released - acquired);
+        probe.record_toggle(acquired - enter);
         (t % self.fan_out) as usize
     }
 }

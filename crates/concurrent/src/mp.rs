@@ -14,6 +14,7 @@
 //! stretched by a configurable busy-spin per hop.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use cnet_topology::{Topology, WireEnd};
@@ -21,10 +22,12 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use crate::counter::Counter;
 
-/// A token in flight: where to send the final value.
+/// A token in flight: where to send the final value, and when the
+/// client injected it (probe-layer clock; constant 0 with probes off).
 #[derive(Debug)]
 struct TokenMsg {
     reply: Sender<u64>,
+    sent_at: u64,
 }
 
 /// Tuning for a [`MpNetwork`].
@@ -59,6 +62,9 @@ pub struct MpNetwork {
     entries: Vec<Sender<TokenMsg>>,
     next_input: AtomicUsize,
     threads: Vec<JoinHandle<()>>,
+    /// Shared with every balancer/counter thread; ZST recorders unless
+    /// the `obs` feature is on.
+    obs: Arc<crate::obs::NetObserver>,
 }
 
 impl MpNetwork {
@@ -70,12 +76,14 @@ impl MpNetwork {
     #[must_use]
     pub fn spawn(topology: &Topology, config: MpConfig) -> Self {
         let width = topology.output_width() as u64;
+        let obs = Arc::new(crate::obs::NetObserver::new(topology.node_count()));
         let mut threads = Vec::new();
 
         // counter threads first: one channel each
         let counter_txs: Vec<Sender<TokenMsg>> = (0..topology.output_width())
             .map(|index| {
                 let (tx, rx): (Sender<TokenMsg>, Receiver<TokenMsg>) = unbounded();
+                let obs = Arc::clone(&obs);
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("cnet-counter-{index}"))
@@ -84,6 +92,7 @@ impl MpNetwork {
                             while let Ok(msg) = rx.recv() {
                                 let value = index as u64 + width * arrivals;
                                 arrivals += 1;
+                                obs.record_op(msg.sent_at, crate::obs::now(), value);
                                 // the client may have given up; ignore
                                 let _ = msg.reply.send(value);
                             }
@@ -111,17 +120,23 @@ impl MpNetwork {
                 .collect();
             let (tx, rx): (Sender<TokenMsg>, Receiver<TokenMsg>) = unbounded();
             let hop_spin = config.hop_spin;
+            let obs = Arc::clone(&obs);
+            let node = id.index();
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("cnet-balancer-{}", id.index()))
+                    .name(format!("cnet-balancer-{node}"))
                     .spawn(move || {
                         let mut toggle: u64 = 0;
                         while let Ok(msg) = rx.recv() {
+                            let t0 = crate::obs::now();
                             let out = (toggle % outs.len() as u64) as usize;
                             toggle += 1;
                             for _ in 0..hop_spin {
                                 std::hint::spin_loop();
                             }
+                            let hop = crate::obs::now() - t0;
+                            obs.probe(node).record_toggle(hop);
+                            obs.record_wire(hop);
                             // downstream closing mid-shutdown only loses
                             // tokens whose clients are gone too
                             let _ = outs[out].send(msg);
@@ -144,6 +159,7 @@ impl MpNetwork {
             entries,
             next_input: AtomicUsize::new(0),
             threads,
+            obs,
         }
     }
 
@@ -157,7 +173,10 @@ impl MpNetwork {
     pub fn count_on(&self, input: usize) -> u64 {
         let (reply_tx, reply_rx) = bounded(1);
         self.entries[input]
-            .send(TokenMsg { reply: reply_tx })
+            .send(TokenMsg {
+                reply: reply_tx,
+                sent_at: crate::obs::now(),
+            })
             .expect("network threads alive while self exists");
         reply_rx.recv().expect("counter thread replies")
     }
@@ -166,6 +185,18 @@ impl MpNetwork {
     #[must_use]
     pub fn input_width(&self) -> usize {
         self.entries.len()
+    }
+
+    /// The contention metrics recorded so far, or `None` when this
+    /// build's probe layer is the disabled one (no `obs` feature).
+    ///
+    /// Meaningful once clients are quiescent (balancer threads may
+    /// still be mid-forward otherwise). Latencies are in nanoseconds;
+    /// here "toggle wait" is the balancer thread's per-token service
+    /// time and "wire latency" the per-hop forwarding time.
+    #[must_use]
+    pub fn metrics_snapshot(&self, wait_cycles: u64) -> Option<cnet_obs::MetricsSnapshot> {
+        self.obs.snapshot(wait_cycles)
     }
 }
 

@@ -43,24 +43,38 @@ enum NodeImpl {
 }
 
 impl NodeImpl {
-    fn traverse(&self) -> usize {
+    fn traverse(&self, probe: &crate::obs::BalancerProbe) -> usize {
         match self {
-            NodeImpl::WaitFree(b) => b.traverse(),
-            NodeImpl::Locked(b) => b.traverse(),
+            NodeImpl::WaitFree(b) => {
+                let t0 = crate::obs::now();
+                let out = b.traverse();
+                probe.record_toggle(crate::obs::now() - t0);
+                out
+            }
+            NodeImpl::Locked(b) => b.traverse_probed(probe),
             NodeImpl::Diffracting {
                 toggle,
                 prism,
                 spin,
             } => {
+                let t0 = crate::obs::now();
                 if !prism.is_empty() {
                     let slot = fast_thread_rand() as usize % prism.len();
                     match prism[slot].visit(*spin) {
-                        ExchangeOutcome::DiffractedFirst => return 0,
-                        ExchangeOutcome::DiffractedSecond => return 1,
+                        ExchangeOutcome::DiffractedFirst => {
+                            probe.record_diffraction(crate::obs::now() - t0);
+                            return 0;
+                        }
+                        ExchangeOutcome::DiffractedSecond => {
+                            probe.record_diffraction(crate::obs::now() - t0);
+                            return 1;
+                        }
                         ExchangeOutcome::Timeout => {}
                     }
                 }
-                toggle.traverse()
+                let out = toggle.traverse();
+                probe.record_toggle(crate::obs::now() - t0);
+                out
             }
         }
     }
@@ -116,6 +130,8 @@ pub struct NetworkCounter {
     next_input: AtomicUsize,
     width: u64,
     depth: usize,
+    /// Probe recorders; a set of ZSTs unless the `obs` feature is on.
+    obs: crate::obs::NetObserver,
 }
 
 impl NetworkCounter {
@@ -170,6 +186,7 @@ impl NetworkCounter {
             next_input: AtomicUsize::new(0),
             width: topology.output_width() as u64,
             depth: topology.depth(),
+            obs: crate::obs::NetObserver::new(topology.node_count()),
         }
     }
 
@@ -208,21 +225,26 @@ impl NetworkCounter {
     ///
     /// Panics if `input` is out of range.
     pub fn next_on_with_delay(&self, input: usize, spin_per_node: u64) -> u64 {
+        let start = crate::obs::now();
         let mut at = self.entries[input];
         loop {
+            let hop_start = crate::obs::now();
             let out = self.nodes[at]
                 .as_ref()
                 .expect("entry nodes exist")
-                .traverse();
+                .traverse(self.obs.probe(at));
             let wire = self.wires[at][out];
             for _ in 0..spin_per_node {
                 std::hint::spin_loop();
             }
+            self.obs.record_wire(crate::obs::now() - hop_start);
             match wire {
                 WireEnd::Node { node, .. } => at = node.index(),
                 WireEnd::Counter { index } => {
                     let prior = self.counters[index].fetch_add(1, Ordering::AcqRel);
-                    return index as u64 + self.width * prior;
+                    let value = index as u64 + self.width * prior;
+                    self.obs.record_op(start, crate::obs::now(), value);
+                    return value;
                 }
             }
         }
@@ -235,6 +257,17 @@ impl NetworkCounter {
             .iter()
             .map(|c| c.load(Ordering::Acquire))
             .collect()
+    }
+
+    /// The contention metrics recorded so far, or `None` when this
+    /// build's probe layer is the disabled one (no `obs` feature).
+    ///
+    /// Meaningful at quiescence (no concurrent callers mid-operation);
+    /// `wait_cycles` is the workload's injected `W`, used for the live
+    /// `(Tog + W)/Tog` ratio. Latencies are in nanoseconds.
+    #[must_use]
+    pub fn metrics_snapshot(&self, wait_cycles: u64) -> Option<cnet_obs::MetricsSnapshot> {
+        self.obs.snapshot(wait_cycles)
     }
 }
 
@@ -368,6 +401,19 @@ mod tests {
         let c = NetworkCounter::new(&net);
         let values: Vec<u64> = (0..8).map(|_| c.next()).collect();
         assert_eq!(values, (0..8).collect::<Vec<u64>>());
+    }
+}
+
+// the zero-cost claim from the crate root: without the `obs` feature
+// the probe layer must add no bytes to any counter (its recorders are
+// ZSTs and every call site folds away)
+#[cfg(all(test, not(feature = "obs")))]
+mod obs_disabled_tests {
+    #[test]
+    fn disabled_probe_layer_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<crate::obs::NetObserver>(), 0);
+        assert_eq!(std::mem::size_of::<crate::obs::BalancerProbe>(), 0);
+        assert_eq!(crate::obs::now(), 0);
     }
 }
 

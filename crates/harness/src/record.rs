@@ -1,8 +1,21 @@
 //! Serializable run records: one [`RunRecord`] per executed cell, one
 //! [`GridReport`] per sweep.
 
+use cnet_obs::MetricsSnapshot;
 use cnet_proteus::{RunStats, StatsSummary, Workload};
-use serde::impl_serde_struct;
+use serde::{impl_serde_struct, Deserialize, Error, Serialize, Value};
+
+/// Version of the [`RunRecord`] JSON envelope.
+///
+/// * **1** (implicit — records without the field): label through
+///   `wall_ms`, no metrics.
+/// * **2**: adds `schema_version` itself and the optional `metrics`
+///   block (see [`cnet_obs::MetricsSnapshot`], which carries its own
+///   independent block version).
+///
+/// Readers accept all versions ≤ the current one: committed baselines
+/// from before the field existed keep loading.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The serializable summary of one simulator run (one grid cell or one
 /// standalone simulation).
@@ -13,6 +26,10 @@ use serde::impl_serde_struct;
 /// host wall-clock and varies run to run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
+    /// Envelope version this record was written with (see
+    /// [`SCHEMA_VERSION`]); 1 for legacy records deserialized from
+    /// JSON that predates the field.
+    pub schema_version: u32,
     /// Cell label within its sweep (e.g. `"W=100,n=4"` or `"cs=10"`).
     pub label: String,
     /// Network description (e.g. `"Bitonic Counting Network"`).
@@ -29,22 +46,76 @@ pub struct RunRecord {
     pub seed: u64,
     /// The run's scalar measurements.
     pub stats: StatsSummary,
+    /// The run's observability block, when the producing build had the
+    /// probes enabled. Deterministic (simulated cycles only), so it is
+    /// part of the canonical form.
+    pub metrics: Option<MetricsSnapshot>,
     /// Host wall-clock spent simulating this cell, in milliseconds.
     /// Excluded from the determinism guarantee.
     pub wall_ms: f64,
 }
 
-impl_serde_struct!(RunRecord {
-    label,
-    kind,
-    processors,
-    delayed_percent,
-    wait_cycles,
-    total_ops,
-    seed,
-    stats,
-    wall_ms,
-});
+// Serde is hand-written (not `impl_serde_struct!`) because the macro
+// requires every field to be present on read, and RunRecord must keep
+// loading version-1 baselines that predate `schema_version`/`metrics`.
+impl Serialize for RunRecord {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("label".to_string(), self.label.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+            ("processors".to_string(), self.processors.to_value()),
+            (
+                "delayed_percent".to_string(),
+                self.delayed_percent.to_value(),
+            ),
+            ("wait_cycles".to_string(), self.wait_cycles.to_value()),
+            ("total_ops".to_string(), self.total_ops.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("wall_ms".to_string(), self.wall_ms.to_value()),
+        ];
+        // legacy-shaped output for legacy-shaped records: only write
+        // the optional block when there is something in it
+        if let Some(m) = &self.metrics {
+            fields.push(("metrics".to_string(), m.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for RunRecord {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let schema_version: u32 = match v.get("schema_version") {
+            Some(raw) => u32::from_value(raw)
+                .map_err(|e| Error::new(format!("field `schema_version`: {e}")))?,
+            None => 1, // records written before the field existed
+        };
+        if schema_version > SCHEMA_VERSION {
+            return Err(Error::new(format!(
+                "run record schema version {schema_version} is newer than supported {SCHEMA_VERSION}"
+            )));
+        }
+        let metrics: Option<MetricsSnapshot> = match v.get("metrics") {
+            Some(raw) => Option::<MetricsSnapshot>::from_value(raw)
+                .map_err(|e| Error::new(format!("field `metrics`: {e}")))?,
+            None => None,
+        };
+        Ok(RunRecord {
+            schema_version,
+            label: v.field("label")?,
+            kind: v.field("kind")?,
+            processors: v.field("processors")?,
+            delayed_percent: v.field("delayed_percent")?,
+            wait_cycles: v.field("wait_cycles")?,
+            total_ops: v.field("total_ops")?,
+            seed: v.field("seed")?,
+            stats: v.field("stats")?,
+            metrics,
+            wall_ms: v.field("wall_ms")?,
+        })
+    }
+}
 
 impl RunRecord {
     /// Builds a record from a finished run.
@@ -58,6 +129,7 @@ impl RunRecord {
         wall_ms: f64,
     ) -> Self {
         RunRecord {
+            schema_version: SCHEMA_VERSION,
             label: label.into(),
             kind: kind.into(),
             processors: workload.processors,
@@ -66,6 +138,7 @@ impl RunRecord {
             total_ops: workload.total_ops,
             seed,
             stats: stats.summary(workload.wait_cycles),
+            metrics: stats.metrics.clone(),
             wall_ms,
         }
     }
@@ -124,7 +197,6 @@ impl GridReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::{Deserialize as _, Serialize as _};
 
     fn record(label: &str, wall_ms: f64) -> RunRecord {
         let stats = RunStats {
@@ -139,6 +211,7 @@ mod tests {
             node_wait_total: 20,
             max_lock_queue: 1,
             nonlinearizable: 0,
+            metrics: None,
         };
         RunRecord::measure(
             label,
@@ -153,9 +226,73 @@ mod tests {
     #[test]
     fn run_record_serde_round_trip() {
         let r = record("W=100,n=4", 1.25);
+        assert_eq!(r.schema_version, SCHEMA_VERSION);
         let text = serde::json::to_string_pretty(&r.to_value());
         let back = RunRecord::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn run_record_with_metrics_round_trips() {
+        let mut r = record("W=100,n=4", 1.25);
+        let mut hist = cnet_obs::LogHistogram::new();
+        hist.record(12);
+        r.metrics = Some(cnet_obs::MetricsSnapshot {
+            schema_version: cnet_obs::METRICS_SCHEMA_VERSION,
+            wait_cycles: 100,
+            balancers: vec![],
+            network: cnet_obs::NetworkMetrics {
+                operations: 1,
+                c1_estimate: 12.0,
+                c2_estimate: 12.0,
+                avg_toggle_wait: 10.0,
+                average_ratio: 11.0,
+                wire_latency_hist: hist,
+                op_latency_hist: cnet_obs::LogHistogram::new(),
+                queue_depth_hist: cnet_obs::LogHistogram::new(),
+                nonlinearizable: 0,
+                violation_magnitude_total: 0,
+                violation_magnitude_max: 0,
+                violation_magnitude_hist: cnet_obs::LogHistogram::new(),
+            },
+        });
+        let text = serde::json::to_string_pretty(&r.to_value());
+        let back = RunRecord::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn legacy_version_1_records_still_load() {
+        // a committed baseline cell from before `schema_version` and
+        // `metrics` existed — byte shape pinned here so the reader can
+        // never silently drop support
+        let r = record("W=100,n=4", 0.0);
+        let Value::Object(fields) = r.to_value() else {
+            panic!("records serialize as objects");
+        };
+        let legacy: Vec<_> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "schema_version" && k != "metrics")
+            .collect();
+        let back = RunRecord::from_value(&Value::Object(legacy)).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.metrics, None);
+        assert_eq!(back.stats, r.stats);
+        assert_eq!(back.label, r.label);
+    }
+
+    #[test]
+    fn future_versions_are_rejected_loudly() {
+        let mut v = record("W=100,n=4", 0.0).to_value();
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "schema_version" {
+                    *val = (SCHEMA_VERSION + 1).to_value();
+                }
+            }
+        }
+        let err = RunRecord::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("newer than supported"));
     }
 
     #[test]

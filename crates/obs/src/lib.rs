@@ -1,0 +1,117 @@
+//! `cnet-obs`: a zero-overhead-when-disabled observability layer for
+//! counting networks.
+//!
+//! Section 5 of the paper rests on one measured quantity — the
+//! traversal ratio `c2/c1 = (Tog + W)/Tog` — and this crate makes
+//! that quantity (plus the contention that produces it) observable in
+//! *live* runs: per-balancer toggle waits, lock acquisition/hold
+//! times, prism diffractions, wire latencies, and a streaming
+//! non-linearizability tracker that records violation *magnitude*,
+//! not just a count.
+//!
+//! # Architecture: two always-compiled layers
+//!
+//! [`live`] holds the real recorders; [`noop`] holds zero-sized shims
+//! with the identical API. Both compile unconditionally. A consumer
+//! crate declares its **own** `obs` feature and picks the layer at the
+//! import site:
+//!
+//! ```ignore
+//! #[cfg(feature = "obs")]
+//! pub use cnet_obs::live as obs;
+//! #[cfg(not(feature = "obs"))]
+//! pub use cnet_obs::noop as obs;
+//! ```
+//!
+//! This indirection exists because Cargo unifies features across one
+//! build invocation: if consumers dispatched on a feature *of this
+//! crate*, any single `obs`-enabled crate in the workspace would turn
+//! recording on for every other crate in the same build — including
+//! the perf-gated benchmark binaries. With per-consumer features, the
+//! CLI can ship with metrics on while `cnet-bench` in the same
+//! workspace stays probe-free.
+//!
+//! The data model ([`LogHistogram`], [`MetricsSnapshot`],
+//! [`ViolationTracker`]) is shared by both layers and always
+//! available, so harness records can *carry* metrics even in builds
+//! that cannot *produce* them.
+//!
+//! # Zero-cost argument
+//!
+//! With the no-op layer: [`noop::now`] is a constant 0, probe methods
+//! have empty `#[inline(always)]` bodies, and both recorder types are
+//! zero-sized (asserted below). Every probe call site therefore
+//! reduces to arithmetic on the constant 0 feeding an empty function —
+//! nothing survives optimization. CI additionally runs the committed
+//! perf-regression gate against an obs-off build.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod live;
+pub mod noop;
+pub mod snapshot;
+pub mod violation;
+
+pub use hist::{LogHistogram, BUCKETS};
+pub use snapshot::{BalancerMetrics, MetricsSnapshot, NetworkMetrics, METRICS_SCHEMA_VERSION};
+pub use violation::ViolationTracker;
+
+/// The layer selected by this crate's `enabled` feature — a
+/// convenience for binaries that depend on `cnet-obs` directly.
+/// Library consumers should select `live`/`noop` via their own
+/// feature instead (see the crate docs).
+#[cfg(feature = "enabled")]
+pub use live as active;
+/// The layer selected by this crate's `enabled` feature — a
+/// convenience for binaries that depend on `cnet-obs` directly.
+/// Library consumers should select `live`/`noop` via their own
+/// feature instead (see the crate docs).
+#[cfg(not(feature = "enabled"))]
+pub use noop as active;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn noop_layer_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<crate::noop::BalancerProbe>(), 0);
+        assert_eq!(std::mem::size_of::<crate::noop::NetObserver>(), 0);
+        assert_eq!(crate::noop::now(), 0);
+    }
+
+    #[test]
+    fn noop_layer_reports_nothing() {
+        let o = crate::noop::NetObserver::new(64);
+        o.probe(63).record_toggle(5);
+        o.record_op(0, 1, 2);
+        o.record_wire(3);
+        assert!(o.snapshot(100).is_none());
+    }
+
+    #[test]
+    fn layers_expose_the_same_surface() {
+        // compile-time check that both layers accept the same calls —
+        // written as a generic-free macro-expanded pair so a drifting
+        // signature breaks the build here, next to the docs that
+        // promise the symmetry
+        macro_rules! drive {
+            ($layer:path) => {{
+                use $layer as obs;
+                let o = obs::NetObserver::new(2);
+                let p = o.probe(1);
+                p.record_toggle(obs::now());
+                p.record_diffraction(1);
+                p.record_lock(2, 3);
+                obs::BalancerProbe::sink().record_toggle(0);
+                o.record_wire(4);
+                o.record_op(0, 5, 6);
+                o.snapshot(7)
+            }};
+        }
+        let live = drive!(crate::live);
+        let noop = drive!(crate::noop);
+        assert!(live.is_some());
+        assert!(noop.is_none());
+    }
+}

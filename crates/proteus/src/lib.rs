@@ -55,6 +55,7 @@
 
 mod config;
 mod node;
+mod obs;
 mod queue;
 pub mod rng;
 mod sim;
@@ -62,5 +63,5 @@ mod stats;
 
 pub use config::{Placement, PrismConfig, SimConfig, WaitMode, Workload};
 pub use rng::SimRng;
-pub use sim::Simulator;
+pub use sim::{MetricsRecorder, Simulator};
 pub use stats::{RunStats, StatsSummary};

@@ -101,6 +101,9 @@ pub(crate) trait Queue<T: Copy>: Sized {
     fn push(&mut self, time: u64, ev: T);
     /// Removes and returns the earliest event (ties in push order).
     fn pop(&mut self) -> Option<(u64, T)>;
+    /// Number of pending events. Both queues track this in O(1); the
+    /// observability layer samples it for the queue-depth histogram.
+    fn len(&self) -> usize;
 }
 
 /// A heap entry, ordered by `(time, seq)` only.
@@ -177,10 +180,8 @@ impl<T: Copy> Queue<T> for HeapQueue<T> {
         }
         Some((e.time, e.ev))
     }
-}
 
-impl<T> HeapQueue<T> {
-    #[cfg(test)]
+    #[inline]
     fn len(&self) -> usize {
         self.heap.len()
     }
@@ -275,6 +276,11 @@ impl<T: Copy> Queue<T> for WheelQueue<T> {
             }
             self.advance(idx);
         }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
     }
 }
 
@@ -383,11 +389,6 @@ impl<T: Copy> WheelQueue<T> {
             return (bit < hi).then_some(bit);
         }
         None
-    }
-
-    #[cfg(test)]
-    fn len(&self) -> usize {
-        self.len
     }
 
     #[cfg(test)]

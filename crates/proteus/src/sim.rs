@@ -24,6 +24,7 @@ use cnet_topology::{OutputCounts, Topology, WireEnd};
 
 use crate::config::{Placement, SimConfig, WaitMode, Workload};
 use crate::node::{toggles_for, LockBank, Prism};
+use crate::obs::SimObs;
 use crate::queue::{HeapQueue, Queue, WheelQueue, HEAP_CROSSOVER};
 use crate::rng::SimRng;
 use crate::stats::RunStats;
@@ -121,11 +122,51 @@ impl<'a> Simulator<'a> {
     /// every statistic.
     #[must_use]
     pub fn run(&self, workload: &Workload) -> RunStats {
-        if workload.processors < HEAP_CROSSOVER {
+        let (mut stats, recorder) = self.run_instrumented(workload);
+        stats.metrics = recorder.finish();
+        stats
+    }
+
+    /// Like [`Simulator::run`], but hands the metric recorder back
+    /// unfrozen so the caller can keep snapshot assembly out of its
+    /// own timing window: the returned [`RunStats`] has `metrics:
+    /// None`, and [`MetricsRecorder::finish`] builds the snapshot.
+    /// The harness times cells around this call — recording stays
+    /// inside the measurement, export does not, mirroring how report
+    /// serialization is already outside the per-cell wall-clock.
+    #[must_use]
+    pub fn run_instrumented(&self, workload: &Workload) -> (RunStats, MetricsRecorder) {
+        let (stats, obs) = if workload.processors < HEAP_CROSSOVER {
             Runner::<HeapQueue<Ev>>::new(self.topology, self.config, workload).run()
         } else {
             Runner::<WheelQueue<Ev>>::new(self.topology, self.config, workload).run()
-        }
+        };
+        (
+            stats,
+            MetricsRecorder {
+                obs,
+                wait_cycles: workload.wait_cycles,
+                toggle_cost: self.config.toggle_cost,
+            },
+        )
+    }
+}
+
+/// A run's unfrozen metric recorder (see [`Simulator::run_instrumented`]).
+/// Without the `obs` feature this holds the zero-sized inert recorder
+/// and [`MetricsRecorder::finish`] returns `None`.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    obs: SimObs,
+    wait_cycles: u64,
+    toggle_cost: u64,
+}
+
+impl MetricsRecorder {
+    /// Freezes the recorder into the run's metrics snapshot.
+    #[must_use]
+    pub fn finish(self) -> Option<cnet_obs::MetricsSnapshot> {
+        self.obs.finish(self.wait_cycles, self.toggle_cost)
     }
 }
 
@@ -162,6 +203,9 @@ struct Runner<'a, Q> {
     /// `routes[route_base[i] + out]`.
     routes: Vec<Route>,
     route_base: Vec<u32>,
+    /// Metric recorder — zero-sized and inert without the `obs`
+    /// feature, so the hot loop keeps its layout and speed.
+    obs: SimObs,
 }
 
 fn mesh_cell(index: usize, side: usize) -> (i64, i64) {
@@ -295,15 +339,19 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
             sim_time: 0,
             routes,
             route_base,
+            obs: SimObs::new(node_count, workload.total_ops),
         }
     }
 
     #[inline]
     fn push(&mut self, time: u64, ev: Ev) {
         self.queue.push(time, ev);
+        if self.obs.on_push() {
+            self.obs.record_depth(self.queue.len() as u64);
+        }
     }
 
-    fn run(mut self) -> RunStats {
+    fn run(mut self) -> (RunStats, SimObs) {
         for p in 0..self.workload.processors {
             self.push(p as u64, Ev::StartOp { proc: p as u32 });
         }
@@ -313,7 +361,7 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
             self.sim_time = time;
             self.handle(time, ev);
         }
-        RunStats {
+        let stats = RunStats {
             operations: self.operations,
             completed_by: self.completed_by,
             nonlinearizable: self.checker.finish(),
@@ -325,7 +373,9 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
             node_visits: self.node_visits,
             node_wait_total: self.node_wait_total,
             max_lock_queue: self.max_lock_queue,
-        }
+            metrics: None,
+        };
+        (stats, self.obs)
     }
 
     #[inline]
@@ -375,10 +425,11 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
                         // toggle is untouched. The pair leaves after
                         // `pair_cost`.
                         let pair_cost = self.config.prism.expect("prism configured").pair_cost;
+                        let occupant_wait = now - self.procs[occupant.proc as usize].arrive_time;
                         self.diffraction_pairs += 1;
                         self.node_visits += 2;
-                        self.node_wait_total +=
-                            now - self.procs[occupant.proc as usize].arrive_time;
+                        self.node_wait_total += occupant_wait;
+                        self.obs.diffraction(node as usize, occupant_wait);
                         // the arriver itself waits only pair_cost
                         let depart = now + pair_cost;
                         self.depart(depart, occupant.proc, node, 0);
@@ -432,6 +483,7 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
         self.toggle_wait_total += wait;
         self.node_visits += 1;
         self.node_wait_total += wait;
+        self.obs.toggle(node as usize, wait);
         let out = self.toggles[node as usize].route();
         if let Some(next_holder) = self.locks.release(node as usize) {
             self.push(
@@ -473,6 +525,7 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
             self.rng.inclusive(self.config.link_jitter)
         };
         let route = self.routes[self.route_base[node as usize] as usize + out];
+        self.obs.wire(jitter + wait + route.cost);
         let arrival = t + jitter + wait + route.cost;
         if route.target & COUNTER_BIT == 0 {
             self.push(
@@ -543,6 +596,7 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
         // contract — the Definition 2.4 count is ready the moment the
         // run ends, with no end-of-run sort
         self.checker.observe(op);
+        self.obs.op(op.start, op.end, op.value);
         // the next operation begins strictly after this one's response,
         // so a processor's successive operations are ordered under
         // Definition 2.4's strict precedence

@@ -41,6 +41,12 @@ pub struct RunStats {
     /// simulator's streaming checker as operations complete — no
     /// post-run sweep needed.
     pub nonlinearizable: usize,
+    /// Per-balancer contention metrics and network-level live
+    /// estimates, recorded by the `cnet-obs` probes. `None` unless the
+    /// simulator was built with the `obs` feature — the field itself
+    /// always exists so downstream records can carry metrics without a
+    /// feature of their own.
+    pub metrics: Option<cnet_obs::MetricsSnapshot>,
 }
 
 impl RunStats {
@@ -67,13 +73,12 @@ impl RunStats {
     /// always defined.
     #[must_use]
     pub fn avg_toggle_wait(&self) -> f64 {
-        if self.toggle_count > 0 {
-            self.toggle_wait_total as f64 / self.toggle_count as f64
-        } else if self.node_visits > 0 {
-            self.node_wait_total as f64 / self.node_visits as f64
-        } else {
-            0.0
-        }
+        sweep::avg_toggle_wait(
+            self.toggle_wait_total,
+            self.toggle_count,
+            self.node_wait_total,
+            self.node_visits,
+        )
     }
 
     /// The paper's Figure 7 statistic: the measured average
@@ -83,16 +88,13 @@ impl RunStats {
     /// and a positive `W`.
     #[must_use]
     pub fn average_ratio(&self, wait_cycles: u64) -> f64 {
-        let tog = self.avg_toggle_wait();
-        if tog == 0.0 {
-            if wait_cycles == 0 {
-                1.0
-            } else {
-                f64::INFINITY
-            }
-        } else {
-            (tog + wait_cycles as f64) / tog
-        }
+        sweep::average_ratio(
+            self.toggle_wait_total,
+            self.toggle_count,
+            self.node_wait_total,
+            self.node_visits,
+            wait_cycles,
+        )
     }
 
     /// Operations whose own processor saw a *smaller* value than one of
@@ -248,6 +250,7 @@ mod tests {
             node_wait_total: 40,
             max_lock_queue: 0,
             nonlinearizable,
+            metrics: None,
         }
     }
 
@@ -358,6 +361,7 @@ mod consistency_tests {
             node_wait_total: 1,
             max_lock_queue: 0,
             nonlinearizable,
+            metrics: None,
         };
         assert_eq!(stats.nonlinearizable_count(), 1);
         assert_eq!(stats.program_order_violations(), 0);
@@ -417,6 +421,7 @@ mod consistency_tests {
             node_wait_total: 1,
             max_lock_queue: 0,
             nonlinearizable: 0,
+            metrics: None,
         };
         assert_eq!(stats.latency_histogram(), vec![1, 1, 0, 1]);
     }

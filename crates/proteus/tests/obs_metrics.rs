@@ -1,0 +1,157 @@
+//! Differential tests for the live metric recorder (`--features obs`):
+//! the probes must agree with the run-wide counters and with
+//! `timing::sweep`'s offline computation on the very same trace.
+
+use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_timing::sweep;
+use cnet_topology::constructions;
+
+fn workload(processors: usize, wait_cycles: u64, ops: usize) -> Workload {
+    Workload {
+        processors,
+        delayed_percent: 25,
+        wait_cycles,
+        total_ops: ops,
+        wait_mode: WaitMode::Fixed,
+    }
+}
+
+#[test]
+fn metrics_block_is_recorded_and_versioned() {
+    let net = constructions::bitonic(8).unwrap();
+    let stats = Simulator::new(&net, SimConfig::queue_lock(42)).run(&workload(16, 1000, 500));
+    let m = stats.metrics.as_ref().expect("obs feature records metrics");
+    assert_eq!(m.schema_version, cnet_obs::METRICS_SCHEMA_VERSION);
+    assert_eq!(m.wait_cycles, 1000);
+    assert_eq!(m.balancers.len(), net.node_count());
+    assert_eq!(m.network.operations, 500);
+    assert!(m.network.queue_depth_hist.count() > 0);
+}
+
+#[test]
+fn per_balancer_sums_equal_the_run_totals() {
+    let net = constructions::bitonic(8).unwrap();
+    let stats = Simulator::new(&net, SimConfig::queue_lock(7)).run(&workload(32, 500, 800));
+    let m = stats.metrics.as_ref().unwrap();
+    let toggles: u64 = m.balancers.iter().map(|b| b.toggles).sum();
+    let toggle_wait: u64 = m.balancers.iter().map(|b| b.toggle_wait_total).sum();
+    let visits: u64 = m.balancers.iter().map(|b| b.visits).sum();
+    let node_wait: u64 = m.balancers.iter().map(|b| b.wait_hist.sum()).sum();
+    assert_eq!(toggles, stats.toggle_count);
+    assert_eq!(toggle_wait, stats.toggle_wait_total);
+    assert_eq!(visits, stats.node_visits);
+    assert_eq!(node_wait, stats.node_wait_total);
+}
+
+#[test]
+fn diffracting_runs_attribute_pairs_per_node() {
+    let net = constructions::counting_tree(16).unwrap();
+    let stats = Simulator::new(&net, SimConfig::diffracting(11)).run(&workload(64, 0, 1000));
+    let m = stats.metrics.as_ref().unwrap();
+    let diffracted: u64 = m.balancers.iter().map(|b| b.diffracted).sum();
+    assert_eq!(diffracted, 2 * stats.diffraction_pairs);
+    let visits: u64 = m.balancers.iter().map(|b| b.visits).sum();
+    assert_eq!(visits, stats.node_visits);
+}
+
+#[test]
+fn live_ratio_matches_the_offline_sweep_within_tolerance() {
+    // the acceptance-criteria configuration: width-32 bitonic,
+    // deterministic seed, n = 64, W = 1000, 5000 ops
+    let net = constructions::bitonic(32).unwrap();
+    let wl = workload(64, 1000, 5000);
+    let stats = Simulator::new(&net, SimConfig::queue_lock(0x0B5E)).run(&wl);
+    let m = stats.metrics.as_ref().unwrap();
+
+    let offline = stats.average_ratio(wl.wait_cycles);
+    let live = m.network.average_ratio;
+    let rel = (live - offline).abs() / offline;
+    assert!(
+        rel < 0.05,
+        "live ratio {live} vs offline {offline} (rel err {rel})"
+    );
+    // the probes aggregate the same per-event quantities, so the two
+    // should in fact agree exactly, not just within 5%
+    assert!(
+        (live - offline).abs() < 1e-9,
+        "live {live} offline {offline}"
+    );
+    assert!((m.network.avg_toggle_wait - stats.avg_toggle_wait()).abs() < 1e-9);
+}
+
+#[test]
+fn violation_telemetry_matches_the_streaming_checker_and_sweep() {
+    // high W on a tree: the regime where the paper observed violations
+    let net = constructions::counting_tree(16).unwrap();
+    let wl = Workload {
+        processors: 64,
+        delayed_percent: 50,
+        wait_cycles: 10_000,
+        total_ops: 2000,
+        wait_mode: WaitMode::Fixed,
+    };
+    let stats = Simulator::new(&net, SimConfig::diffracting(17)).run(&wl);
+    let m = stats.metrics.as_ref().unwrap();
+    assert!(stats.nonlinearizable_count() > 0, "regime sanity");
+    assert_eq!(
+        m.network.nonlinearizable,
+        stats.nonlinearizable_count() as u64
+    );
+
+    // magnitudes agree with the offline sweep over the same trace
+    let offline = sweep::trace_metrics(&stats.operations, |i| stats.completed_by[i]);
+    assert_eq!(
+        m.network.violation_magnitude_total,
+        offline.violation_magnitude_total
+    );
+    assert_eq!(
+        m.network.violation_magnitude_max,
+        offline.violation_magnitude_max
+    );
+    assert!(m.network.violation_magnitude_max > 0);
+}
+
+#[test]
+fn c1_c2_estimates_bound_the_wire_latencies() {
+    let net = constructions::bitonic(8).unwrap();
+    let config = SimConfig::queue_lock(3);
+    let stats = Simulator::new(&net, config).run(&workload(16, 200, 500));
+    let m = stats.metrics.as_ref().unwrap();
+    // every hop costs at least the link cost; delayed hops cost more
+    assert!(m.network.c1_estimate >= config.link_cost as f64);
+    assert!(m.network.c2_estimate >= m.network.c1_estimate + 200.0 - 1.0);
+    assert_eq!(
+        m.network.wire_latency_hist.min() as f64,
+        m.network.c1_estimate
+    );
+    assert_eq!(
+        m.network.wire_latency_hist.max() as f64,
+        m.network.c2_estimate
+    );
+}
+
+#[test]
+fn recording_does_not_change_the_simulation() {
+    // determinism guard: the metrics are derived passively, so the
+    // trace under `obs` must equal the committed golden expectations
+    // produced without it — spot-checked here by re-running twice and
+    // by the unchanged RunStats counters above
+    let net = constructions::bitonic(8).unwrap();
+    let wl = workload(16, 1000, 400);
+    let a = Simulator::new(&net, SimConfig::queue_lock(5)).run(&wl);
+    let b = Simulator::new(&net, SimConfig::queue_lock(5)).run(&wl);
+    assert_eq!(a.operations, b.operations);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn metrics_round_trip_inside_the_stats_summary_pipeline() {
+    use serde::{Deserialize as _, Serialize as _};
+    let net = constructions::bitonic(4).unwrap();
+    let stats = Simulator::new(&net, SimConfig::queue_lock(9)).run(&workload(8, 100, 200));
+    let m = stats.metrics.clone().unwrap();
+    let text = serde::json::to_string_pretty(&m.to_value());
+    let back =
+        cnet_obs::MetricsSnapshot::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+    assert_eq!(back, m);
+}

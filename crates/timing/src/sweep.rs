@@ -35,6 +35,14 @@ pub struct TraceMetrics {
     pub latency_histogram: Vec<u64>,
     /// Operations in the trace.
     pub operations: usize,
+    /// Sum over all non-linearizable operations of *how far* out of
+    /// order each landed: `max_finished_value - value`, i.e. counter
+    /// positions. A trace with one violation of magnitude 50 and a
+    /// trace with fifty magnitude-1 violations tell very different
+    /// stories that the boolean count alone cannot.
+    pub violation_magnitude_total: u64,
+    /// The single largest violation magnitude in the trace.
+    pub violation_magnitude_max: u64,
 }
 
 impl TraceMetrics {
@@ -98,6 +106,8 @@ pub fn trace_metrics<F: FnMut(usize) -> usize>(
     let mut program_order_violations = 0usize;
     let mut total_latency = 0u64;
     let mut latency_histogram: Vec<u64> = Vec::new();
+    let mut violation_magnitude_total = 0u64;
+    let mut violation_magnitude_max = 0u64;
 
     for &i in &by_start {
         let op = &ops[i as usize];
@@ -110,6 +120,9 @@ pub fn trace_metrics<F: FnMut(usize) -> usize>(
         if let Some(m) = max_finished_value {
             if m > op.value {
                 nonlinearizable += 1;
+                let magnitude = m - op.value;
+                violation_magnitude_total += magnitude;
+                violation_magnitude_max = violation_magnitude_max.max(magnitude);
             }
         }
 
@@ -141,6 +154,60 @@ pub fn trace_metrics<F: FnMut(usize) -> usize>(
         total_latency,
         latency_histogram,
         operations: ops.len(),
+        violation_magnitude_total,
+        violation_magnitude_max,
+    }
+}
+
+/// The paper's `Tog`: average cycles a token waits before toggling,
+/// falling back to the all-visit average when no toggles happened (a
+/// fully-diffracted run), so [`average_ratio`] is always defined.
+///
+/// This is the *single* definition shared by the offline summary
+/// (`RunStats` in `cnet-proteus`) and the live probes (`cnet-obs`) —
+/// the differential test between the two paths compares data
+/// collection, never formula drift.
+#[must_use]
+pub fn avg_toggle_wait(
+    toggle_wait_total: u64,
+    toggle_count: u64,
+    node_wait_total: u64,
+    node_visits: u64,
+) -> f64 {
+    if toggle_count > 0 {
+        toggle_wait_total as f64 / toggle_count as f64
+    } else if node_visits > 0 {
+        node_wait_total as f64 / node_visits as f64
+    } else {
+        0.0
+    }
+}
+
+/// The paper's Figure 7 statistic `c2/c1 = (Tog + W)/Tog` from raw
+/// wait totals. Returns `1.0` for a run with zero wait and zero `W`,
+/// and infinity for the degenerate zero-wait, positive-`W` case.
+#[must_use]
+pub fn average_ratio(
+    toggle_wait_total: u64,
+    toggle_count: u64,
+    node_wait_total: u64,
+    node_visits: u64,
+    wait_cycles: u64,
+) -> f64 {
+    let tog = avg_toggle_wait(
+        toggle_wait_total,
+        toggle_count,
+        node_wait_total,
+        node_visits,
+    );
+    if tog == 0.0 {
+        if wait_cycles == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (tog + wait_cycles as f64) / tog
     }
 }
 
@@ -187,6 +254,30 @@ mod tests {
         assert_eq!(m.total_latency, 3 + 2 + 8);
         assert_eq!(m.latency_histogram, vec![0, 2, 0, 1]);
         assert!((m.mean_latency() - 13.0 / 3.0).abs() < 1e-12);
+        // op1 saw 7 finished before it (7-2=5), op2 saw max 7 (7-1=6)
+        assert_eq!(m.violation_magnitude_total, 11);
+        assert_eq!(m.violation_magnitude_max, 6);
+    }
+
+    #[test]
+    fn linearizable_traces_have_zero_magnitude() {
+        let ops = vec![op(0, 0, 0, 3, 0), op(1, 0, 4, 6, 1), op(2, 0, 7, 9, 2)];
+        let m = trace_metrics(&ops, |i| ops[i].input);
+        assert_eq!(m.nonlinearizable, 0);
+        assert_eq!(m.violation_magnitude_total, 0);
+        assert_eq!(m.violation_magnitude_max, 0);
+    }
+
+    #[test]
+    fn shared_ratio_formula_matches_the_paper() {
+        // Tog = 40/4 = 10 -> (10 + 100)/10 = 11
+        assert!((avg_toggle_wait(40, 4, 0, 0) - 10.0).abs() < 1e-12);
+        assert!((average_ratio(40, 4, 0, 0, 100) - 11.0).abs() < 1e-12);
+        // fallback: no toggles, only diffracted visits
+        assert!((avg_toggle_wait(0, 0, 50, 10) - 5.0).abs() < 1e-12);
+        // degenerate cases
+        assert_eq!(average_ratio(0, 0, 0, 0, 0), 1.0);
+        assert!(average_ratio(0, 0, 0, 0, 10).is_infinite());
     }
 
     proptest! {
