@@ -16,11 +16,9 @@ const OPS: usize = 1_000;
 
 fn workload(processors: usize) -> Workload {
     Workload {
-        processors,
-        delayed_percent: 50,
-        wait_cycles: 1_000,
         total_ops: OPS,
         wait_mode: WaitMode::Fixed,
+        ..Workload::paper(processors, 50, 1_000)
     }
 }
 

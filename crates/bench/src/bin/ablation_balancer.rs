@@ -20,11 +20,9 @@ fn main() {
     let mut report = BenchReport::new("ablation_balancer", args.threads);
     let net = constructions::bitonic(32).expect("valid width");
     let workload = Workload {
-        processors: 64,
-        delayed_percent: 50,
-        wait_cycles: 1000,
         total_ops: args.ops,
         wait_mode: WaitMode::Fixed,
+        ..Workload::paper(64, 50, 1000)
     };
     let jobs: Vec<Job> = [1u64, 10, 50, 200, 800]
         .iter()

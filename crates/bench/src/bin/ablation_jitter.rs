@@ -23,11 +23,9 @@ fn main() {
         constructions::counting_tree(32).expect("valid width"),
     ];
     let workload = Workload {
-        processors: 256,
-        delayed_percent: 50,
-        wait_cycles: 10_000,
         total_ops: args.ops,
         wait_mode: WaitMode::Fixed,
+        ..Workload::paper(256, 50, 10_000)
     };
     let jitters = [0u64, 50, 200, 800, 3200];
     let mut jobs = Vec::new();

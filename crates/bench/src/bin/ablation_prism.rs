@@ -21,11 +21,9 @@ fn main() {
     let mut report = BenchReport::new("ablation_prism", args.threads);
     let net = constructions::counting_tree(32).expect("valid width");
     let workload = Workload {
-        processors: 64,
-        delayed_percent: 50,
-        wait_cycles: 1000,
         total_ops: args.ops,
         wait_mode: WaitMode::Fixed,
+        ..Workload::paper(64, 50, 1000)
     };
     let sweep = [
         (0usize, 0u64),

@@ -35,11 +35,9 @@ fn main() {
                 net: 0,
                 config: kind.config(derive_cell_seed(base, kind.label(), 50, w, n)),
                 workload: Workload {
-                    processors: n,
-                    delayed_percent: 50,
-                    wait_cycles: w,
                     total_ops: args.ops,
                     wait_mode: WaitMode::Fixed,
+                    ..Workload::paper(n, 50, w)
                 },
             })
             .collect();

@@ -42,11 +42,9 @@ fn main() {
                 &[u64::from(f), w, n as u64],
             )),
             workload: Workload {
-                processors: n,
-                delayed_percent: f,
-                wait_cycles: w,
                 total_ops: args.ops,
                 wait_mode: mode,
+                ..Workload::paper(n, f, w)
             },
         };
         for (label, f, mode) in scenarios {

@@ -55,11 +55,9 @@ fn main() {
                     net: 0,
                     config: kind.config(seed),
                     workload: Workload {
-                        processors,
-                        delayed_percent: 25,
-                        wait_cycles,
                         total_ops: args.ops,
                         wait_mode: WaitMode::Fixed,
+                        ..Workload::paper(processors, 25, wait_cycles)
                     },
                 }
             })

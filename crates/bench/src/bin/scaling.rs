@@ -50,11 +50,9 @@ fn main() {
                     ..config
                 },
                 workload: Workload {
-                    processors: n,
-                    delayed_percent: 0,
-                    wait_cycles: 0,
                     total_ops: args.ops,
                     wait_mode: WaitMode::Fixed,
+                    ..Workload::paper(n, 0, 0)
                 },
             });
         }

@@ -57,7 +57,7 @@ pub struct ParsedArgs {
 /// `--` is a boolean flag.
 const VALUED: &[&str] = &[
     "c1", "c2", "n", "f", "w", "ops", "seed", "pad", "arity", "width", "tokens", "budget",
-    "threads", "json",
+    "threads", "json", "backend", "open", "bursty", "hop-spin",
 ];
 
 /// Valued options that may also appear bare, as a flag (`--json path`

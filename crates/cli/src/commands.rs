@@ -7,7 +7,10 @@ use cnet_adversary::{
     bitonic_attack, intro_example, search_violations, tree_attack, wave_attack, Scenario,
     SearchConfig,
 };
-use cnet_harness::{run_jobs_report, Job, ResultTable};
+use cnet_engine::{
+    ArrivalProcess, Backend, BalancerKind, MpBackend, MpConfig, ShmBackend, SimBackend,
+};
+use cnet_harness::{run_jobs_report, GridReport, Job, ResultTable, RunRecord};
 use cnet_proteus::{SimConfig, WaitMode, Workload};
 use cnet_timing::executor::TimedExecutor;
 use cnet_timing::{interleave, io, measure, render, threshold as thresh, LinkTiming};
@@ -163,15 +166,17 @@ pub fn measure(args: &ParsedArgs) -> Result<String, CliError> {
 pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
     let net = build_network(args)?;
     let workload = Workload {
-        processors: args.required_u64("n")? as usize,
-        delayed_percent: args.required_u64("f")? as u32,
-        wait_cycles: args.required_u64("w")?,
         total_ops: args.u64_opt("ops")?.unwrap_or(5000) as usize,
         wait_mode: if args.flag("random-wait") {
             WaitMode::UniformRandom
         } else {
             WaitMode::Fixed
         },
+        ..Workload::paper(
+            args.required_u64("n")? as usize,
+            args.required_u64("f")? as u32,
+            args.required_u64("w")?,
+        )
     };
     let seed = args.u64_opt("seed")?.unwrap_or(1);
     let config = if args.flag("prism") {
@@ -250,11 +255,13 @@ pub fn observe(args: &ParsedArgs) -> Result<String, CliError> {
     }
     .map_err(CliError::failed)?;
     let workload = Workload {
-        processors: args.u64_opt("n")?.unwrap_or(64) as usize,
-        delayed_percent: args.u64_opt("f")?.unwrap_or(25) as u32,
-        wait_cycles: args.u64_opt("w")?.unwrap_or(1000),
         total_ops: args.u64_opt("ops")?.unwrap_or(5000) as usize,
         wait_mode: WaitMode::Fixed,
+        ..Workload::paper(
+            args.u64_opt("n")?.unwrap_or(64) as usize,
+            args.u64_opt("f")?.unwrap_or(25) as u32,
+            args.u64_opt("w")?.unwrap_or(1000),
+        )
     };
     let seed = args.u64_opt("seed")?.unwrap_or(0x0B5E);
     let config = if args.flag("prism") {
@@ -341,6 +348,133 @@ pub fn observe(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         write_json(args, &metrics.to_value())?;
     }
+    Ok(out)
+}
+
+/// Parses the workload arrival knobs: `--open MEAN_GAP` or
+/// `--bursty BURST,GAP`, defaulting to the paper's closed loop.
+fn parse_arrival(args: &ParsedArgs) -> Result<ArrivalProcess, CliError> {
+    match (args.u64_opt("open")?, args.str_opt("bursty")) {
+        (Some(_), Some(_)) => Err(CliError::usage("choose one of --open / --bursty")),
+        (Some(mean_gap), None) => Ok(ArrivalProcess::Open { mean_gap }),
+        (None, Some(spec)) => {
+            let (burst, gap) = spec
+                .split_once(',')
+                .ok_or_else(|| CliError::usage("--bursty takes BURST,GAP"))?;
+            let burst: u32 = burst
+                .trim()
+                .parse()
+                .map_err(|_| CliError::usage("--bursty BURST must be a number"))?;
+            let gap: u64 = gap
+                .trim()
+                .parse()
+                .map_err(|_| CliError::usage("--bursty GAP must be a number"))?;
+            Ok(ArrivalProcess::Bursty { burst, gap })
+        }
+        (None, None) => Ok(ArrivalProcess::Closed),
+    }
+}
+
+/// `cnet run` — one seeded workload executed through the engine on one
+/// or more backends (`sim` | `shm` | `mp`), compared side by side.
+///
+/// All backends share the workload and seed; the simulator reports in
+/// simulated cycles, the native backends in logical-clock ticks, so the
+/// per-backend numbers are comparable in shape, not in units.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    let kind = args.positional(0, "kind")?.to_string();
+    let workload = Workload {
+        total_ops: args.u64_opt("ops")?.unwrap_or(2000) as usize,
+        wait_mode: WaitMode::Fixed,
+        arrival: parse_arrival(args)?,
+        ..Workload::paper(
+            args.u64_opt("n")?.unwrap_or(8) as usize,
+            args.u64_opt("f")?.unwrap_or(0) as u32,
+            args.u64_opt("w")?.unwrap_or(0),
+        )
+    };
+    let seed = args.u64_opt("seed")?.unwrap_or(1);
+    let sim_config = if args.flag("prism") {
+        SimConfig::diffracting(seed)
+    } else {
+        SimConfig::queue_lock(seed)
+    };
+    let hop_spin = args.u64_opt("hop-spin")?.unwrap_or(0);
+    let label = format!(
+        "n={},F={}%,W={}",
+        workload.processors, workload.delayed_percent, workload.wait_cycles
+    );
+    let mut table = ResultTable::new(
+        format!(
+            "backend comparison ({kind}, {label}, {} ops)",
+            workload.total_ops
+        ),
+        &["ops", "wall ms", "nonlin %", "avg c2/c1", "counts", "step"],
+    );
+    let mut records = Vec::new();
+    for name in args
+        .str_opt("backend")
+        .unwrap_or("sim,shm,mp")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        let outcome = match name {
+            "sim" => SimBackend::new(&net, sim_config).run(&workload),
+            "shm" => ShmBackend::network(&net, BalancerKind::WaitFree, seed).run(&workload),
+            "mp" => MpBackend::new(&net, MpConfig { hop_spin }, seed).run(&workload),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown backend `{other}` (sim|shm|mp)"
+                )))
+            }
+        };
+        table.push_row(
+            outcome.backend.to_string(),
+            vec![
+                outcome.stats.operations.len().to_string(),
+                format!("{:.2}", outcome.wall_ms),
+                cnet_harness::percent(outcome.stats.nonlinearizable_ratio()),
+                format!("{:.2}", outcome.stats.average_ratio(workload.wait_cycles)),
+                if outcome.counts_exactly() {
+                    "ok"
+                } else {
+                    "FAIL"
+                }
+                .to_string(),
+                if outcome.has_step_property() {
+                    "ok"
+                } else {
+                    "FAIL"
+                }
+                .to_string(),
+            ],
+        );
+        records.push(RunRecord::from_outcome(
+            label.clone(),
+            kind.clone(),
+            &workload,
+            seed,
+            &outcome,
+        ));
+    }
+    if records.is_empty() {
+        return Err(CliError::usage("--backend selected no backends"));
+    }
+    let grid = GridReport {
+        title: "cnet run".to_string(),
+        base_seed: seed,
+        threads: 1,
+        wall_ms: records.iter().map(|r| r.wall_ms).sum(),
+        records,
+    };
+    write_json(args, &grid.to_value())?;
+    let mut out = table.to_text();
+    let _ = writeln!(
+        out,
+        "\ntimes: sim in simulated cycles, shm/mp in host wall-clock / logical ticks"
+    );
     Ok(out)
 }
 
@@ -628,6 +762,71 @@ mod tests {
         .unwrap();
         assert!(out.contains("ops: 100"));
         assert!(out.contains("avg c2/c1"));
+    }
+
+    #[test]
+    fn run_compares_all_backends_by_default() {
+        let out = run(&parse(&["bitonic", "4", "--n", "4", "--ops", "200"])).unwrap();
+        for backend in ["sim", "shm", "mp"] {
+            assert!(out.contains(backend), "missing {backend} row:\n{out}");
+        }
+        assert!(!out.contains("FAIL"), "{out}");
+    }
+
+    #[test]
+    fn run_single_backend_with_open_arrivals() {
+        let out = run(&parse(&[
+            "bitonic",
+            "4",
+            "--backend",
+            "shm",
+            "--n",
+            "4",
+            "--ops",
+            "150",
+            "--open",
+            "300",
+        ]))
+        .unwrap();
+        assert!(out.lines().any(|l| l.starts_with("shm")), "{out}");
+        assert!(!out.lines().any(|l| l.starts_with("sim")), "{out}");
+        assert!(!out.contains("FAIL"), "{out}");
+    }
+
+    #[test]
+    fn run_writes_grid_report_json() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.json");
+        run(&parse(&[
+            "bitonic",
+            "4",
+            "--backend",
+            "sim,mp",
+            "--n",
+            "2",
+            "--ops",
+            "64",
+            "--json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        use serde::Deserialize as _;
+        let grid = GridReport::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(grid.records.len(), 2);
+        assert_eq!(grid.records[0].backend, "sim");
+        assert_eq!(grid.records[1].backend, "mp");
+    }
+
+    #[test]
+    fn run_rejects_unknown_backend_and_conflicting_arrivals() {
+        assert!(run(&parse(&["bitonic", "4", "--backend", "gpu"])).is_err());
+        assert!(run(&parse(&[
+            "bitonic", "4", "--open", "10", "--bursty", "4,100"
+        ]))
+        .is_err());
+        assert!(run(&parse(&["bitonic", "4", "--bursty", "nonsense"])).is_err());
     }
 
     #[test]

@@ -30,6 +30,28 @@ struct TokenMsg {
     sent_at: u64,
 }
 
+thread_local! {
+    /// Reply channels this thread has built (see
+    /// [`reply_channels_created_by_this_thread`]).
+    static REPLY_CHANNELS_CREATED: std::cell::Cell<u64> =
+        const { std::cell::Cell::new(0) };
+    /// One reply channel per client thread, reused for every operation.
+    static REPLY: (Sender<u64>, Receiver<u64>) = {
+        REPLY_CHANNELS_CREATED.with(|c| c.set(c.get() + 1));
+        bounded(1)
+    };
+}
+
+/// How many reply channels the calling thread has ever created: 0
+/// before its first [`MpNetwork`] operation, 1 after, never more.
+///
+/// Regression guard for the channel-reuse fast path — tests assert the
+/// count stays at one while the operation count grows.
+#[must_use]
+pub fn reply_channels_created_by_this_thread() -> u64 {
+    REPLY_CHANNELS_CREATED.with(std::cell::Cell::get)
+}
+
 /// Tuning for a [`MpNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MpConfig {
@@ -166,19 +188,25 @@ impl MpNetwork {
     /// Sends one token in on network input `x_input` and waits for its
     /// value.
     ///
+    /// The reply channel is per client *thread*, created on the
+    /// thread's first operation and reused for every one after — an
+    /// operation is fully synchronous (send, then block on the reply),
+    /// so the slot can never hold a message across operations.
+    ///
     /// # Panics
     ///
     /// Panics if `input` is out of range or the network has been torn
     /// down underneath the caller (impossible through the safe API).
     pub fn count_on(&self, input: usize) -> u64 {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.entries[input]
-            .send(TokenMsg {
-                reply: reply_tx,
-                sent_at: crate::obs::now(),
-            })
-            .expect("network threads alive while self exists");
-        reply_rx.recv().expect("counter thread replies")
+        REPLY.with(|(reply_tx, reply_rx)| {
+            self.entries[input]
+                .send(TokenMsg {
+                    reply: reply_tx.clone(),
+                    sent_at: crate::obs::now(),
+                })
+                .expect("network threads alive while self exists");
+            reply_rx.recv().expect("counter thread replies")
+        })
     }
 
     /// The number of network inputs.
@@ -268,6 +296,22 @@ mod tests {
         let mp = MpNetwork::spawn(&net, MpConfig { hop_spin: 1000 });
         let values: Vec<u64> = (0..6).map(|_| mp.next()).collect();
         assert_eq!(values, (0..6).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn reply_channel_is_reused_across_operations() {
+        // the per-op-allocation fix: ops ≫ channels created
+        let net = constructions::bitonic(4).unwrap();
+        let mp = MpNetwork::spawn(&net, MpConfig::default());
+        let created = std::thread::spawn(move || {
+            for _ in 0..400 {
+                let _ = mp.next();
+            }
+            reply_channels_created_by_this_thread()
+        })
+        .join()
+        .expect("client thread");
+        assert_eq!(created, 1, "400 operations must share one reply channel");
     }
 
     #[test]

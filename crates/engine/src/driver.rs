@@ -1,0 +1,266 @@
+//! The shared client loop for the native-thread backends.
+//!
+//! Reproduces the audit methodology of `cnet-concurrent::audit` —
+//! every operation bracketed by two ticks of a global logical clock —
+//! and adds the engine's workload semantics on top: a global op quota
+//! shared by all clients, the delayed-fraction/`W` mapping, and the
+//! open-loop arrival schedules (deterministic and seeded, interpreted
+//! in nanoseconds of host time).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use cnet_concurrent::audit::StressCounter;
+use cnet_obs::MetricsSnapshot;
+use cnet_proteus::{ArrivalProcess, RunStats, SimRng, WaitMode, Workload};
+use cnet_timing::Operation;
+use cnet_topology::OutputCounts;
+
+/// Seed perturbation for the arrival-schedule stream; the same
+/// constant the simulator uses, so a given `(seed, workload)` pair
+/// draws the same gap sequence on every backend.
+const ARRIVAL_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Per-thread seed spread for `WaitMode::UniformRandom` draws.
+const THREAD_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Where a native backend applies the workload's `W`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SpinSite {
+    /// Passed into the counter as a per-node spin
+    /// ([`StressCounter::next_stressed`]), mirroring the simulator's
+    /// "waits `W` cycles after traversing a node in the net".
+    PerNode,
+    /// Spun by the client before each injection — for substrates whose
+    /// per-hop delay is fixed at spawn time (the message-passing
+    /// network's `hop_spin`), where a per-node value cannot travel
+    /// with the token.
+    PerOp,
+}
+
+/// The raw trace of one native run: `(thread, start, end, value)` per
+/// operation, plus the final logical-clock reading.
+#[derive(Debug)]
+pub(crate) struct Trace {
+    pub operations: Vec<(usize, u64, u64, u64)>,
+    pub clock_end: u64,
+}
+
+/// The open-loop arrival instants (nanoseconds from run start), empty
+/// for closed-loop workloads. Token `i` may not be injected before
+/// instant `i` — the native analogue of the simulator's lazily chained
+/// `StartOp` events, from the same gap formulas and seed stream.
+fn arrival_schedule(workload: &Workload, seed: u64) -> Vec<u64> {
+    if !workload.is_open_loop() {
+        return Vec::new();
+    }
+    let mut rng = SimRng::seed_from_u64(seed ^ ARRIVAL_STREAM);
+    let mut at = 0u64;
+    (0..workload.total_ops)
+        .map(|token| {
+            if token > 0 {
+                at += match workload.arrival {
+                    ArrivalProcess::Closed => 0,
+                    ArrivalProcess::Open { mean_gap } => {
+                        if mean_gap == 0 {
+                            0
+                        } else {
+                            rng.inclusive(mean_gap.saturating_mul(2))
+                        }
+                    }
+                    ArrivalProcess::Bursty { burst, gap } => {
+                        if token.is_multiple_of(burst.max(1) as usize) {
+                            gap
+                        } else {
+                            0
+                        }
+                    }
+                };
+            }
+            at
+        })
+        .collect()
+}
+
+/// Drives `workload.processors` client threads against `counter` until
+/// `workload.total_ops` operations have been claimed, timestamping
+/// each with the global logical clock.
+///
+/// # Panics
+///
+/// Panics if a client thread panics.
+pub(crate) fn drive(
+    counter: &(impl StressCounter + ?Sized),
+    workload: &Workload,
+    seed: u64,
+    site: SpinSite,
+) -> Trace {
+    if workload.processors == 0 || workload.total_ops == 0 {
+        return Trace {
+            operations: Vec::new(),
+            clock_end: 0,
+        };
+    }
+    let clock = AtomicU64::new(0);
+    let next_op = AtomicUsize::new(0);
+    let arrivals = arrival_schedule(workload, seed);
+    let epoch = Instant::now();
+    let mut operations = Vec::with_capacity(workload.total_ops);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workload.processors);
+        for t in 0..workload.processors {
+            let clock = &clock;
+            let next_op = &next_op;
+            let arrivals = &arrivals;
+            let delayed = workload.is_delayed(t);
+            handles.push(scope.spawn(move || {
+                let mut rng = SimRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(THREAD_STREAM));
+                let mut ops = Vec::new();
+                loop {
+                    let i = next_op.fetch_add(1, Ordering::Relaxed);
+                    if i >= workload.total_ops {
+                        break;
+                    }
+                    if let Some(&at) = arrivals.get(i) {
+                        // open loop: hold this token until its instant
+                        while (epoch.elapsed().as_nanos() as u64) < at {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    let spin = match workload.wait_mode {
+                        WaitMode::Fixed => {
+                            if delayed {
+                                workload.wait_cycles
+                            } else {
+                                0
+                            }
+                        }
+                        WaitMode::UniformRandom => {
+                            if workload.wait_cycles == 0 {
+                                0
+                            } else {
+                                rng.inclusive(workload.wait_cycles)
+                            }
+                        }
+                    };
+                    let per_node = match site {
+                        SpinSite::PerNode => spin,
+                        SpinSite::PerOp => {
+                            for _ in 0..spin {
+                                std::hint::spin_loop();
+                            }
+                            0
+                        }
+                    };
+                    let start = clock.fetch_add(1, Ordering::AcqRel);
+                    let value = counter.next_stressed(t, per_node);
+                    let end = clock.fetch_add(1, Ordering::AcqRel);
+                    ops.push((start, end, value));
+                }
+                ops
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            for (start, end, value) in h.join().expect("client thread panicked") {
+                operations.push((t, start, end, value));
+            }
+        }
+    });
+    Trace {
+        operations,
+        clock_end: clock.load(Ordering::Acquire),
+    }
+}
+
+/// Assembles a [`RunStats`] from a native trace, uniform with the
+/// simulator's shape so every consumer (sweep, checker, records) works
+/// unchanged.
+///
+/// Native substrates have no simulated balancer instrumentation, so
+/// the toggle counters are zero and the `Tog` *fallback* fields are
+/// populated instead: `node_visits` = operations, `node_wait_total` =
+/// summed op latency, making `avg_toggle_wait` the mean op latency in
+/// logical-clock ticks and keeping `average_ratio` finite. When the
+/// `obs` feature is on, the substrate's own probe snapshot rides along
+/// in `metrics` with real per-balancer service times.
+pub(crate) fn stats_from_trace(
+    trace: Trace,
+    output_counts: OutputCounts,
+    input_width: usize,
+    metrics: Option<MetricsSnapshot>,
+) -> RunStats {
+    let output_width = output_counts.width().max(1) as u64;
+    let mut operations = Vec::with_capacity(trace.operations.len());
+    let mut completed_by = Vec::with_capacity(trace.operations.len());
+    let mut total_latency = 0u64;
+    for (token, &(thread, start, end, value)) in trace.operations.iter().enumerate() {
+        operations.push(Operation {
+            token,
+            input: thread % input_width.max(1),
+            start,
+            end,
+            counter: (value % output_width) as usize,
+            value,
+        });
+        completed_by.push(thread);
+        total_latency += end - start;
+    }
+    let nonlinearizable = cnet_timing::linearizability::count_nonlinearizable(&operations);
+    RunStats {
+        sim_time: trace.clock_end,
+        node_visits: operations.len() as u64,
+        node_wait_total: total_latency,
+        operations,
+        completed_by,
+        output_counts,
+        toggle_count: 0,
+        toggle_wait_total: 0,
+        diffraction_pairs: 0,
+        max_lock_queue: 0,
+        nonlinearizable,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_has_no_schedule() {
+        let w = Workload {
+            total_ops: 100,
+            ..Workload::paper(4, 0, 0)
+        };
+        assert!(arrival_schedule(&w, 7).is_empty());
+    }
+
+    #[test]
+    fn open_schedule_is_deterministic_and_monotone() {
+        let w = Workload {
+            total_ops: 50,
+            arrival: ArrivalProcess::Open { mean_gap: 300 },
+            ..Workload::paper(4, 0, 0)
+        };
+        let a = arrival_schedule(&w, 42);
+        let b = arrival_schedule(&w, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a[0], 0);
+        assert!(a.windows(2).all(|p| p[0] <= p[1]));
+        assert_ne!(a, arrival_schedule(&w, 43), "seed must matter");
+    }
+
+    #[test]
+    fn bursty_schedule_groups_arrivals() {
+        let w = Workload {
+            total_ops: 9,
+            arrival: ArrivalProcess::Bursty { burst: 3, gap: 100 },
+            ..Workload::paper(2, 0, 0)
+        };
+        assert_eq!(
+            arrival_schedule(&w, 1),
+            vec![0, 0, 0, 100, 100, 100, 200, 200, 200]
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! The unified execution engine: one vocabulary for driving tokens
+//! through a counting network, whatever the substrate.
+//!
+//! The paper's central claim — linearizability is governed by the
+//! local wire-timing ratio `c2/c1`, not by network depth — is testable
+//! here because the *same* token stream can be pushed through
+//! different execution substrates and the timestamped histories
+//! compared. Before this crate the repo had four disjoint ways of
+//! doing that (the `cnet-proteus` event loop, harness-grid simulator
+//! cells, the shared-memory counters' ad-hoc thread loops, and
+//! `MpNetwork`'s channel threads), each with its own run loop,
+//! timestamping, and metrics handoff. The engine folds them behind
+//! three names:
+//!
+//! * [`Backend`] — something that can execute a [`Workload`] against a
+//!   counting network and produce a [`RunOutcome`]. Three
+//!   implementations ship: [`SimBackend`] (the deterministic
+//!   discrete-event simulator), [`ShmBackend`] (real threads over the
+//!   native-atomics counters), and [`MpBackend`] (real threads over
+//!   the message-passing network).
+//! * [`Workload`] — re-exported from `cnet-proteus`, now carrying an
+//!   [`ArrivalProcess`]: the paper's closed loop, or open-loop /
+//!   bursty arrivals on a deterministic seeded schedule.
+//! * [`RunOutcome`] — the backend name, a full [`RunStats`]
+//!   (timestamped operation trace, per-counter totals, contention
+//!   counters, optional [`cnet_obs::MetricsSnapshot`]), and the
+//!   host wall-clock. Consumed uniformly by `timing::sweep`,
+//!   `timing::linearizability`, and the harness's `RunRecord`.
+//!
+//! # Timestamp domains
+//!
+//! The simulator stamps operations in *simulated cycles* and is
+//! bit-for-bit deterministic. The native backends stamp operations
+//! with a global logical clock (one atomic `fetch_add` tick on each
+//! side of an operation, exactly the audit methodology of
+//! `cnet-concurrent::audit`), so "completely precedes" has a sound
+//! witness but actual interleaving is the OS scheduler's. Cross-domain
+//! numbers are comparable in *shape* (ratios, violation counts), not
+//! in units.
+//!
+//! # Example
+//!
+//! ```
+//! use cnet_engine::{Backend, ShmBackend, SimBackend, Workload};
+//! use cnet_proteus::SimConfig;
+//! use cnet_topology::constructions;
+//!
+//! let net = constructions::bitonic(4)?;
+//! let workload = Workload { total_ops: 200, ..Workload::paper(4, 0, 0) };
+//!
+//! // the same workload, two substrates
+//! let sim = SimBackend::new(&net, SimConfig::queue_lock(7)).run(&workload);
+//! let shm = ShmBackend::network(&net, Default::default(), 7).run(&workload);
+//! for outcome in [&sim, &shm] {
+//!     assert_eq!(outcome.stats.operations.len(), 200);
+//!     assert!(outcome.counts_exactly());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod driver;
+mod mp;
+mod outcome;
+mod shm;
+mod sim;
+
+pub use cnet_concurrent::mp::MpConfig;
+pub use cnet_concurrent::network::BalancerKind;
+pub use cnet_concurrent::tree::TreeConfig;
+pub use cnet_proteus::{ArrivalProcess, RunStats, SimConfig, WaitMode, Workload};
+
+pub use mp::MpBackend;
+pub use outcome::RunOutcome;
+pub use shm::ShmBackend;
+pub use sim::SimBackend;
+
+/// An execution substrate: builds (or owns) a counter over a topology
+/// and can run a [`Workload`] against it.
+///
+/// Implementations are stateless across runs — each [`Backend::run`]
+/// drives a fresh counter, so outcomes never leak state between
+/// workloads. The trait is object-safe; heterogeneous backend lists
+/// (`Vec<Box<dyn Backend>>`) are how the CLI's `cnet run` compares
+/// substrates in one invocation.
+pub trait Backend {
+    /// Short identifier recorded in the outcome (and, downstream, in
+    /// the harness `RunRecord`): `"sim"`, `"shm"`, or `"mp"`.
+    fn name(&self) -> &'static str;
+
+    /// Executes the workload to completion and returns the unified
+    /// outcome.
+    fn run(&self, workload: &Workload) -> RunOutcome;
+}

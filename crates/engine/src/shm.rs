@@ -1,0 +1,189 @@
+//! The shared-memory counters as an engine backend.
+
+use std::time::Instant;
+
+use cnet_concurrent::network::{BalancerKind, NetworkCounter};
+use cnet_concurrent::tree::{DiffractingTreeCounter, TreeConfig};
+use cnet_topology::Topology;
+
+use crate::driver::{self, SpinSite};
+use crate::{Backend, RunOutcome, Workload};
+
+/// Which native shared-memory counter a [`ShmBackend`] builds.
+#[derive(Debug, Clone, Copy)]
+enum Flavor {
+    /// [`NetworkCounter`] over the backend's topology.
+    Network(BalancerKind),
+    /// [`DiffractingTreeCounter`] of the topology's output width.
+    Tree(TreeConfig),
+}
+
+/// Runs workloads on real OS threads over the native-atomics counters
+/// (`cnet-concurrent`): a [`NetworkCounter`] realizing the backend's
+/// topology, or a [`DiffractingTreeCounter`] of its output width.
+///
+/// Every [`Backend::run`] builds a fresh counter, so runs never share
+/// state. `workload.processors` is the client-thread count,
+/// `wait_cycles` the per-node spin of the delayed fraction, and the
+/// arrival process is honored on a deterministic seeded schedule
+/// interpreted in nanoseconds of host time.
+#[derive(Debug, Clone, Copy)]
+pub struct ShmBackend<'a> {
+    topology: &'a Topology,
+    flavor: Flavor,
+    seed: u64,
+}
+
+impl<'a> ShmBackend<'a> {
+    /// A backend driving a [`NetworkCounter`] built over `topology`
+    /// with the given balancer implementation.
+    #[must_use]
+    pub fn network(topology: &'a Topology, kind: BalancerKind, seed: u64) -> Self {
+        ShmBackend {
+            topology,
+            flavor: Flavor::Network(kind),
+            seed,
+        }
+    }
+
+    /// A backend driving a [`DiffractingTreeCounter`] whose width is
+    /// `topology`'s output width.
+    #[must_use]
+    pub fn tree(topology: &'a Topology, config: TreeConfig, seed: u64) -> Self {
+        ShmBackend {
+            topology,
+            flavor: Flavor::Tree(config),
+            seed,
+        }
+    }
+}
+
+impl Backend for ShmBackend<'_> {
+    fn name(&self) -> &'static str {
+        "shm"
+    }
+
+    fn run(&self, workload: &Workload) -> RunOutcome {
+        match self.flavor {
+            Flavor::Network(kind) => {
+                let counter = NetworkCounter::with_kind(self.topology, kind);
+                let started = Instant::now();
+                let trace = driver::drive(&counter, workload, self.seed, SpinSite::PerNode);
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                // snapshot export stays outside the timed window, like
+                // the simulator backend's recorder freeze
+                let metrics = counter.metrics_snapshot(workload.wait_cycles);
+                let stats = driver::stats_from_trace(
+                    trace,
+                    counter.output_counts().into_iter().collect(),
+                    counter.input_width(),
+                    metrics,
+                );
+                RunOutcome {
+                    backend: self.name(),
+                    stats,
+                    wall_ms,
+                }
+            }
+            Flavor::Tree(config) => {
+                let counter =
+                    DiffractingTreeCounter::with_config(self.topology.output_width(), config)
+                        .expect("topology widths are valid tree widths");
+                let started = Instant::now();
+                let trace = driver::drive(&counter, workload, self.seed, SpinSite::PerNode);
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let metrics = counter.metrics_snapshot(workload.wait_cycles);
+                let stats = driver::stats_from_trace(
+                    trace,
+                    counter.output_counts().into_iter().collect(),
+                    1,
+                    metrics,
+                );
+                RunOutcome {
+                    backend: self.name(),
+                    stats,
+                    wall_ms,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_proteus::ArrivalProcess;
+    use cnet_topology::constructions;
+
+    fn workload(threads: usize, ops: usize) -> Workload {
+        Workload {
+            total_ops: ops,
+            ..Workload::paper(threads, 0, 0)
+        }
+    }
+
+    #[test]
+    fn network_flavor_counts_exactly() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = ShmBackend::network(&net, BalancerKind::WaitFree, 3).run(&workload(4, 400));
+        assert_eq!(outcome.backend, "shm");
+        assert_eq!(outcome.stats.operations.len(), 400);
+        assert!(outcome.counts_exactly());
+        assert!(outcome.has_step_property());
+        assert_eq!(outcome.stats.output_counts.total(), 400);
+    }
+
+    #[test]
+    fn tree_flavor_counts_exactly() {
+        let net = constructions::counting_tree(8).unwrap();
+        let outcome = ShmBackend::tree(&net, TreeConfig::default(), 5).run(&workload(4, 300));
+        assert_eq!(outcome.stats.operations.len(), 300);
+        assert!(outcome.counts_exactly());
+        assert!(outcome.has_step_property());
+    }
+
+    #[test]
+    fn delayed_fraction_and_locked_balancers_stay_correct() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = ShmBackend::network(&net, BalancerKind::Locked, 9).run(&Workload {
+            total_ops: 200,
+            ..Workload::paper(4, 50, 200)
+        });
+        assert!(outcome.counts_exactly());
+    }
+
+    #[test]
+    fn open_loop_arrivals_run_to_completion() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = ShmBackend::network(&net, BalancerKind::WaitFree, 11).run(&Workload {
+            total_ops: 100,
+            arrival: ArrivalProcess::Bursty {
+                burst: 10,
+                gap: 1000,
+            },
+            ..Workload::paper(4, 0, 0)
+        });
+        assert_eq!(outcome.stats.operations.len(), 100);
+        assert!(outcome.counts_exactly());
+    }
+
+    #[test]
+    fn average_ratio_stays_finite_on_native_traces() {
+        // the Tog fallback: node_visits/node_wait_total are populated
+        // from the trace, so a positive W cannot divide by zero
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = ShmBackend::network(&net, BalancerKind::WaitFree, 2).run(&Workload {
+            total_ops: 100,
+            ..Workload::paper(2, 100, 500)
+        });
+        assert!(outcome.stats.average_ratio(500).is_finite());
+    }
+
+    #[test]
+    fn zero_work_degenerates_safely() {
+        let net = constructions::bitonic(4).unwrap();
+        let b = ShmBackend::network(&net, BalancerKind::WaitFree, 1);
+        assert!(b.run(&workload(0, 100)).stats.operations.is_empty());
+        assert!(b.run(&workload(4, 0)).stats.operations.is_empty());
+    }
+}

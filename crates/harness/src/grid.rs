@@ -2,7 +2,8 @@
 
 use std::time::Instant;
 
-use cnet_proteus::{RunStats, SimConfig, Simulator, WaitMode, Workload};
+use cnet_engine::{Backend, SimBackend};
+use cnet_proteus::{RunStats, SimConfig, WaitMode, Workload};
 use cnet_topology::{constructions, Topology};
 
 use crate::record::{GridReport, RunRecord};
@@ -91,24 +92,23 @@ pub struct CellRun {
 pub fn run_jobs(nets: &[Topology], jobs: &[Job], threads: usize) -> Vec<CellRun> {
     pool::run_indexed(jobs.len(), threads, |i| {
         let job = &jobs[i];
-        let sim = Simulator::new(&nets[job.net], job.config);
-        // the cell timer covers simulation + metric *recording*;
-        // freezing the snapshot is export work and stays outside it,
-        // like report serialization — this is what the perf baselines
-        // and the obs-on overhead numbers in EXPERIMENTS.md measure
-        let started = Instant::now();
-        let (mut stats, recorder) = sim.run_instrumented(&job.workload);
-        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-        stats.metrics = recorder.finish();
-        let record = RunRecord::measure(
+        // the engine's simulator backend reproduces the cell timing
+        // window this executor always had: simulation + metric
+        // *recording* inside, snapshot export outside — this is what
+        // the perf baselines and the obs-on overhead numbers in
+        // EXPERIMENTS.md measure
+        let outcome = SimBackend::new(&nets[job.net], job.config).run(&job.workload);
+        let record = RunRecord::from_outcome(
             job.label.clone(),
             job.kind.clone(),
             &job.workload,
             job.config.seed,
-            &stats,
-            wall_ms,
+            &outcome,
         );
-        CellRun { record, stats }
+        CellRun {
+            record,
+            stats: outcome.stats,
+        }
     })
 }
 
@@ -202,11 +202,9 @@ impl Grid {
                     net: 0,
                     config: self.kind.config(seed),
                     workload: Workload {
-                        processors,
-                        delayed_percent: self.delayed_percent,
-                        wait_cycles,
                         total_ops: self.total_ops,
                         wait_mode: self.wait_mode,
+                        ..Workload::paper(processors, self.delayed_percent, wait_cycles)
                     },
                 });
             }

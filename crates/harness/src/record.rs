@@ -12,10 +12,14 @@ use serde::{impl_serde_struct, Deserialize, Error, Serialize, Value};
 /// * **2**: adds `schema_version` itself and the optional `metrics`
 ///   block (see [`cnet_obs::MetricsSnapshot`], which carries its own
 ///   independent block version).
+/// * **3**: adds `backend` — which execution substrate produced the
+///   record (`"sim"`, `"shm"`, or `"mp"`). Records written before the
+///   field existed were all simulator runs, so readers default it to
+///   `"sim"`.
 ///
 /// Readers accept all versions ≤ the current one: committed baselines
 /// from before the field existed keep loading.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The serializable summary of one simulator run (one grid cell or one
 /// standalone simulation).
@@ -34,6 +38,9 @@ pub struct RunRecord {
     pub label: String,
     /// Network description (e.g. `"Bitonic Counting Network"`).
     pub kind: String,
+    /// Execution backend that produced the record (`"sim"`, `"shm"`,
+    /// `"mp"`); `"sim"` for records predating the field.
+    pub backend: String,
     /// Concurrency `n`.
     pub processors: usize,
     /// Delayed fraction `F` in percent.
@@ -64,6 +71,7 @@ impl Serialize for RunRecord {
             ("schema_version".to_string(), self.schema_version.to_value()),
             ("label".to_string(), self.label.to_value()),
             ("kind".to_string(), self.kind.to_value()),
+            ("backend".to_string(), self.backend.to_value()),
             ("processors".to_string(), self.processors.to_value()),
             (
                 "delayed_percent".to_string(),
@@ -101,10 +109,17 @@ impl Deserialize for RunRecord {
                 .map_err(|e| Error::new(format!("field `metrics`: {e}")))?,
             None => None,
         };
+        let backend: String = match v.get("backend") {
+            Some(raw) => {
+                String::from_value(raw).map_err(|e| Error::new(format!("field `backend`: {e}")))?
+            }
+            None => "sim".to_string(), // every pre-v3 record was a simulator run
+        };
         Ok(RunRecord {
             schema_version,
             label: v.field("label")?,
             kind: v.field("kind")?,
+            backend,
             processors: v.field("processors")?,
             delayed_percent: v.field("delayed_percent")?,
             wait_cycles: v.field("wait_cycles")?,
@@ -118,9 +133,24 @@ impl Deserialize for RunRecord {
 }
 
 impl RunRecord {
-    /// Builds a record from a finished run.
+    /// Builds a record from a finished simulator run.
     #[must_use]
     pub fn measure(
+        label: impl Into<String>,
+        kind: impl Into<String>,
+        workload: &Workload,
+        seed: u64,
+        stats: &RunStats,
+        wall_ms: f64,
+    ) -> Self {
+        Self::measure_on("sim", label, kind, workload, seed, stats, wall_ms)
+    }
+
+    /// Builds a record from a finished run on a named engine backend.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_on(
+        backend: impl Into<String>,
         label: impl Into<String>,
         kind: impl Into<String>,
         workload: &Workload,
@@ -132,6 +162,7 @@ impl RunRecord {
             schema_version: SCHEMA_VERSION,
             label: label.into(),
             kind: kind.into(),
+            backend: backend.into(),
             processors: workload.processors,
             delayed_percent: workload.delayed_percent,
             wait_cycles: workload.wait_cycles,
@@ -141,6 +172,27 @@ impl RunRecord {
             metrics: stats.metrics.clone(),
             wall_ms,
         }
+    }
+
+    /// Builds a record straight from an engine [`RunOutcome`], tagging
+    /// it with the backend that produced it.
+    #[must_use]
+    pub fn from_outcome(
+        label: impl Into<String>,
+        kind: impl Into<String>,
+        workload: &Workload,
+        seed: u64,
+        outcome: &cnet_engine::RunOutcome,
+    ) -> Self {
+        Self::measure_on(
+            outcome.backend,
+            label,
+            kind,
+            workload,
+            seed,
+            &outcome.stats,
+            outcome.wall_ms,
+        )
     }
 
     /// The record with its wall-clock field zeroed — the canonical form
@@ -272,13 +324,39 @@ mod tests {
         };
         let legacy: Vec<_> = fields
             .into_iter()
-            .filter(|(k, _)| k != "schema_version" && k != "metrics")
+            .filter(|(k, _)| k != "schema_version" && k != "metrics" && k != "backend")
             .collect();
         let back = RunRecord::from_value(&Value::Object(legacy)).unwrap();
         assert_eq!(back.schema_version, 1);
         assert_eq!(back.metrics, None);
+        assert_eq!(back.backend, "sim");
         assert_eq!(back.stats, r.stats);
         assert_eq!(back.label, r.label);
+    }
+
+    #[test]
+    fn version_2_records_without_backend_still_load() {
+        // a committed BENCH_*.json baseline cell from the v2 era: has
+        // schema_version but predates `backend`
+        let r = record("W=100,n=4", 0.0);
+        let Value::Object(fields) = r.to_value() else {
+            panic!("records serialize as objects");
+        };
+        let v2: Vec<_> = fields
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "schema_version" {
+                    (k, 2u32.to_value())
+                } else {
+                    (k, v)
+                }
+            })
+            .filter(|(k, _)| k != "backend")
+            .collect();
+        let back = RunRecord::from_value(&Value::Object(v2)).unwrap();
+        assert_eq!(back.schema_version, 2);
+        assert_eq!(back.backend, "sim");
+        assert_eq!(back.stats, r.stats);
     }
 
     #[test]

@@ -199,6 +199,84 @@ impl_serde_unit_enum!(WaitMode {
     UniformRandom
 });
 
+/// How operations arrive at the network.
+///
+/// The paper's Section 5 benchmark is purely closed-loop: each
+/// processor starts its next operation the cycle after the previous one
+/// responds, so offered load is capped by `n`. The open-loop variants
+/// decouple arrival from completion — tokens are injected on a
+/// deterministic seeded schedule regardless of how many are still in
+/// flight — which is what a production counting service sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalProcess {
+    /// Each of the `n` processors re-injects immediately after its
+    /// previous operation completes (the Figure 5–7 benchmark).
+    #[default]
+    Closed,
+    /// Tokens arrive one at a time with seeded uniform-random gaps in
+    /// `[0, 2·mean_gap]` cycles (mean `mean_gap`), independent of
+    /// completions. Token `i` behaves like processor `i mod n` for the
+    /// delayed-fraction and input-wire assignment.
+    Open {
+        /// Mean cycles between consecutive arrivals.
+        mean_gap: u64,
+    },
+    /// Tokens arrive in back-to-back groups of `burst`, with `gap`
+    /// cycles between the last token of one burst and the first of the
+    /// next — the adversarial "thundering herd" shape.
+    Bursty {
+        /// Tokens per burst (at least 1; 0 is treated as 1).
+        burst: u32,
+        /// Cycles between consecutive bursts.
+        gap: u64,
+    },
+}
+
+// `ArrivalProcess` has struct variants, so serde is hand-written like
+// `Placement`'s: `"Closed"`, `{"Open": {"mean_gap": …}}`, or
+// `{"Bursty": {"burst": …, "gap": …}}`.
+impl Serialize for ArrivalProcess {
+    fn to_value(&self) -> Value {
+        match self {
+            ArrivalProcess::Closed => Value::Str("Closed".to_string()),
+            ArrivalProcess::Open { mean_gap } => Value::Object(vec![(
+                "Open".to_string(),
+                Value::Object(vec![("mean_gap".to_string(), mean_gap.to_value())]),
+            )]),
+            ArrivalProcess::Bursty { burst, gap } => Value::Object(vec![(
+                "Bursty".to_string(),
+                Value::Object(vec![
+                    ("burst".to_string(), burst.to_value()),
+                    ("gap".to_string(), gap.to_value()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for ArrivalProcess {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s == "Closed" => Ok(ArrivalProcess::Closed),
+            Value::Object(_) => {
+                if let Some(open) = v.get("Open") {
+                    Ok(ArrivalProcess::Open {
+                        mean_gap: open.field("mean_gap")?,
+                    })
+                } else if let Some(bursty) = v.get("Bursty") {
+                    Ok(ArrivalProcess::Bursty {
+                        burst: bursty.field("burst")?,
+                        gap: bursty.field("gap")?,
+                    })
+                } else {
+                    Err(Error::new("expected an `Open` or `Bursty` arrival object"))
+                }
+            }
+            other => Err(Error::new(format!("unknown ArrivalProcess: {other:?}"))),
+        }
+    }
+}
+
 /// The Section 5 benchmark workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Workload {
@@ -214,19 +292,50 @@ pub struct Workload {
     pub total_ops: usize,
     /// Fixed per-processor delays or uniform random delays.
     pub wait_mode: WaitMode,
+    /// Closed-loop (the paper) or an open-loop arrival schedule.
+    pub arrival: ArrivalProcess,
 }
 
-impl_serde_struct!(Workload {
-    processors,
-    delayed_percent,
-    wait_cycles,
-    total_ops,
-    wait_mode,
-});
+// Serde is hand-written (not `impl_serde_struct!`) so workloads written
+// before `arrival` existed keep loading: a missing field means the only
+// shape there was — closed-loop.
+impl Serialize for Workload {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("processors".to_string(), self.processors.to_value()),
+            (
+                "delayed_percent".to_string(),
+                self.delayed_percent.to_value(),
+            ),
+            ("wait_cycles".to_string(), self.wait_cycles.to_value()),
+            ("total_ops".to_string(), self.total_ops.to_value()),
+            ("wait_mode".to_string(), self.wait_mode.to_value()),
+            ("arrival".to_string(), self.arrival.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Workload {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arrival = match v.get("arrival") {
+            Some(raw) => ArrivalProcess::from_value(raw)
+                .map_err(|e| Error::new(format!("field `arrival`: {e}")))?,
+            None => ArrivalProcess::Closed,
+        };
+        Ok(Workload {
+            processors: v.field("processors")?,
+            delayed_percent: v.field("delayed_percent")?,
+            wait_cycles: v.field("wait_cycles")?,
+            total_ops: v.field("total_ops")?,
+            wait_mode: v.field("wait_mode")?,
+            arrival,
+        })
+    }
+}
 
 impl Workload {
     /// The paper's exact benchmark shape: `n` processors, `F`% delayed
-    /// by `W` cycles, 5000 operations.
+    /// by `W` cycles, 5000 operations, closed loop.
     #[must_use]
     pub fn paper(processors: usize, delayed_percent: u32, wait_cycles: u64) -> Self {
         Workload {
@@ -235,6 +344,7 @@ impl Workload {
             wait_cycles,
             total_ops: 5000,
             wait_mode: WaitMode::Fixed,
+            arrival: ArrivalProcess::Closed,
         }
     }
 
@@ -242,6 +352,14 @@ impl Workload {
     #[must_use]
     pub fn is_delayed(&self, p: usize) -> bool {
         (p as u64) * 100 < (self.processors as u64) * u64::from(self.delayed_percent)
+    }
+
+    /// The number of injected tokens: `total_ops` under an open-loop
+    /// arrival process (each arrival is its own token), `total_ops`
+    /// spread over the `n` re-injecting processors when closed.
+    #[must_use]
+    pub fn is_open_loop(&self) -> bool {
+        self.arrival != ArrivalProcess::Closed
     }
 }
 
@@ -303,10 +421,39 @@ mod tests {
 
     #[test]
     fn workload_serde_round_trip() {
-        let w = Workload {
-            wait_mode: WaitMode::UniformRandom,
-            ..Workload::paper(64, 50, 1000)
+        for arrival in [
+            ArrivalProcess::Closed,
+            ArrivalProcess::Open { mean_gap: 250 },
+            ArrivalProcess::Bursty { burst: 8, gap: 900 },
+        ] {
+            let w = Workload {
+                wait_mode: WaitMode::UniformRandom,
+                arrival,
+                ..Workload::paper(64, 50, 1000)
+            };
+            let text = serde::json::to_string(&w.to_value());
+            let back = Workload::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(back, w);
+        }
+    }
+
+    #[test]
+    fn workloads_without_arrival_field_load_as_closed() {
+        // the only shape that existed before the field did
+        let w = Workload::paper(16, 25, 100);
+        let Value::Object(fields) = w.to_value() else {
+            panic!("workloads serialize as objects");
         };
-        assert_eq!(Workload::from_value(&w.to_value()).unwrap(), w);
+        let legacy: Vec<_> = fields.into_iter().filter(|(k, _)| k != "arrival").collect();
+        let back = Workload::from_value(&Value::Object(legacy)).unwrap();
+        assert_eq!(back.arrival, ArrivalProcess::Closed);
+        assert!(!back.is_open_loop());
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn arrival_process_rejects_unknown_shapes() {
+        assert!(ArrivalProcess::from_value(&Value::Str("Sideways".to_string())).is_err());
+        assert!(ArrivalProcess::from_value(&Value::Object(vec![])).is_err());
     }
 }

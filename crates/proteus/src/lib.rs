@@ -36,11 +36,9 @@
 //!
 //! let net = constructions::bitonic(8)?;
 //! let workload = Workload {
-//!     processors: 16,
-//!     delayed_percent: 50,
-//!     wait_cycles: 1000,
 //!     total_ops: 500,
 //!     wait_mode: WaitMode::Fixed,
+//!     ..Workload::paper(16, 50, 1000)
 //! };
 //! let stats = Simulator::new(&net, SimConfig::queue_lock(1)).run(&workload);
 //! assert_eq!(stats.operations.len(), 500);
@@ -61,7 +59,7 @@ pub mod rng;
 mod sim;
 mod stats;
 
-pub use config::{Placement, PrismConfig, SimConfig, WaitMode, Workload};
+pub use config::{ArrivalProcess, Placement, PrismConfig, SimConfig, WaitMode, Workload};
 pub use rng::SimRng;
 pub use sim::{MetricsRecorder, Simulator};
 pub use stats::{RunStats, StatsSummary};

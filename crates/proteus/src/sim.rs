@@ -22,7 +22,7 @@ use cnet_timing::linearizability::OnlineChecker;
 use cnet_timing::Operation;
 use cnet_topology::{OutputCounts, Topology, WireEnd};
 
-use crate::config::{Placement, SimConfig, WaitMode, Workload};
+use crate::config::{ArrivalProcess, Placement, SimConfig, WaitMode, Workload};
 use crate::node::{toggles_for, LockBank, Prism};
 use crate::obs::SimObs;
 use crate::queue::{HeapQueue, Queue, WheelQueue, HEAP_CROSSOVER};
@@ -66,6 +66,12 @@ struct Proc {
 
 /// High bit of a route target: set when the target is a counter.
 const COUNTER_BIT: u32 = 1 << 31;
+
+/// Seed perturbation for the arrival-schedule RNG stream. Open-loop
+/// gaps draw from their own generator so the main stream (prism slots,
+/// jitter, random waits) is untouched — closed-loop traces stay
+/// bit-identical whether or not this stream exists.
+const ARRIVAL_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// One precomputed wire: where output `out` of a node leads and what
 /// the traversal costs before jitter and injected waits.
@@ -187,6 +193,9 @@ struct Runner<'a, Q> {
     output_width: u64,
     procs: Vec<Proc>,
     rng: SimRng,
+    /// Separate RNG stream for open-loop arrival gaps (see
+    /// [`ARRIVAL_STREAM`]); never drawn from in closed-loop runs.
+    arrival_rng: SimRng,
     checker: OnlineChecker,
     stamp: u32,
     started_ops: usize,
@@ -235,6 +244,11 @@ fn schedule_horizon(config: &SimConfig, workload: &Workload) -> u64 {
     let prism_max = config
         .prism
         .map_or(0, |p| p.spin_window.saturating_add(p.pair_cost));
+    let arrival_max = match workload.arrival {
+        ArrivalProcess::Closed => 0,
+        ArrivalProcess::Open { mean_gap } => mean_gap.saturating_mul(2),
+        ArrivalProcess::Bursty { gap, .. } => gap,
+    };
     let step = [
         config.link_cost,
         config.link_jitter,
@@ -243,6 +257,7 @@ fn schedule_horizon(config: &SimConfig, workload: &Workload) -> u64 {
         workload.wait_cycles,
         prism_max,
         mesh_max,
+        arrival_max,
         1,
     ]
     .iter()
@@ -300,11 +315,31 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
             }
         }
 
-        let procs = (0..workload.processors)
-            .map(|p| {
-                let input = p % topology.input_width();
+        // Closed loop: one slot per re-injecting processor, as always.
+        // Open loop: every arriving token is its own slot (several from
+        // the same logical client can be in flight at once); token `i`
+        // borrows processor `i mod n`'s delayed flag and input wire.
+        let token_slots = if workload.processors == 0 {
+            0
+        } else if workload.is_open_loop() {
+            workload.total_ops
+        } else {
+            workload.processors
+        };
+        assert!(
+            u32::try_from(token_slots).is_ok(),
+            "too many tokens for the event encoding"
+        );
+        let procs = (0..token_slots)
+            .map(|slot| {
+                let client = if workload.is_open_loop() {
+                    slot % workload.processors
+                } else {
+                    slot
+                };
+                let input = client % topology.input_width();
                 Proc {
-                    delayed: workload.is_delayed(p),
+                    delayed: workload.is_delayed(client),
                     input: input as u32,
                     entry: topology.input(input).node.index() as u32,
                     op_start: 0,
@@ -316,15 +351,16 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
         Runner {
             config,
             workload,
-            queue: Q::with_horizon(schedule_horizon(&config, workload), workload.processors),
+            queue: Q::with_horizon(schedule_horizon(&config, workload), token_slots),
             toggles: toggles_for(topology),
             prisms,
-            locks: LockBank::new(node_count + width, workload.processors),
+            locks: LockBank::new(node_count + width, token_slots),
             counter_lock_base: node_count,
             counters: vec![0; width],
             output_width: width as u64,
             procs,
             rng: SimRng::seed_from_u64(config.seed),
+            arrival_rng: SimRng::seed_from_u64(config.seed ^ ARRIVAL_STREAM),
             checker: OnlineChecker::new(),
             stamp: 0,
             started_ops: 0,
@@ -352,8 +388,15 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
     }
 
     fn run(mut self) -> (RunStats, SimObs) {
-        for p in 0..self.workload.processors {
-            self.push(p as u64, Ev::StartOp { proc: p as u32 });
+        if self.workload.is_open_loop() {
+            // arrivals chain lazily: each StartOp schedules the next
+            if !self.procs.is_empty() && self.workload.total_ops > 0 {
+                self.push(0, Ev::StartOp { proc: 0 });
+            }
+        } else {
+            for p in 0..self.workload.processors {
+                self.push(p as u64, Ev::StartOp { proc: p as u32 });
+            }
         }
         while let Some((time, ev)) = self.queue.pop() {
             // pops are globally time-ordered, so the last popped time
@@ -396,6 +439,14 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
     }
 
     fn start_op(&mut self, now: u64, proc: u32) {
+        if self.workload.is_open_loop() {
+            // schedule the next token's arrival before serving this one
+            let next = proc as usize + 1;
+            if next < self.workload.total_ops {
+                let gap = self.arrival_gap(next);
+                self.push(now + gap, Ev::StartOp { proc: next as u32 });
+            }
+        }
         if self.started_ops >= self.workload.total_ops {
             return; // quota reached: this processor retires
         }
@@ -404,6 +455,28 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
         p.op_start = now;
         let entry = p.entry;
         self.push(now, Ev::ArriveNode { proc, node: entry });
+    }
+
+    /// Cycles between token `token - 1`'s arrival and token `token`'s,
+    /// under the workload's open-loop arrival process.
+    fn arrival_gap(&mut self, token: usize) -> u64 {
+        match self.workload.arrival {
+            ArrivalProcess::Closed => 0,
+            ArrivalProcess::Open { mean_gap } => {
+                if mean_gap == 0 {
+                    0
+                } else {
+                    self.arrival_rng.inclusive(mean_gap.saturating_mul(2))
+                }
+            }
+            ArrivalProcess::Bursty { burst, gap } => {
+                if token.is_multiple_of(burst.max(1) as usize) {
+                    gap
+                } else {
+                    0
+                }
+            }
+        }
     }
 
     fn arrive_node(&mut self, now: u64, proc: u32, node: u32) {
@@ -581,7 +654,14 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
         let value = u64::from(counter) + self.output_width * self.counters[counter as usize];
         self.counters[counter as usize] += 1;
         let token = self.operations.len();
-        self.completed_by.push(proc as usize);
+        // under an open-loop arrival the slot id is the token index;
+        // attribute the completion to the logical client behind it
+        let client = if self.workload.is_open_loop() {
+            proc as usize % self.workload.processors
+        } else {
+            proc as usize
+        };
+        self.completed_by.push(client);
         let op = Operation {
             token,
             input: self.procs[proc as usize].input as usize,
@@ -597,10 +677,14 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
         // run ends, with no end-of-run sort
         self.checker.observe(op);
         self.obs.op(op.start, op.end, op.value);
-        // the next operation begins strictly after this one's response,
-        // so a processor's successive operations are ordered under
-        // Definition 2.4's strict precedence
-        self.push(now + 1, Ev::StartOp { proc });
+        // closed loop only: the next operation begins strictly after
+        // this one's response, so a processor's successive operations
+        // are ordered under Definition 2.4's strict precedence. Open
+        // loops decouple arrival from completion — StartOp chaining
+        // already drives the schedule.
+        if !self.workload.is_open_loop() {
+            self.push(now + 1, Ev::StartOp { proc });
+        }
     }
 }
 
@@ -611,11 +695,8 @@ mod tests {
 
     fn small_workload(processors: usize, delayed: u32, wait: u64, ops: usize) -> Workload {
         Workload {
-            processors,
-            delayed_percent: delayed,
-            wait_cycles: wait,
             total_ops: ops,
-            wait_mode: WaitMode::Fixed,
+            ..Workload::paper(processors, delayed, wait)
         }
     }
 
@@ -731,11 +812,9 @@ mod tests {
         // and was observed to be completely linearizable."
         let net = constructions::bitonic(8).unwrap();
         let w = Workload {
-            processors: 32,
-            delayed_percent: 0,
-            wait_cycles: 1000,
             total_ops: 800,
             wait_mode: WaitMode::UniformRandom,
+            ..Workload::paper(32, 0, 1000)
         };
         let stats = Simulator::new(&net, SimConfig::queue_lock(23)).run(&w);
         assert_eq!(stats.operations.len(), 800);
@@ -766,11 +845,8 @@ mod counter_cost_tests {
 
     fn wl(processors: usize, ops: usize) -> Workload {
         Workload {
-            processors,
-            delayed_percent: 0,
-            wait_cycles: 0,
             total_ops: ops,
-            wait_mode: WaitMode::Fixed,
+            ..Workload::paper(processors, 0, 0)
         }
     }
 
@@ -840,11 +916,8 @@ mod mesh_tests {
 
     fn wl(processors: usize, ops: usize) -> Workload {
         Workload {
-            processors,
-            delayed_percent: 0,
-            wait_cycles: 0,
             total_ops: ops,
-            wait_mode: WaitMode::Fixed,
+            ..Workload::paper(processors, 0, 0)
         }
     }
 
@@ -920,11 +993,8 @@ mod degenerate_workload_tests {
     fn zero_ops_completes_immediately() {
         let net = constructions::bitonic(4).unwrap();
         let stats = Simulator::new(&net, SimConfig::queue_lock(1)).run(&Workload {
-            processors: 4,
-            delayed_percent: 50,
-            wait_cycles: 100,
             total_ops: 0,
-            wait_mode: WaitMode::Fixed,
+            ..Workload::paper(4, 50, 100)
         });
         assert!(stats.operations.is_empty());
         assert_eq!(stats.nonlinearizable_count(), 0);
@@ -935,11 +1005,8 @@ mod degenerate_workload_tests {
     fn zero_processors_complete_nothing() {
         let net = constructions::bitonic(4).unwrap();
         let stats = Simulator::new(&net, SimConfig::queue_lock(1)).run(&Workload {
-            processors: 0,
-            delayed_percent: 0,
-            wait_cycles: 0,
             total_ops: 100,
-            wait_mode: WaitMode::Fixed,
+            ..Workload::paper(0, 0, 0)
         });
         assert!(stats.operations.is_empty());
     }
@@ -948,12 +1015,128 @@ mod degenerate_workload_tests {
     fn more_processors_than_ops_is_fine() {
         let net = constructions::bitonic(4).unwrap();
         let stats = Simulator::new(&net, SimConfig::queue_lock(1)).run(&Workload {
-            processors: 64,
-            delayed_percent: 50,
-            wait_cycles: 10,
             total_ops: 10,
-            wait_mode: WaitMode::Fixed,
+            ..Workload::paper(64, 50, 10)
         });
         assert_eq!(stats.operations.len(), 10);
+    }
+}
+
+#[cfg(test)]
+mod open_loop_tests {
+    use super::*;
+    use cnet_topology::constructions;
+
+    fn open_wl(processors: usize, ops: usize, mean_gap: u64) -> Workload {
+        Workload {
+            total_ops: ops,
+            arrival: ArrivalProcess::Open { mean_gap },
+            ..Workload::paper(processors, 0, 0)
+        }
+    }
+
+    #[test]
+    fn open_loop_counts_exactly() {
+        let net = constructions::bitonic(4).unwrap();
+        let stats = Simulator::new(&net, SimConfig::queue_lock(9)).run(&open_wl(8, 300, 50));
+        assert_eq!(stats.operations.len(), 300);
+        let mut values: Vec<u64> = stats.operations.iter().map(|o| o.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..300).collect::<Vec<u64>>());
+        assert!(stats.output_counts.is_step(), "{}", stats.output_counts);
+    }
+
+    #[test]
+    fn open_loop_is_reproducible() {
+        let net = constructions::bitonic(8).unwrap();
+        let w = open_wl(16, 400, 120);
+        let a = Simulator::new(&net, SimConfig::queue_lock(5)).run(&w);
+        let b = Simulator::new(&net, SimConfig::queue_lock(5)).run(&w);
+        assert_eq!(a.operations, b.operations);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn open_loop_attributes_completions_to_clients() {
+        let net = constructions::bitonic(4).unwrap();
+        let w = open_wl(6, 120, 10);
+        let stats = Simulator::new(&net, SimConfig::queue_lock(2)).run(&w);
+        assert_eq!(stats.completed_by.len(), 120);
+        assert!(stats.completed_by.iter().all(|&c| c < 6));
+    }
+
+    #[test]
+    fn sparse_open_arrivals_behave_sequentially() {
+        // gaps far larger than an op's span: every token completes
+        // before the next arrives, so the history is linearizable
+        let net = constructions::bitonic(4).unwrap();
+        let cfg = SimConfig {
+            link_jitter: 0,
+            ..SimConfig::queue_lock(3)
+        };
+        let w = Workload {
+            total_ops: 100,
+            arrival: ArrivalProcess::Bursty {
+                burst: 1,
+                gap: 1_000_000,
+            },
+            ..Workload::paper(4, 0, 0)
+        };
+        let stats = Simulator::new(&net, cfg).run(&w);
+        assert_eq!(stats.operations.len(), 100);
+        assert_eq!(stats.nonlinearizable_count(), 0);
+    }
+
+    #[test]
+    fn bursty_arrivals_land_back_to_back() {
+        let net = constructions::bitonic(4).unwrap();
+        let w = Workload {
+            total_ops: 64,
+            arrival: ArrivalProcess::Bursty {
+                burst: 8,
+                gap: 50_000,
+            },
+            ..Workload::paper(8, 0, 0)
+        };
+        let stats = Simulator::new(&net, SimConfig::queue_lock(4)).run(&w);
+        assert_eq!(stats.operations.len(), 64);
+        // tokens of one burst overlap in flight; bursts are disjoint:
+        // sim time must span at least the 7 inter-burst gaps
+        assert!(stats.sim_time >= 7 * 50_000, "sim time {}", stats.sim_time);
+    }
+
+    #[test]
+    fn open_loop_zero_gap_is_a_thundering_herd() {
+        let net = constructions::bitonic(8).unwrap();
+        let stats = Simulator::new(&net, SimConfig::queue_lock(6)).run(&open_wl(4, 200, 0));
+        assert_eq!(stats.operations.len(), 200);
+        assert!(stats.output_counts.is_step());
+    }
+
+    #[test]
+    fn open_loop_zero_processors_completes_nothing() {
+        let net = constructions::bitonic(4).unwrap();
+        let stats = Simulator::new(&net, SimConfig::queue_lock(1)).run(&Workload {
+            total_ops: 50,
+            arrival: ArrivalProcess::Open { mean_gap: 10 },
+            ..Workload::paper(0, 0, 0)
+        });
+        assert!(stats.operations.is_empty());
+    }
+
+    #[test]
+    fn closed_loop_field_matches_legacy_behaviour() {
+        // the arrival field's Closed default must not perturb the
+        // existing closed-loop stream: same seed, same trace as a
+        // workload built before the field existed would produce
+        let net = constructions::bitonic(8).unwrap();
+        let w = Workload::paper(16, 25, 1000);
+        let w = Workload {
+            total_ops: 300,
+            ..w
+        };
+        assert_eq!(w.arrival, ArrivalProcess::Closed);
+        let a = Simulator::new(&net, SimConfig::queue_lock(5)).run(&w);
+        assert_eq!(a.operations.len(), 300);
     }
 }

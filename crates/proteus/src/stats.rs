@@ -323,7 +323,7 @@ mod tests {
 #[cfg(test)]
 mod consistency_tests {
     use super::*;
-    use crate::{SimConfig, Simulator, WaitMode, Workload};
+    use crate::{SimConfig, Simulator, Workload};
     use cnet_topology::constructions;
 
     #[test]
@@ -371,11 +371,8 @@ mod consistency_tests {
     fn program_order_at_most_linearizability_on_real_runs() {
         let net = constructions::counting_tree(16).unwrap();
         let wl = Workload {
-            processors: 32,
-            delayed_percent: 50,
-            wait_cycles: 10_000,
             total_ops: 1500,
-            wait_mode: WaitMode::Fixed,
+            ..Workload::paper(32, 50, 10_000)
         };
         let stats = Simulator::new(&net, SimConfig::diffracting(29)).run(&wl);
         assert!(stats.program_order_violations() <= stats.nonlinearizable_count());

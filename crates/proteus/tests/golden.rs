@@ -41,11 +41,9 @@ fn workload(
     wait_mode: WaitMode,
 ) -> Workload {
     Workload {
-        processors,
-        delayed_percent,
-        wait_cycles,
         total_ops,
         wait_mode,
+        ..Workload::paper(processors, delayed_percent, wait_cycles)
     }
 }
 

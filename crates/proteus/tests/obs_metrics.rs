@@ -2,17 +2,14 @@
 //! the probes must agree with the run-wide counters and with
 //! `timing::sweep`'s offline computation on the very same trace.
 
-use cnet_proteus::{SimConfig, Simulator, WaitMode, Workload};
+use cnet_proteus::{SimConfig, Simulator, Workload};
 use cnet_timing::sweep;
 use cnet_topology::constructions;
 
 fn workload(processors: usize, wait_cycles: u64, ops: usize) -> Workload {
     Workload {
-        processors,
-        delayed_percent: 25,
-        wait_cycles,
         total_ops: ops,
-        wait_mode: WaitMode::Fixed,
+        ..Workload::paper(processors, 25, wait_cycles)
     }
 }
 
@@ -84,11 +81,8 @@ fn violation_telemetry_matches_the_streaming_checker_and_sweep() {
     // high W on a tree: the regime where the paper observed violations
     let net = constructions::counting_tree(16).unwrap();
     let wl = Workload {
-        processors: 64,
-        delayed_percent: 50,
-        wait_cycles: 10_000,
         total_ops: 2000,
-        wait_mode: WaitMode::Fixed,
+        ..Workload::paper(64, 50, 10_000)
     };
     let stats = Simulator::new(&net, SimConfig::diffracting(17)).run(&wl);
     let m = stats.metrics.as_ref().unwrap();

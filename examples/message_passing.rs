@@ -6,50 +6,53 @@
 //! counting operation is a request/reply round trip — no shared memory
 //! beyond the channels.
 //!
+//! The client side is the engine's job: the same `Workload` vocabulary
+//! that drives the simulator drives this actor network through
+//! [`MpBackend`], so there is no hand-rolled spawn/collect loop here.
+//!
 //! Run with: `cargo run --release --example message_passing`
 
-use std::sync::Arc;
-
-use counting_networks::concurrent::counter::Counter;
-use counting_networks::concurrent::mp::{MpConfig, MpNetwork};
+use counting_networks::engine::{Backend, MpBackend, MpConfig, Workload};
 use counting_networks::topology::constructions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = constructions::bitonic(8)?;
     println!(
-        "spawning Bitonic[8] as {} balancer threads + 8 counter threads",
+        "running Bitonic[8] as {} balancer threads + 8 counter threads",
         net.node_count()
     );
-    let mp = Arc::new(MpNetwork::spawn(&net, MpConfig { hop_spin: 0 }));
 
-    let mut clients = Vec::new();
-    for t in 0..4 {
-        let mp = Arc::clone(&mp);
-        clients.push(std::thread::spawn(move || {
-            let values: Vec<u64> = (0..5).map(|_| mp.next()).collect();
-            (t, values)
-        }));
-    }
-    for c in clients {
-        let (t, values) = c.join().expect("client");
-        println!("client {t} drew {values:?}");
-    }
+    let backend = MpBackend::new(&net, MpConfig { hop_spin: 0 }, 1);
+    let workload = Workload {
+        total_ops: 2_000,
+        ..Workload::paper(4, 0, 0)
+    };
+    let outcome = backend.run(&workload);
 
-    let start = std::time::Instant::now();
-    const OPS: u64 = 2_000;
-    for _ in 0..OPS {
-        let _ = mp.next();
-    }
-    let elapsed = start.elapsed();
+    let ops = outcome.stats.operations.len();
     println!(
-        "\n{OPS} sequential message-passing operations in {elapsed:?} \
+        "{} clients completed {ops} operations in {:.2} ms \
          ({:.1} µs/op — each op is {} channel hops)",
-        elapsed.as_micros() as f64 / OPS as f64,
+        workload.processors,
+        outcome.wall_ms,
+        outcome.wall_ms * 1e3 / ops as f64,
         net.depth() + 1
+    );
+    let mut per_client = vec![0usize; workload.processors];
+    for &c in &outcome.stats.completed_by {
+        per_client[c] += 1;
+    }
+    println!("ops per client: {per_client:?}");
+    println!(
+        "history is a permutation of 0..{ops}: {}  final counts have the step property: {}",
+        outcome.counts_exactly(),
+        outcome.has_step_property()
     );
     println!(
         "\nThe same Topology value drives this actor network, the shared-memory\n\
-         NetworkCounter, the discrete-event simulator, and the timed executor."
+         NetworkCounter, the discrete-event simulator, and the timed executor —\n\
+         and the same Workload drives all of them through the engine\n\
+         (see `cargo run --release --example engine_backends`)."
     );
     Ok(())
 }

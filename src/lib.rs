@@ -13,6 +13,10 @@
 //!   simulator reproducing the Section 5 study.
 //! * [`concurrent`] — native-atomics counting networks usable as real
 //!   shared counters from many threads.
+//! * [`engine`] — the unified execution layer: one `Backend` trait over
+//!   the simulator, the shared-memory counters, and the
+//!   message-passing network, driven by one `Workload` vocabulary
+//!   (closed-loop, open-loop, bursty) into one `RunOutcome` shape.
 //! * [`structures`] — data structures built on those counters: FIFO
 //!   queues, relaxed pools, and timestamp oracles, with FIFO/causality
 //!   audits that surface counting non-linearizability at the
@@ -35,6 +39,7 @@
 
 pub use cnet_adversary as adversary;
 pub use cnet_concurrent as concurrent;
+pub use cnet_engine as engine;
 pub use cnet_proteus as proteus;
 pub use cnet_structures as structures;
 pub use cnet_timing as timing;

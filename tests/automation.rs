@@ -42,11 +42,9 @@ fn search_confirms_corollary_3_9_for_padded_networks() {
 fn online_checker_matches_simulator_stats() {
     let net = constructions::counting_tree(16).unwrap();
     let wl = Workload {
-        processors: 32,
-        delayed_percent: 50,
-        wait_cycles: 10_000,
         total_ops: 1_500,
         wait_mode: WaitMode::Fixed,
+        ..Workload::paper(32, 50, 10_000)
     };
     let stats = Simulator::new(&net, SimConfig::diffracting(21)).run(&wl);
     let mut online = OnlineChecker::new();
@@ -67,11 +65,9 @@ fn serialized_topology_simulates_identically() {
     let net = constructions::bitonic(8).unwrap();
     let reloaded = topo_io::from_text(&topo_io::to_text(&net)).unwrap();
     let wl = Workload {
-        processors: 16,
-        delayed_percent: 25,
-        wait_cycles: 1_000,
         total_ops: 500,
         wait_mode: WaitMode::Fixed,
+        ..Workload::paper(16, 25, 1_000)
     };
     let a = Simulator::new(&net, SimConfig::queue_lock(9)).run(&wl);
     let b = Simulator::new(&reloaded, SimConfig::queue_lock(9)).run(&wl);

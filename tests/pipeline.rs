@@ -43,11 +43,9 @@ fn end_to_end_pipeline() {
 
     // 6. Simulated multiprocessor run: counts exactly, stats coherent.
     let stats = Simulator::new(&net, SimConfig::queue_lock(3)).run(&Workload {
-        processors: 16,
-        delayed_percent: 25,
-        wait_cycles: 500,
         total_ops: 400,
         wait_mode: WaitMode::Fixed,
+        ..Workload::paper(16, 25, 500)
     });
     let mut values: Vec<u64> = stats.operations.iter().map(|o| o.value).collect();
     values.sort_unstable();

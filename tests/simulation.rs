@@ -7,11 +7,9 @@ use counting_networks::topology::{constructions, OutputCounts};
 
 fn workload(n: usize, f: u32, w: u64, ops: usize) -> Workload {
     Workload {
-        processors: n,
-        delayed_percent: f,
-        wait_cycles: w,
         total_ops: ops,
         wait_mode: WaitMode::Fixed,
+        ..Workload::paper(n, f, w)
     }
 }
 
@@ -53,11 +51,9 @@ fn control_scenarios_are_clean() {
         (100, 10_000, WaitMode::Fixed),
     ] {
         let wl = Workload {
-            processors: 32,
-            delayed_percent: f,
-            wait_cycles: w,
             total_ops: 1000,
             wait_mode: mode,
+            ..Workload::paper(32, f, w)
         };
         let stats = Simulator::new(&net, SimConfig::queue_lock(5)).run(&wl);
         assert_eq!(
