@@ -1,0 +1,166 @@
+//! The native perf sweep: real threads over the shared-memory and
+//! message-passing counters, per-operation wall-clock per cell.
+//!
+//! Three sweeps over a width-16 bitonic network at `n ∈ {4, 64, 256}`
+//! client threads, `F = 0`, `W = 0` (raw traversal speed, nothing
+//! injected):
+//!
+//! * **shm compiled** — [`cnet_engine::ShmBackend::network`], the
+//!   cache-line-aligned `CompiledNet` arena with relaxed toggle bits;
+//! * **shm reference** — [`cnet_engine::ShmBackend::reference`], the
+//!   preserved pre-refactor traversal, so the compiled/reference gap
+//!   stays measured forever;
+//! * **mp** — [`cnet_engine::MpBackend`], one thread per balancer and
+//!   counter, tokens as messages.
+//!
+//! Native wall-clock is far noisier than the simulator's, so every
+//! cell is run [`BEST_OF`] times and the fastest run is recorded —
+//! that is what the committed `results/BENCH_native.json` baseline
+//! holds, and the CI gate compares best-of-N against best-of-N with
+//! the usual wide [`cnet_harness::baseline::REGRESSION_FACTOR`]
+//! tolerance.
+//!
+//! Unlike the simulator gates, baseline comparisons must use the
+//! *same* `--ops` as the committed baseline: a native cell pays a
+//! fixed thread-spawn cost (up to 256 clients, plus one thread per
+//! balancer on the mp sweep), so per-op wall-clock is size-dependent
+//! and a 500-op run cannot be judged against a 5000-op baseline.
+//!
+//! Usage: `native [--ops N] [--seed S] [--json PATH]
+//! [--baseline PATH]` (default 5000 operations per cell).
+
+use std::time::Instant;
+
+use cnet_engine::{Backend, BalancerKind, MpBackend, MpConfig, ShmBackend, Workload};
+use cnet_harness::{derive_cell_seed, BenchArgs, BenchReport, GridReport, ResultTable, RunRecord};
+use cnet_topology::constructions;
+
+/// Network width for every sweep (the tentpole's "width ≥ 16" target).
+const WIDTH: usize = 16;
+
+/// Client-thread counts (the `n` axis of the EXPERIMENTS.md table).
+const CONCURRENCY: [usize; 3] = [4, 64, 256];
+
+/// Runs per cell; the fastest is recorded. Best-of-N is the standard
+/// defense against scheduler noise on shared runners.
+const BEST_OF: usize = 3;
+
+/// One sweep: run every cell best-of-[`BEST_OF`] against a freshly
+/// built backend and assemble the grid report.
+fn sweep<'a>(
+    title: &str,
+    kind_label: &str,
+    args: &BenchArgs,
+    base_seed: u64,
+    make: impl Fn(u64) -> Box<dyn Backend + 'a>,
+) -> (Vec<RunRecord>, GridReport) {
+    let started = Instant::now();
+    let mut records = Vec::new();
+    for n in CONCURRENCY {
+        let seed = derive_cell_seed(base_seed, title, 0, 0, n);
+        let workload = Workload {
+            total_ops: args.ops,
+            ..Workload::paper(n, 0, 0)
+        };
+        let backend = make(seed);
+        let mut best: Option<RunRecord> = None;
+        for _ in 0..BEST_OF {
+            let outcome = backend.run(&workload);
+            assert!(
+                outcome.counts_exactly(),
+                "{title} n={n}: counting property violated"
+            );
+            let record =
+                RunRecord::from_outcome(format!("n={n}"), kind_label, &workload, seed, &outcome);
+            if best.as_ref().is_none_or(|b| record.wall_ms < b.wall_ms) {
+                best = Some(record);
+            }
+        }
+        records.push(best.expect("BEST_OF >= 1"));
+    }
+    let report = GridReport {
+        title: title.to_string(),
+        base_seed,
+        threads: 1,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        records: records.clone(),
+    };
+    (records, report)
+}
+
+fn main() {
+    let args = BenchArgs::parse("native");
+    let base_seed = args.base_seed(0x7A7E);
+    let net = constructions::bitonic(WIDTH).expect("width 16 is valid");
+    let mut report = BenchReport::new("native", 1);
+    println!("Native perf sweep — per-op wall-clock, best of {BEST_OF}");
+    println!(
+        "(bitonic[{WIDTH}], {} operations per cell, F = 0, W = 0)\n",
+        args.ops
+    );
+
+    type MakeBackend = for<'a> fn(&'a cnet_topology::Topology, u64) -> Box<dyn Backend + 'a>;
+    let sweeps: [(&str, &str, MakeBackend); 3] = [
+        (
+            "Native shm WaitFree (compiled)",
+            "Bitonic Counting Network",
+            |net, seed| Box::new(ShmBackend::network(net, BalancerKind::WaitFree, seed)),
+        ),
+        (
+            "Native shm WaitFree (reference)",
+            "Bitonic Counting Network",
+            |net, seed| Box::new(ShmBackend::reference(net, BalancerKind::WaitFree, seed)),
+        ),
+        ("Native mp", "Bitonic Counting Network", |net, seed| {
+            Box::new(MpBackend::new(net, MpConfig::default(), seed))
+        }),
+    ];
+
+    let mut per_op_us: Vec<Vec<f64>> = Vec::new();
+    for (title, kind_label, make) in sweeps {
+        let (records, grid) = sweep(title, kind_label, &args, base_seed, |seed| make(&net, seed));
+        let mut table = ResultTable::new(
+            format!("{title} — wall-clock (best of {BEST_OF})"),
+            &["wall ms", "us/op", "backend"],
+        );
+        per_op_us.push(
+            records
+                .iter()
+                .map(|r| r.wall_ms / args.ops as f64 * 1e3)
+                .collect(),
+        );
+        for r in &records {
+            table.push_row(
+                r.label.clone(),
+                vec![
+                    format!("{:.2}", r.wall_ms),
+                    format!("{:.3}", r.wall_ms / args.ops as f64 * 1e3),
+                    r.backend.clone(),
+                ],
+            );
+        }
+        println!("{}", table.to_text());
+        report.push_table(&table);
+        report.push_grid(grid);
+    }
+
+    // the headline the refactor is gated on: compiled vs reference
+    let mut speedup = ResultTable::new(
+        "Compiled vs reference — per-op speedup (shm WaitFree)",
+        &["compiled us/op", "reference us/op", "speedup"],
+    );
+    for (i, n) in CONCURRENCY.iter().enumerate() {
+        let (c, r) = (per_op_us[0][i], per_op_us[1][i]);
+        speedup.push_row(
+            format!("n={n}"),
+            vec![
+                format!("{c:.3}"),
+                format!("{r:.3}"),
+                format!("{:.2}x", r / c),
+            ],
+        );
+    }
+    println!("{}", speedup.to_text());
+    report.push_table(&speedup);
+    report.emit(&args);
+}

@@ -20,6 +20,7 @@ use cnet_timing::{linearizability, Operation};
 use crate::counter::{Counter, FetchAddCounter, LockCounter};
 use crate::mp::MpNetwork;
 use crate::network::NetworkCounter;
+use crate::reference::ReferenceCounter;
 use crate::tree::DiffractingTreeCounter;
 
 /// A counter that can participate in a delayed stress run.
@@ -44,6 +45,16 @@ impl StressCounter for NetworkCounter {
 
     fn width(&self) -> usize {
         NetworkCounter::width(self)
+    }
+}
+
+impl StressCounter for ReferenceCounter {
+    fn next_stressed(&self, thread: usize, spin_per_node: u64) -> u64 {
+        self.next_on_with_delay(thread % self.input_width(), spin_per_node)
+    }
+
+    fn width(&self) -> usize {
+        ReferenceCounter::width(self)
     }
 }
 

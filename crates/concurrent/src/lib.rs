@@ -8,7 +8,10 @@
 //! shared counter usable from any number of threads:
 //!
 //! * [`network::NetworkCounter`] — a counting network (bitonic,
-//!   periodic, padded, …) as a concurrent counter;
+//!   periodic, padded, …) as a concurrent counter, compiled at
+//!   construction into the cache-line-aligned arena of
+//!   [`compiled::CompiledNet`] (the pre-refactor traversal survives as
+//!   [`reference::ReferenceCounter`] for differential testing);
 //! * [`tree::DiffractingTreeCounter`] — a counting tree whose nodes are
 //!   fronted by prism (elimination) arrays, per Shavit and Zemach:
 //!   colliding pairs diffract without touching the toggle;
@@ -72,14 +75,19 @@ pub use cnet_obs::noop as obs;
 
 pub mod audit;
 pub mod balancer;
+pub mod compiled;
 pub mod counter;
 pub mod lock;
 pub mod mp;
 pub mod network;
+pub(crate) mod prng;
+pub mod reference;
 pub mod sync;
 pub mod testcfg;
 pub mod tree;
 
+pub use compiled::CompiledNet;
 pub use counter::Counter;
 pub use network::NetworkCounter;
+pub use reference::ReferenceCounter;
 pub use tree::DiffractingTreeCounter;

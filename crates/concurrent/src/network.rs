@@ -1,18 +1,26 @@
 //! Any validated topology as a real concurrent counter.
+//!
+//! [`NetworkCounter`] is the public face; since the compiled-hot-path
+//! refactor it is a thin shell around [`crate::compiled::CompiledNet`],
+//! which lowers the topology into a cache-line-aligned arena with
+//! pre-resolved successor links at construction. The pre-refactor
+//! traversal survives as [`crate::reference::ReferenceCounter`] for
+//! differential testing and benchmarking.
 
-use crate::sync::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{AtomicUsize, Ordering};
 
-use cnet_topology::{Topology, WireEnd};
+use cnet_topology::Topology;
 
-use crate::balancer::ToggleBalancer;
+use crate::compiled::CompiledNet;
 use crate::counter::Counter;
-use crate::lock::LockBalancer;
-use crate::tree::{ExchangeOutcome, Exchanger};
 
 /// How the balancers of a [`NetworkCounter`] are implemented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BalancerKind {
-    /// Wait-free `fetch_add` toggles (the default).
+    /// Wait-free toggles (the default). On the compiled arena an
+    /// all-binary network uses one relaxed `fetch_xor` bit per
+    /// balancer; wider nodes fall back to a `fetch_add` over the
+    /// fan-out.
     #[default]
     WaitFree,
     /// Toggles in critical sections guarded by FIFO ticket locks — the
@@ -31,83 +39,6 @@ pub enum BalancerKind {
     },
 }
 
-#[derive(Debug)]
-enum NodeImpl {
-    WaitFree(ToggleBalancer),
-    Locked(LockBalancer),
-    Diffracting {
-        toggle: ToggleBalancer,
-        prism: Vec<Exchanger>,
-        spin: u32,
-    },
-}
-
-impl NodeImpl {
-    fn traverse(&self, probe: &crate::obs::BalancerProbe) -> usize {
-        match self {
-            NodeImpl::WaitFree(b) => {
-                let t0 = crate::obs::now();
-                let out = b.traverse();
-                probe.record_toggle(crate::obs::now() - t0);
-                out
-            }
-            NodeImpl::Locked(b) => b.traverse_probed(probe),
-            NodeImpl::Diffracting {
-                toggle,
-                prism,
-                spin,
-            } => {
-                let t0 = crate::obs::now();
-                if !prism.is_empty() {
-                    let slot = fast_thread_rand() as usize % prism.len();
-                    match prism[slot].visit(*spin) {
-                        ExchangeOutcome::DiffractedFirst => {
-                            probe.record_diffraction(crate::obs::now() - t0);
-                            return 0;
-                        }
-                        ExchangeOutcome::DiffractedSecond => {
-                            probe.record_diffraction(crate::obs::now() - t0);
-                            return 1;
-                        }
-                        ExchangeOutcome::Timeout => {}
-                    }
-                }
-                let out = toggle.traverse();
-                probe.record_toggle(crate::obs::now() - t0);
-                out
-            }
-        }
-    }
-}
-
-fn fast_thread_rand() -> u64 {
-    use std::cell::Cell;
-    thread_local! {
-        static RNG: Cell<u64> = const { Cell::new(0) };
-    }
-    fn step(mut x: u64) -> u64 {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        x
-    }
-    // under the model checker the cache must not be used: it would
-    // carry state across explored executions (the main virtual thread
-    // keeps its OS thread) and break schedule replay
-    if crate::sync::in_model() {
-        return step(crate::sync::thread_rng_seed());
-    }
-    RNG.with(|c| {
-        let mut x = c.get();
-        if x == 0 {
-            x = crate::sync::thread_rng_seed();
-        }
-        x = step(x);
-        c.set(x);
-        x
-    })
-}
-
 /// A counting network instantiated over shared atomics.
 ///
 /// Each call to [`Counter::next`] sends one token through the network:
@@ -121,17 +52,8 @@ fn fast_thread_rand() -> u64 {
 /// is an atomic, so the type is `Send + Sync` by construction.
 #[derive(Debug)]
 pub struct NetworkCounter {
-    nodes: Vec<Option<NodeImpl>>,
-    /// `(node, port) -> wire` flattened per node for lock-free lookup.
-    wires: Vec<Vec<WireEnd>>,
-    /// Entry node per network input.
-    entries: Vec<usize>,
-    counters: Vec<AtomicU64>,
+    net: CompiledNet,
     next_input: AtomicUsize,
-    width: u64,
-    depth: usize,
-    /// Probe recorders; a set of ZSTs unless the `obs` feature is on.
-    obs: crate::obs::NetObserver,
 }
 
 impl NetworkCounter {
@@ -142,79 +64,50 @@ impl NetworkCounter {
     }
 
     /// Builds a counter over `topology` with the chosen balancer
-    /// implementation.
+    /// implementation. All lowering and validation happens here; see
+    /// [`CompiledNet::compile`].
     #[must_use]
     pub fn with_kind(topology: &Topology, kind: BalancerKind) -> Self {
-        let mut nodes: Vec<Option<NodeImpl>> = Vec::with_capacity(topology.node_count());
-        let mut wires: Vec<Vec<WireEnd>> = Vec::with_capacity(topology.node_count());
-        for i in 0..topology.node_count() {
-            nodes.push(None);
-            wires.push(Vec::new());
-            debug_assert_eq!(wires.len(), i + 1);
-        }
-        for id in topology.iter_nodes() {
-            let fan_out = topology.fan_out(id);
-            nodes[id.index()] = Some(match kind {
-                BalancerKind::WaitFree => NodeImpl::WaitFree(ToggleBalancer::new(fan_out)),
-                BalancerKind::Locked => NodeImpl::Locked(LockBalancer::new(fan_out)),
-                BalancerKind::Diffracting { slots, spin } => {
-                    if fan_out == 2 && slots > 0 {
-                        NodeImpl::Diffracting {
-                            toggle: ToggleBalancer::new(2),
-                            prism: (0..slots).map(|_| Exchanger::new()).collect(),
-                            spin,
-                        }
-                    } else {
-                        // diffraction pairs one token per output, which
-                        // only balances for fan-out 2
-                        NodeImpl::WaitFree(ToggleBalancer::new(fan_out))
-                    }
-                }
-            });
-            wires[id.index()] = (0..fan_out).map(|p| topology.output_wire(id, p)).collect();
-        }
-        let entries = (0..topology.input_width())
-            .map(|x| topology.input(x).node.index())
-            .collect();
         NetworkCounter {
-            nodes,
-            wires,
-            entries,
-            counters: (0..topology.output_width())
-                .map(|_| AtomicU64::new(0))
-                .collect(),
+            net: CompiledNet::compile(topology, kind),
             next_input: AtomicUsize::new(0),
-            width: topology.output_width() as u64,
-            depth: topology.depth(),
-            obs: crate::obs::NetObserver::new(topology.node_count()),
         }
+    }
+
+    /// The compiled execution plan, for callers that want to drive it
+    /// directly (the engine's backends, the benches).
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledNet {
+        &self.net
     }
 
     /// The network's output width `w`.
     #[must_use]
     pub fn width(&self) -> usize {
-        self.width as usize
+        self.net.width()
     }
 
     /// The network's input width `v`.
     #[must_use]
     pub fn input_width(&self) -> usize {
-        self.entries.len()
+        self.net.input_width()
     }
 
     /// The network depth `h` (balancer layers per operation).
     #[must_use]
     pub fn depth(&self) -> usize {
-        self.depth
+        self.net.depth()
     }
 
     /// Takes the next value entering on a specific network input.
     ///
     /// # Panics
     ///
-    /// Panics if `input` is out of range.
+    /// Panics if `input >= input_width()` — the only panic on the
+    /// traversal path; internal links were validated when the plan was
+    /// compiled.
     pub fn next_on(&self, input: usize) -> u64 {
-        self.next_on_with_delay(input, 0)
+        self.net.next_on(input)
     }
 
     /// Takes the next value, spinning `spin_per_node` dummy iterations
@@ -223,40 +116,17 @@ impl NetworkCounter {
     ///
     /// # Panics
     ///
-    /// Panics if `input` is out of range.
+    /// Panics if `input >= input_width()` — the only panic on the
+    /// traversal path; internal links were validated when the plan was
+    /// compiled.
     pub fn next_on_with_delay(&self, input: usize, spin_per_node: u64) -> u64 {
-        let start = crate::obs::now();
-        let mut at = self.entries[input];
-        loop {
-            let hop_start = crate::obs::now();
-            let out = self.nodes[at]
-                .as_ref()
-                .expect("entry nodes exist")
-                .traverse(self.obs.probe(at));
-            let wire = self.wires[at][out];
-            for _ in 0..spin_per_node {
-                std::hint::spin_loop();
-            }
-            self.obs.record_wire(crate::obs::now() - hop_start);
-            match wire {
-                WireEnd::Node { node, .. } => at = node.index(),
-                WireEnd::Counter { index } => {
-                    let prior = self.counters[index].fetch_add(1, Ordering::AcqRel);
-                    let value = index as u64 + self.width * prior;
-                    self.obs.record_op(start, crate::obs::now(), value);
-                    return value;
-                }
-            }
-        }
+        self.net.next_on_with_delay(input, spin_per_node)
     }
 
     /// Per-counter totals in the current state (a step once quiescent).
     #[must_use]
     pub fn output_counts(&self) -> Vec<u64> {
-        self.counters
-            .iter()
-            .map(|c| c.load(Ordering::Acquire))
-            .collect()
+        self.net.output_counts()
     }
 
     /// The contention metrics recorded so far, or `None` when this
@@ -264,16 +134,17 @@ impl NetworkCounter {
     ///
     /// Meaningful at quiescence (no concurrent callers mid-operation);
     /// `wait_cycles` is the workload's injected `W`, used for the live
-    /// `(Tog + W)/Tog` ratio. Latencies are in nanoseconds.
+    /// `(Tog + W)/Tog` ratio. Latencies are in nanoseconds. Probes are
+    /// keyed by arena slot (nodes in layer order).
     #[must_use]
     pub fn metrics_snapshot(&self, wait_cycles: u64) -> Option<cnet_obs::MetricsSnapshot> {
-        self.obs.snapshot(wait_cycles)
+        self.net.metrics_snapshot(wait_cycles)
     }
 }
 
 impl Counter for NetworkCounter {
     fn next(&self) -> u64 {
-        let v = self.entries.len();
+        let v = self.net.input_width();
         let input = self.next_input.fetch_add(1, Ordering::Relaxed) % v;
         self.next_on(input)
     }
@@ -292,7 +163,7 @@ mod tests {
                 let c = Arc::clone(counter);
                 handles.push(std::thread::spawn(move || {
                     (0..cfg.per_thread)
-                        .map(|_| c.next_on(t % c.entries.len()))
+                        .map(|_| c.next_on(t % c.input_width()))
                         .collect::<Vec<u64>>()
                 }));
             }

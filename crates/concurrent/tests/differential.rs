@@ -1,0 +1,182 @@
+//! Differential tests: the compiled hot path against the preserved
+//! pre-refactor traversal.
+//!
+//! For every topology kind × width in the grid below and every
+//! [`BalancerKind`], [`NetworkCounter`] (backed by `CompiledNet`) and
+//! [`ReferenceCounter`] must be observationally equivalent:
+//!
+//! * driven sequentially, they return the *same value sequence* (the
+//!   compiled `fetch_xor` bit walks the same 0,1,0,1… orbit as the
+//!   reference `fetch_add % 2`);
+//! * under multi-threaded stress, both hand out each value exactly
+//!   once, and their quiescent `output_counts()` are identical — a
+//!   counting network's quiescent output distribution depends only on
+//!   how many tokens entered each input, never on the interleaving, so
+//!   the counts are comparable across independent runs;
+//! * under the audit harness, both produce traces the Definition 2.4
+//!   checker accepts as exact counts (the non-linearizable *ratio* is
+//!   a measurement, not an invariant — the paper's point).
+//!
+//! Every stressed check runs inside `testcfg::with_seed_report`, so a
+//! failure prints the `CNET_TEST_SEED` that reproduces it.
+
+use std::sync::Arc;
+
+use cnet_concurrent::audit::{run_stress, StressConfig};
+use cnet_concurrent::network::BalancerKind;
+use cnet_concurrent::testcfg;
+use cnet_concurrent::{NetworkCounter, ReferenceCounter};
+use cnet_topology::{constructions, OutputCounts, Topology};
+
+/// The topology kind × width grid: every construction the experiments
+/// sweep, at the widths the topology crate's own tests cover.
+fn grid() -> Vec<(String, Topology)> {
+    let mut nets = Vec::new();
+    for w in [2usize, 4, 8, 16] {
+        nets.push((format!("bitonic[{w}]"), constructions::bitonic(w).unwrap()));
+    }
+    for w in [2usize, 4, 8, 16] {
+        nets.push((
+            format!("periodic[{w}]"),
+            constructions::periodic(w).unwrap(),
+        ));
+    }
+    for w in [2usize, 4, 8, 16] {
+        nets.push((
+            format!("counting-tree[{w}]"),
+            constructions::counting_tree(w).unwrap(),
+        ));
+    }
+    let inner = constructions::bitonic(4).unwrap();
+    nets.push((
+        "bitonic[4]+pad2".to_string(),
+        constructions::pad_inputs(&inner, 2).unwrap(),
+    ));
+    nets.push((
+        "single-balancer".to_string(),
+        constructions::single_balancer(),
+    ));
+    nets
+}
+
+fn kinds() -> [BalancerKind; 3] {
+    [
+        BalancerKind::WaitFree,
+        BalancerKind::Locked,
+        BalancerKind::Diffracting { slots: 2, spin: 8 },
+    ]
+}
+
+/// Sequentially, compiled and reference are the *same machine*: every
+/// toggle sequence matches, so every returned value matches.
+#[test]
+fn sequential_value_sequences_are_identical() {
+    for (name, net) in grid() {
+        for kind in kinds() {
+            let compiled = NetworkCounter::with_kind(&net, kind);
+            let reference = ReferenceCounter::with_kind(&net, kind);
+            let v = net.input_width();
+            for i in 0..(8 * v as u64) {
+                let input = (i as usize) % v;
+                assert_eq!(
+                    compiled.next_on(input),
+                    reference.next_on(input),
+                    "{name} {kind:?} diverged at op {i}"
+                );
+            }
+            assert_eq!(
+                compiled.output_counts(),
+                reference.output_counts(),
+                "{name} {kind:?} quiescent counts diverged"
+            );
+        }
+    }
+}
+
+fn hammer<C: cnet_concurrent::audit::StressCounter + 'static>(
+    counter: &Arc<C>,
+    threads: usize,
+    per_thread: usize,
+) -> Vec<u64> {
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let c = Arc::clone(counter);
+        handles.push(std::thread::spawn(move || {
+            (0..per_thread)
+                .map(|_| c.next_stressed(t, 0))
+                .collect::<Vec<u64>>()
+        }));
+    }
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("no panic"))
+        .collect();
+    all.sort_unstable();
+    all
+}
+
+/// Under stress both implementations count exactly, and because the
+/// per-input token counts match, their quiescent output counts must be
+/// identical (quiescent-state determinism of balancing networks).
+#[test]
+fn stressed_output_counts_are_identical() {
+    let cfg = testcfg::stress().with_per_thread(200);
+    testcfg::with_seed_report(testcfg::seed(), |_| {
+        for (name, net) in grid() {
+            for kind in kinds() {
+                let compiled = Arc::new(NetworkCounter::with_kind(&net, kind));
+                let reference = Arc::new(ReferenceCounter::with_kind(&net, kind));
+                let want: Vec<u64> = (0..cfg.total()).collect();
+                assert_eq!(
+                    hammer(&compiled, cfg.threads, cfg.per_thread),
+                    want,
+                    "{name} {kind:?} compiled missed a value"
+                );
+                assert_eq!(
+                    hammer(&reference, cfg.threads, cfg.per_thread),
+                    want,
+                    "{name} {kind:?} reference missed a value"
+                );
+                let counts = compiled.output_counts();
+                assert_eq!(
+                    counts,
+                    reference.output_counts(),
+                    "{name} {kind:?} quiescent counts diverged"
+                );
+                let step = OutputCounts::from(counts);
+                assert!(step.is_step(), "{name} {kind:?}: {step}");
+            }
+        }
+    });
+}
+
+/// Both implementations through the audit harness: the Definition 2.4
+/// checker must see exact counts from each; the measured ratio is
+/// reported, not asserted (wait-free networks are allowed to be
+/// non-linearizable — that is the paper's subject, not a bug).
+#[test]
+fn audit_traces_count_exactly_for_both() {
+    testcfg::with_seed_report(testcfg::seed(), |_| {
+        let cfg = StressConfig {
+            threads: testcfg::stress().threads,
+            ops_per_thread: 300,
+            delayed_threads: 1,
+            spin_per_node: 50,
+        };
+        let net = constructions::bitonic(16).unwrap();
+        for kind in kinds() {
+            let compiled = NetworkCounter::with_kind(&net, kind);
+            let reference = ReferenceCounter::with_kind(&net, kind);
+            let a = run_stress(&compiled, cfg);
+            let b = run_stress(&reference, cfg);
+            assert!(a.counts_exactly(), "compiled {kind:?} counting violated");
+            assert!(b.counts_exactly(), "reference {kind:?} counting violated");
+            println!(
+                "bitonic[16] {kind:?}: Def-2.4 nonlinearizable ratio \
+                 compiled={:.4} reference={:.4}",
+                a.nonlinearizable_ratio(),
+                b.nonlinearizable_ratio()
+            );
+        }
+    });
+}

@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use cnet_concurrent::network::{BalancerKind, NetworkCounter};
+use cnet_concurrent::reference::ReferenceCounter;
 use cnet_concurrent::tree::{DiffractingTreeCounter, TreeConfig};
 use cnet_topology::Topology;
 
@@ -12,8 +13,13 @@ use crate::{Backend, RunOutcome, Workload};
 /// Which native shared-memory counter a [`ShmBackend`] builds.
 #[derive(Debug, Clone, Copy)]
 enum Flavor {
-    /// [`NetworkCounter`] over the backend's topology.
+    /// [`NetworkCounter`] over the backend's topology (the compiled
+    /// arena hot path).
     Network(BalancerKind),
+    /// [`ReferenceCounter`] over the backend's topology — the
+    /// pre-compilation traversal, kept so the native perf baselines
+    /// can measure the compiled/reference gap forever.
+    Reference(BalancerKind),
     /// [`DiffractingTreeCounter`] of the topology's output width.
     Tree(TreeConfig),
 }
@@ -46,6 +52,18 @@ impl<'a> ShmBackend<'a> {
         }
     }
 
+    /// A backend driving the pre-refactor [`ReferenceCounter`] built
+    /// over `topology` — the baseline side of the native before/after
+    /// benchmarks.
+    #[must_use]
+    pub fn reference(topology: &'a Topology, kind: BalancerKind, seed: u64) -> Self {
+        ShmBackend {
+            topology,
+            flavor: Flavor::Reference(kind),
+            seed,
+        }
+    }
+
     /// A backend driving a [`DiffractingTreeCounter`] whose width is
     /// `topology`'s output width.
     #[must_use]
@@ -60,11 +78,32 @@ impl<'a> ShmBackend<'a> {
 
 impl Backend for ShmBackend<'_> {
     fn name(&self) -> &'static str {
-        "shm"
+        match self.flavor {
+            Flavor::Reference(_) => "shm-ref",
+            _ => "shm",
+        }
     }
 
     fn run(&self, workload: &Workload) -> RunOutcome {
         match self.flavor {
+            Flavor::Reference(kind) => {
+                let counter = ReferenceCounter::with_kind(self.topology, kind);
+                let started = Instant::now();
+                let trace = driver::drive(&counter, workload, self.seed, SpinSite::PerNode);
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let metrics = counter.metrics_snapshot(workload.wait_cycles);
+                let stats = driver::stats_from_trace(
+                    trace,
+                    counter.output_counts().into_iter().collect(),
+                    counter.input_width(),
+                    metrics,
+                );
+                RunOutcome {
+                    backend: self.name(),
+                    stats,
+                    wall_ms,
+                }
+            }
             Flavor::Network(kind) => {
                 let counter = NetworkCounter::with_kind(self.topology, kind);
                 let started = Instant::now();
@@ -131,6 +170,16 @@ mod tests {
         assert!(outcome.counts_exactly());
         assert!(outcome.has_step_property());
         assert_eq!(outcome.stats.output_counts.total(), 400);
+    }
+
+    #[test]
+    fn reference_flavor_counts_exactly() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = ShmBackend::reference(&net, BalancerKind::WaitFree, 3).run(&workload(4, 400));
+        assert_eq!(outcome.backend, "shm-ref");
+        assert_eq!(outcome.stats.operations.len(), 400);
+        assert!(outcome.counts_exactly());
+        assert!(outcome.has_step_property());
     }
 
     #[test]

@@ -76,6 +76,15 @@ pub mod atomic {
                     self.inner.fetch_or(val, order)
                 }
 
+                /// Bitwise-xor, returning the previous value (a yield
+                /// point). This is the compiled binary balancer's
+                /// toggle primitive, so the model checker must treat
+                /// it as one atomic transition like any other RMW.
+                pub fn fetch_xor(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_xor(val, order)
+                }
+
                 /// Stores `new` if the current value equals `current`
                 /// (a yield point).
                 ///
