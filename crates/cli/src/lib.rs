@@ -8,7 +8,7 @@
 //! cnet topo <kind> <width> [--pad N] [--arity D] [--dot]
 //! cnet measure <kind> <width> --c1 C1 --c2 C2 [--json PATH]
 //! cnet simulate <kind> <width> --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S] [--threads T] [--json PATH]
-//! cnet run <kind> <width> [--backend sim,shm,mp] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--open GAP | --bursty B,GAP] [--seed S] [--json PATH]
+//! cnet run <kind> <width> [--backend sim,shm,shm-batch:K,shm-shard:S,mp,mp-elim] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--open GAP | --bursty B,GAP] [--seed S] [--json PATH]
 //! cnet observe [kind] [--width W] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--prism] [--seed S] [--json [PATH]]
 //! cnet attack <intro|tree|bitonic|wave> --width W --c1 C1 --c2 C2 [--svg]
 //! cnet threshold <kind> <width> --c1 C1 --c2 C2 [--json PATH]
@@ -69,7 +69,7 @@ usage:
   cnet topo <kind> <width> [--pad N] [--arity D] [--dot]
   cnet measure <kind> <width> --c1 C1 --c2 C2 [--json PATH]
   cnet simulate <kind> <width> [trace.csv] --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S] [--threads T] [--json PATH]
-  cnet run <kind> <width> [--backend sim,shm,mp] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--open GAP | --bursty B,GAP] [--hop-spin S] [--seed S] [--json PATH]
+  cnet run <kind> <width> [--backend sim,shm,shm-batch:K,shm-shard:S,mp,mp-elim] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--open GAP | --bursty B,GAP] [--hop-spin S] [--seed S] [--json PATH]
   cnet observe [kind] [--width W] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--prism] [--seed S] [--json [PATH]]
   cnet attack <intro|tree|bitonic|wave> --width W --c1 C1 --c2 C2 [--svg]
   cnet threshold <kind> <width> --c1 C1 --c2 C2 [--json PATH]

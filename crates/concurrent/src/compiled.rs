@@ -292,6 +292,13 @@ pub struct CompiledNet {
     /// Entry arena slot per network input.
     entries: Box<[u32]>,
     counters: Box<[PaddedCounter]>,
+    /// Global interval allocator for [`CompiledNet::next_batch_on`]:
+    /// one `fetch_add(k)` here reserves the contiguous value interval
+    /// `[base, base + k)` regardless of which output counter the
+    /// traversal landed on. Kept separate from the per-counter tallies
+    /// so unequal batch sizes can never leave gaps in the value space
+    /// (deriving batch values from `index + width * prior` would).
+    issued: AtomicU64,
     width: u64,
     depth: usize,
     input_width: usize,
@@ -347,6 +354,7 @@ impl CompiledNet {
             counters: (0..topology.output_width())
                 .map(|_| PaddedCounter(AtomicU64::new(0)))
                 .collect(),
+            issued: AtomicU64::new(0),
             width: topology.output_width() as u64,
             depth: topology.depth(),
             input_width: topology.input_width(),
@@ -404,6 +412,78 @@ impl CompiledNet {
                 let value = self.run(arena, at, spin_per_node, &mut rng);
                 prng::commit(rng);
                 value
+            }
+        }
+    }
+
+    /// Reserves a contiguous interval of `k` values with a *single*
+    /// traversal: one token walks the network, then the output counter
+    /// it lands on absorbs all `k` arrivals in one `fetch_add(k)` and
+    /// the returned base comes from the global interval allocator, so
+    /// the caller owns values `base..base + k`.
+    ///
+    /// This is the combining frontend's primitive. The per-counter
+    /// tallies still sum to the number of values handed out, but a
+    /// k-batch lands on one counter, so the quiescent counts are only
+    /// a `(k-1)`-relaxed step — the ordering cost the frontend bench
+    /// measures. Values from this path come from a different allocator
+    /// than [`CompiledNet::next_on`]; a net must be driven exclusively
+    /// through one of the two or values would collide (solo operations
+    /// on a batching frontend call this with `k == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= input_width()` or `k == 0`.
+    pub fn next_batch_on(&self, input: usize, k: u64, spin_per_node: u64) -> u64 {
+        assert!(k > 0, "a batch reserves at least one value");
+        let at = self.entries[input];
+        match &self.plan {
+            Plan::Binary(arena) => self.run_batch(arena, at, k, spin_per_node, &mut 0),
+            Plan::Wide(arena) => self.run_batch(arena, at, k, spin_per_node, &mut 0),
+            Plan::Locked(arena) => self.run_batch(arena, at, k, spin_per_node, &mut 0),
+            Plan::Diffracting(arena) => {
+                let mut rng = prng::begin();
+                let value = self.run_batch(arena, at, k, spin_per_node, &mut rng);
+                prng::commit(rng);
+                value
+            }
+        }
+    }
+
+    /// The batch rendition of the hop loop: identical routing, but the
+    /// terminal counter absorbs `k` arrivals and the value base comes
+    /// from the global interval allocator.
+    #[inline]
+    fn run_batch<B: Route>(
+        &self,
+        arena: &Arena<B>,
+        mut at: u32,
+        k: u64,
+        spin_per_node: u64,
+        rng: &mut u64,
+    ) -> u64 {
+        let start = crate::obs::now();
+        loop {
+            let hop_start = crate::obs::now();
+            let slot = &arena.slots[at as usize];
+            let port = slot.bal.route(rng, self.obs.probe(at as usize));
+            let link = if port < 2 {
+                slot.links[port]
+            } else {
+                arena.ext[slot.ext_base as usize + (port - 2)]
+            };
+            for _ in 0..spin_per_node {
+                std::hint::spin_loop();
+            }
+            self.obs.record_wire(crate::obs::now() - hop_start);
+            if link.0 & COUNTER_BIT == 0 {
+                at = link.0;
+            } else {
+                let index = (link.0 & !COUNTER_BIT) as usize;
+                self.counters[index].0.fetch_add(k, Ordering::AcqRel);
+                let base = self.issued.fetch_add(k, Ordering::AcqRel);
+                self.obs.record_op(start, crate::obs::now(), base);
+                return base;
             }
         }
     }
@@ -540,6 +620,51 @@ mod tests {
                 assert_eq!(c.next_on((expect % 4) as usize), expect, "{kind:?}");
             }
         }
+    }
+
+    #[test]
+    fn batch_reservations_are_contiguous_and_gap_free() {
+        let net = constructions::bitonic(4).unwrap();
+        for kind in [
+            BalancerKind::WaitFree,
+            BalancerKind::Locked,
+            BalancerKind::Diffracting { slots: 2, spin: 8 },
+        ] {
+            let c = CompiledNet::compile(&net, kind);
+            // unequal batch sizes: the classic counterexample for a
+            // per-counter interval scheme (it would gap); the global
+            // allocator hands out exactly 0..total
+            let mut values = Vec::new();
+            for (i, k) in [2u64, 3, 1, 5, 1, 4].iter().enumerate() {
+                let base = c.next_batch_on(i % 4, *k, 0);
+                values.extend(base..base + k);
+            }
+            values.sort_unstable();
+            assert_eq!(values, (0..16).collect::<Vec<u64>>(), "{kind:?}");
+            // per-counter tallies still sum to every value handed out
+            assert_eq!(c.output_counts().iter().sum::<u64>(), 16, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn solo_batches_count_like_a_sequential_counter() {
+        let net = constructions::bitonic(8).unwrap();
+        let c = CompiledNet::compile(&net, BalancerKind::WaitFree);
+        for expect in 0..64 {
+            assert_eq!(c.next_batch_on((expect % 8) as usize, 1, 0), expect);
+        }
+        // k == 1 everywhere: tallies are exactly the sequential step
+        let counts = c.output_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 64);
+        assert!(counts.iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_width_batch_panics() {
+        let net = constructions::bitonic(2).unwrap();
+        let c = CompiledNet::compile(&net, BalancerKind::WaitFree);
+        let _ = c.next_batch_on(0, 0, 0);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //! * [`mp::MpNetwork`] — the message-passing realization the paper's
 //!   model also covers: one thread per balancer and counter, tokens as
 //!   messages on channels;
+//! * [`frontend`] — elastic frontends over the above: flat-combining
+//!   batch traversals, sharded routing over narrow networks, and
+//!   elimination pairing at the message-passing ingress — fewer
+//!   traversals per fetch-and-increment, at a measured ordering cost;
 //! * [`audit`] — a stress harness that timestamps every operation with
 //!   a global logical clock and feeds the trace to the `cnet-timing`
 //!   linearizability checker, reproducing the paper's measurement on
@@ -77,6 +81,7 @@ pub mod audit;
 pub mod balancer;
 pub mod compiled;
 pub mod counter;
+pub mod frontend;
 pub mod lock;
 pub mod mp;
 pub mod network;
@@ -88,6 +93,10 @@ pub mod tree;
 
 pub use compiled::CompiledNet;
 pub use counter::Counter;
+pub use frontend::{
+    CombiningConfig, CombiningCounter, EliminatingMpNetwork, EliminationConfig, RoutePolicy,
+    ShardedCounter,
+};
 pub use network::NetworkCounter;
 pub use reference::ReferenceCounter;
 pub use tree::DiffractingTreeCounter;

@@ -13,7 +13,7 @@
 //! whatever the OS scheduler makes of the channel sends, optionally
 //! stretched by a configurable busy-spin per hop.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -24,10 +24,33 @@ use crate::counter::Counter;
 
 /// A token in flight: where to send the final value, and when the
 /// client injected it (probe-layer clock; constant 0 with probes off).
+///
+/// A token carrying `extra` is an elimination *pair*: one message
+/// standing for two client operations. The counter thread answers the
+/// injecting client on `reply` and the matched partner on `extra` with
+/// two consecutive values (shared-issue networks only).
 #[derive(Debug)]
 struct TokenMsg {
     reply: Sender<u64>,
+    extra: Option<Sender<u64>>,
     sent_at: u64,
+}
+
+/// Shared value-issue state for networks spawned via
+/// [`MpNetwork::spawn_shared_issue`]: a global interval allocator plus
+/// per-counter arrival tallies.
+///
+/// A pair token absorbs two arrivals at one counter, so deriving values
+/// from the counter's *local* arrival count (`index + width * arrivals`
+/// like the plain mode) would leave gaps in the value space whenever
+/// singles and pairs mix across counters. The global allocator keeps
+/// values exactly `0..n`; the tallies preserve the quiescent
+/// output-count sums (a pair makes them a 1-relaxed step — the
+/// ordering cost the frontend bench measures).
+#[derive(Debug)]
+struct SharedIssue {
+    issued: AtomicU64,
+    tallies: Box<[AtomicU64]>,
 }
 
 thread_local! {
@@ -84,6 +107,9 @@ pub struct MpNetwork {
     entries: Vec<Sender<TokenMsg>>,
     next_input: AtomicUsize,
     threads: Vec<JoinHandle<()>>,
+    /// `Some` for shared-issue networks (the elimination frontend's
+    /// mode); `None` for the plain per-counter value scheme.
+    shared: Option<Arc<SharedIssue>>,
     /// Shared with every balancer/counter thread; ZST recorders unless
     /// the `obs` feature is on.
     obs: Arc<crate::obs::NetObserver>,
@@ -97,6 +123,35 @@ impl MpNetwork {
     /// Panics if the OS refuses to spawn a thread.
     #[must_use]
     pub fn spawn(topology: &Topology, config: MpConfig) -> Self {
+        Self::spawn_inner(topology, config, None)
+    }
+
+    /// Spawns a network whose counter threads draw values from one
+    /// shared interval allocator instead of their local arrival counts
+    /// — the mode that makes elimination pair tokens
+    /// ([`MpNetwork::count_pair_on`]) gap-free. Sequentially it counts
+    /// exactly like [`MpNetwork::spawn`]; see [`SharedIssue`] for why
+    /// pairs need it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    #[must_use]
+    pub fn spawn_shared_issue(topology: &Topology, config: MpConfig) -> Self {
+        let shared = Arc::new(SharedIssue {
+            issued: AtomicU64::new(0),
+            tallies: (0..topology.output_width())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        });
+        Self::spawn_inner(topology, config, Some(shared))
+    }
+
+    fn spawn_inner(
+        topology: &Topology,
+        config: MpConfig,
+        shared: Option<Arc<SharedIssue>>,
+    ) -> Self {
         let width = topology.output_width() as u64;
         let obs = Arc::new(crate::obs::NetObserver::new(topology.node_count()));
         let mut threads = Vec::new();
@@ -106,17 +161,39 @@ impl MpNetwork {
             .map(|index| {
                 let (tx, rx): (Sender<TokenMsg>, Receiver<TokenMsg>) = unbounded();
                 let obs = Arc::clone(&obs);
+                let shared = shared.clone();
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("cnet-counter-{index}"))
                         .spawn(move || {
                             let mut arrivals: u64 = 0;
                             while let Ok(msg) = rx.recv() {
-                                let value = index as u64 + width * arrivals;
-                                arrivals += 1;
-                                obs.record_op(msg.sent_at, crate::obs::now(), value);
-                                // the client may have given up; ignore
-                                let _ = msg.reply.send(value);
+                                let now = crate::obs::now();
+                                match &shared {
+                                    None => {
+                                        // plain mode: tokens are never
+                                        // pairs (count_pair_on rejects
+                                        // them), values are local
+                                        let value = index as u64 + width * arrivals;
+                                        arrivals += 1;
+                                        obs.record_op(msg.sent_at, now, value);
+                                        // the client may have given
+                                        // up; ignore
+                                        let _ = msg.reply.send(value);
+                                    }
+                                    Some(shared) => {
+                                        let weight = 1 + u64::from(msg.extra.is_some());
+                                        shared.tallies[index].fetch_add(weight, Ordering::Relaxed);
+                                        let base =
+                                            shared.issued.fetch_add(weight, Ordering::AcqRel);
+                                        obs.record_op(msg.sent_at, now, base);
+                                        let _ = msg.reply.send(base);
+                                        if let Some(extra) = msg.extra {
+                                            obs.record_op(msg.sent_at, now, base + 1);
+                                            let _ = extra.send(base + 1);
+                                        }
+                                    }
+                                }
                             }
                         })
                         .expect("spawn counter thread"),
@@ -181,6 +258,7 @@ impl MpNetwork {
             entries,
             next_input: AtomicUsize::new(0),
             threads,
+            shared,
             obs,
         }
     }
@@ -202,10 +280,80 @@ impl MpNetwork {
             self.entries[input]
                 .send(TokenMsg {
                     reply: reply_tx.clone(),
+                    extra: None,
                     sent_at: crate::obs::now(),
                 })
                 .expect("network threads alive while self exists");
             reply_rx.recv().expect("counter thread replies")
+        })
+    }
+
+    /// Sends one *pair* token in on input `x_input`: a single message
+    /// standing for this operation and a matched partner's. The caller
+    /// gets the pair's first value back; `partner` receives the second
+    /// (consecutive) value. This is the elimination frontend's
+    /// primitive — two operations, one network traversal.
+    ///
+    /// Only valid on shared-issue networks
+    /// ([`MpNetwork::spawn_shared_issue`]): the plain per-counter value
+    /// scheme cannot absorb two arrivals per token without gapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range or this network was not
+    /// spawned in shared-issue mode.
+    pub fn count_pair_on(&self, input: usize, partner: Sender<u64>) -> u64 {
+        assert!(
+            self.shared.is_some(),
+            "pair tokens need a shared-issue network"
+        );
+        REPLY.with(|(reply_tx, reply_rx)| {
+            self.entries[input]
+                .send(TokenMsg {
+                    reply: reply_tx.clone(),
+                    extra: Some(partner),
+                    sent_at: crate::obs::now(),
+                })
+                .expect("network threads alive while self exists");
+            reply_rx.recv().expect("counter thread replies")
+        })
+    }
+
+    /// A sender for the calling thread's own reply channel — what an
+    /// elimination waiter advertises so a matched partner's pair token
+    /// can deliver its value.
+    #[must_use]
+    pub fn client_reply_sender() -> Sender<u64> {
+        REPLY.with(|(reply_tx, _)| reply_tx.clone())
+    }
+
+    /// Blocks on the calling thread's own reply channel — how an
+    /// elimination waiter collects the value a partner's pair token
+    /// reserved for it. Only sound when the thread has advertised the
+    /// matching [`MpNetwork::client_reply_sender`] and a partner is
+    /// committed to answering it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every sender for this thread's reply channel is gone
+    /// (impossible while the advertising handshake holds one).
+    #[must_use]
+    pub fn client_reply_recv() -> u64 {
+        REPLY.with(|(_, reply_rx)| reply_rx.recv().expect("a committed partner replies"))
+    }
+
+    /// Per-counter arrival tallies for shared-issue networks; `None`
+    /// in plain mode (where quiescent counts are implied by the values
+    /// themselves: counter = value mod width). Meaningful at
+    /// quiescence. A pair token counts as two arrivals at the counter
+    /// it landed on.
+    #[must_use]
+    pub fn output_counts(&self) -> Option<Vec<u64>> {
+        self.shared.as_ref().map(|s| {
+            s.tallies
+                .iter()
+                .map(|t| t.load(Ordering::Acquire))
+                .collect()
         })
     }
 
@@ -312,6 +460,49 @@ mod tests {
         .join()
         .expect("client thread");
         assert_eq!(created, 1, "400 operations must share one reply channel");
+    }
+
+    #[test]
+    fn shared_issue_counts_exactly_like_plain_sequentially() {
+        let net = constructions::bitonic(4).unwrap();
+        let mp = MpNetwork::spawn_shared_issue(&net, MpConfig::default());
+        for expect in 0..20 {
+            assert_eq!(mp.next(), expect);
+        }
+        let counts = mp.output_counts().expect("shared-issue mode tallies");
+        assert_eq!(counts.iter().sum::<u64>(), 20);
+        assert!(MpNetwork::spawn(&net, MpConfig::default())
+            .output_counts()
+            .is_none());
+    }
+
+    #[test]
+    fn pair_tokens_reserve_consecutive_values_without_gaps() {
+        let net = constructions::bitonic(4).unwrap();
+        let mp = Arc::new(MpNetwork::spawn_shared_issue(&net, MpConfig::default()));
+        // mix singles and pairs: the value space must stay exactly 0..n
+        let mut values = Vec::new();
+        for i in 0..6 {
+            let (tx, rx) = bounded(1);
+            let base = mp.count_pair_on(i % 4, tx);
+            values.push(base);
+            values.push(rx.recv().expect("pair partner value"));
+            assert_eq!(values[values.len() - 1], base + 1);
+            values.push(mp.count_on((i + 1) % 4));
+        }
+        values.sort_unstable();
+        assert_eq!(values, (0..18).collect::<Vec<u64>>());
+        let counts = mp.output_counts().expect("tallies");
+        assert_eq!(counts.iter().sum::<u64>(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared-issue")]
+    fn pair_tokens_are_rejected_in_plain_mode() {
+        let net = constructions::bitonic(2).unwrap();
+        let mp = MpNetwork::spawn(&net, MpConfig::default());
+        let (tx, _rx) = bounded(1);
+        let _ = mp.count_pair_on(0, tx);
     }
 
     #[test]

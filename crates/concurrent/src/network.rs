@@ -123,6 +123,19 @@ impl NetworkCounter {
         self.net.next_on_with_delay(input, spin_per_node)
     }
 
+    /// Reserves `k` contiguous values with one traversal — the
+    /// combining frontend's primitive; see
+    /// [`CompiledNet::next_batch_on`] for the allocator contract (a
+    /// counter must be driven exclusively through the batch path or
+    /// the plain path, never both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= input_width()` or `k == 0`.
+    pub fn next_batch_on(&self, input: usize, k: u64, spin_per_node: u64) -> u64 {
+        self.net.next_batch_on(input, k, spin_per_node)
+    }
+
     /// Per-counter totals in the current state (a step once quiescent).
     #[must_use]
     pub fn output_counts(&self) -> Vec<u64> {

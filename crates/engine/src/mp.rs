@@ -2,11 +2,22 @@
 
 use std::time::Instant;
 
+use cnet_concurrent::frontend::{EliminatingMpNetwork, EliminationConfig};
 use cnet_concurrent::mp::{MpConfig, MpNetwork};
 use cnet_topology::{OutputCounts, Topology};
 
 use crate::driver::{self, SpinSite};
 use crate::{Backend, RunOutcome, Workload};
+
+/// Which message-passing ingress an [`MpBackend`] drives.
+#[derive(Debug, Clone, Copy)]
+enum Flavor {
+    /// Every operation is its own token ([`MpNetwork`]).
+    Plain,
+    /// Elimination at the ingress: matched pairs share one token
+    /// ([`EliminatingMpNetwork`]).
+    Elim(EliminationConfig),
+}
 
 /// Runs workloads against an [`MpNetwork`]: one thread per balancer
 /// and per counter, tokens as messages along channels.
@@ -17,10 +28,18 @@ use crate::{Backend, RunOutcome, Workload};
 /// injection — a per-node value cannot travel with the token, since
 /// the per-hop delay of this substrate is fixed at spawn time via
 /// [`MpConfig::hop_spin`].
+///
+/// The [`MpBackend::elim`] constructor puts an elimination exchange in
+/// front of the ingress (`"mp-elim"`): operations that meet in the
+/// exchange enter the pipeline as a single pair token and draw two
+/// consecutive values from the shared interval allocator. The value
+/// space stays exactly `0..n`; the quiescent per-counter tallies become
+/// a 1-relaxed step (a pair tallies twice where it lands).
 #[derive(Debug, Clone, Copy)]
 pub struct MpBackend<'a> {
     topology: &'a Topology,
     config: MpConfig,
+    flavor: Flavor,
     seed: u64,
 }
 
@@ -31,6 +50,24 @@ impl<'a> MpBackend<'a> {
         MpBackend {
             topology,
             config,
+            flavor: Flavor::Plain,
+            seed,
+        }
+    }
+
+    /// A backend spawning elimination-fronted message-passing networks
+    /// over `topology`.
+    #[must_use]
+    pub fn elim(
+        topology: &'a Topology,
+        config: MpConfig,
+        elim: EliminationConfig,
+        seed: u64,
+    ) -> Self {
+        MpBackend {
+            topology,
+            config,
+            flavor: Flavor::Elim(elim),
             seed,
         }
     }
@@ -38,27 +75,55 @@ impl<'a> MpBackend<'a> {
 
 impl Backend for MpBackend<'_> {
     fn name(&self) -> &'static str {
-        "mp"
+        match self.flavor {
+            Flavor::Plain => "mp",
+            Flavor::Elim(_) => "mp-elim",
+        }
     }
 
     fn run(&self, workload: &Workload) -> RunOutcome {
-        let net = MpNetwork::spawn(self.topology, self.config);
-        let started = Instant::now();
-        let trace = driver::drive(&net, workload, self.seed, SpinSite::PerOp);
-        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-        let metrics = net.metrics_snapshot(workload.wait_cycles);
-        // the counter threads own their totals; reconstruct the final
-        // counts from the returned values (value = index + width·k)
-        let width = self.topology.output_width();
-        let mut counts = OutputCounts::zeros(width);
-        for &(_, _, _, value) in &trace.operations {
-            counts.increment((value % width.max(1) as u64) as usize);
-        }
-        let stats = driver::stats_from_trace(trace, counts, net.input_width(), metrics);
-        RunOutcome {
-            backend: self.name(),
-            stats,
-            wall_ms,
+        match self.flavor {
+            Flavor::Plain => {
+                let net = MpNetwork::spawn(self.topology, self.config);
+                let started = Instant::now();
+                let trace = driver::drive(&net, workload, self.seed, SpinSite::PerOp);
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let metrics = net.metrics_snapshot(workload.wait_cycles);
+                // the counter threads own their totals; reconstruct the
+                // final counts from the returned values (value = index
+                // + width·k)
+                let width = self.topology.output_width();
+                let mut counts = OutputCounts::zeros(width);
+                for &(_, _, _, value) in &trace.operations {
+                    counts.increment((value % width.max(1) as u64) as usize);
+                }
+                let stats = driver::stats_from_trace(trace, counts, net.input_width(), metrics);
+                RunOutcome {
+                    backend: self.name(),
+                    stats,
+                    wall_ms,
+                    frontend: None,
+                }
+            }
+            Flavor::Elim(elim) => {
+                let net = EliminatingMpNetwork::spawn(self.topology, self.config, elim);
+                let started = Instant::now();
+                let trace = driver::drive(&net, workload, self.seed, SpinSite::PerOp);
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let metrics = net.metrics_snapshot(workload.wait_cycles);
+                // shared-issue values are drawn from a global interval
+                // allocator, so value % width no longer names the
+                // landing counter; the counter threads' own tallies are
+                // the ground truth (a pair counts twice where it landed)
+                let counts: OutputCounts = net.output_counts().into_iter().collect();
+                let stats = driver::stats_from_trace(trace, counts, net.input_width(), metrics);
+                RunOutcome {
+                    backend: self.name(),
+                    stats,
+                    wall_ms,
+                    frontend: net.frontend_metrics(),
+                }
+            }
         }
     }
 }
@@ -102,5 +167,34 @@ mod tests {
         });
         assert_eq!(outcome.stats.operations.len(), 80);
         assert!(outcome.counts_exactly());
+    }
+
+    #[test]
+    fn elim_flavor_counts_exactly_and_tallies_sum() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = MpBackend::elim(&net, MpConfig::default(), EliminationConfig::default(), 13)
+            .run(&Workload {
+                total_ops: 400,
+                ..Workload::paper(4, 0, 0)
+            });
+        assert_eq!(outcome.backend, "mp-elim");
+        assert_eq!(outcome.stats.operations.len(), 400);
+        assert!(outcome.counts_exactly());
+        // pairs tally twice where the pair token landed: the counts are
+        // a 1-relaxed step that still sums to every operation
+        assert_eq!(outcome.stats.output_counts.total(), 400);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn elim_flavor_reports_frontend_metrics() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = MpBackend::elim(&net, MpConfig::default(), EliminationConfig::default(), 17)
+            .run(&Workload {
+                total_ops: 200,
+                ..Workload::paper(4, 0, 0)
+            });
+        let m = outcome.frontend.expect("obs build snapshots");
+        assert_eq!(2 * m.elim_pairs + m.elim_solo, 200);
     }
 }

@@ -19,6 +19,10 @@ pub struct RunOutcome {
     pub stats: RunStats,
     /// Host wall-clock spent executing, in milliseconds.
     pub wall_ms: f64,
+    /// Frontend telemetry (batch histogram, elimination hits, shard
+    /// routing) for the elastic-frontend backends. `None` on plain
+    /// backends and on probe-free (`obs`-less) builds.
+    pub frontend: Option<cnet_obs::FrontendMetrics>,
 }
 
 impl RunOutcome {
@@ -76,6 +80,7 @@ mod tests {
                 metrics: None,
             },
             wall_ms: 0.0,
+            frontend: None,
         }
     }
 

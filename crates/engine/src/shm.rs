@@ -2,10 +2,11 @@
 
 use std::time::Instant;
 
+use cnet_concurrent::frontend::{CombiningConfig, CombiningCounter, RoutePolicy, ShardedCounter};
 use cnet_concurrent::network::{BalancerKind, NetworkCounter};
 use cnet_concurrent::reference::ReferenceCounter;
 use cnet_concurrent::tree::{DiffractingTreeCounter, TreeConfig};
-use cnet_topology::Topology;
+use cnet_topology::{OutputCounts, Topology};
 
 use crate::driver::{self, SpinSite};
 use crate::{Backend, RunOutcome, Workload};
@@ -22,17 +23,31 @@ enum Flavor {
     Reference(BalancerKind),
     /// [`DiffractingTreeCounter`] of the topology's output width.
     Tree(TreeConfig),
+    /// [`CombiningCounter`] over the backend's topology: flat-combining
+    /// batch traversals through the compiled arena.
+    Batch(BalancerKind, CombiningConfig),
+    /// [`ShardedCounter`] over `count` bitonic shards whose widths sum
+    /// to the backend topology's output width — equal hardware, split.
+    Shard(BalancerKind, RoutePolicy, usize),
 }
 
 /// Runs workloads on real OS threads over the native-atomics counters
 /// (`cnet-concurrent`): a [`NetworkCounter`] realizing the backend's
-/// topology, or a [`DiffractingTreeCounter`] of its output width.
+/// topology, a [`DiffractingTreeCounter`] of its output width, or one
+/// of the elastic frontends — [`CombiningCounter`] (`"shm-batch"`) and
+/// [`ShardedCounter`] (`"shm-shard"`).
 ///
 /// Every [`Backend::run`] builds a fresh counter, so runs never share
 /// state. `workload.processors` is the client-thread count,
 /// `wait_cycles` the per-node spin of the delayed fraction, and the
 /// arrival process is honored on a deterministic seeded schedule
 /// interpreted in nanoseconds of host time.
+///
+/// The frontend flavors keep the counting property (values exactly
+/// `0..n`) but relax the quiescent step: a `k`-batch lands `k` tallies
+/// on one counter, and round-robin sharding steps within each residue
+/// class rather than globally. Their outcomes carry
+/// [`RunOutcome::frontend`] telemetry on `obs` builds.
 #[derive(Debug, Clone, Copy)]
 pub struct ShmBackend<'a> {
     topology: &'a Topology,
@@ -74,12 +89,60 @@ impl<'a> ShmBackend<'a> {
             seed,
         }
     }
+
+    /// A backend driving a [`CombiningCounter`] built over `topology`:
+    /// the flat-combining frontend, where one traversal serves a batch
+    /// of requests through a width-`k` interval reservation.
+    #[must_use]
+    pub fn batch(
+        topology: &'a Topology,
+        kind: BalancerKind,
+        config: CombiningConfig,
+        seed: u64,
+    ) -> Self {
+        ShmBackend {
+            topology,
+            flavor: Flavor::Batch(kind, config),
+            seed,
+        }
+    }
+
+    /// A backend driving a [`ShardedCounter`] over `count` bitonic
+    /// shards of width `output_width / count` each — the same total
+    /// hardware as `topology`, split behind a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` does not divide the output width into per-shard
+    /// widths that are powers of two `>= 2`.
+    #[must_use]
+    pub fn shard(
+        topology: &'a Topology,
+        kind: BalancerKind,
+        policy: RoutePolicy,
+        count: usize,
+        seed: u64,
+    ) -> Self {
+        let width = topology.output_width();
+        assert!(count > 0, "at least one shard");
+        assert!(
+            width.is_multiple_of(count) && (width / count) >= 2 && (width / count).is_power_of_two(),
+            "shard count {count} must split width {width} into powers of two >= 2"
+        );
+        ShmBackend {
+            topology,
+            flavor: Flavor::Shard(kind, policy, count),
+            seed,
+        }
+    }
 }
 
 impl Backend for ShmBackend<'_> {
     fn name(&self) -> &'static str {
         match self.flavor {
             Flavor::Reference(_) => "shm-ref",
+            Flavor::Batch(..) => "shm-batch",
+            Flavor::Shard(..) => "shm-shard",
             _ => "shm",
         }
     }
@@ -102,6 +165,7 @@ impl Backend for ShmBackend<'_> {
                     backend: self.name(),
                     stats,
                     wall_ms,
+                    frontend: None,
                 }
             }
             Flavor::Network(kind) => {
@@ -122,6 +186,7 @@ impl Backend for ShmBackend<'_> {
                     backend: self.name(),
                     stats,
                     wall_ms,
+                    frontend: None,
                 }
             }
             Flavor::Tree(config) => {
@@ -142,6 +207,53 @@ impl Backend for ShmBackend<'_> {
                     backend: self.name(),
                     stats,
                     wall_ms,
+                    frontend: None,
+                }
+            }
+            Flavor::Batch(kind, config) => {
+                let counter = CombiningCounter::with_kind(self.topology, kind, config);
+                let started = Instant::now();
+                let trace = driver::drive(&counter, workload, self.seed, SpinSite::PerNode);
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let metrics = counter.metrics_snapshot(workload.wait_cycles);
+                let counts: OutputCounts = counter.output_counts().into_iter().collect();
+                let stats = driver::stats_from_trace(trace, counts, counter.input_width(), metrics);
+                RunOutcome {
+                    backend: self.name(),
+                    stats,
+                    wall_ms,
+                    frontend: counter.frontend_metrics(),
+                }
+            }
+            Flavor::Shard(kind, policy, count) => {
+                let shard_width = self.topology.output_width() / count;
+                let shards = Topology::shards(shard_width, count)
+                    .expect("shard arguments validated at construction");
+                let counter = ShardedCounter::with_kind(&shards, kind, policy);
+                let started = Instant::now();
+                let trace = driver::drive(&counter, workload, self.seed, SpinSite::PerNode);
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                // contention metrics are per-shard; shard 0 is the
+                // representative (round-robin keeps loads within one op)
+                let metrics = counter.shard_metrics(0, workload.wait_cycles);
+                // the frontend labels a value `s + S·local`, so the
+                // natural counter index of `value % (S·w)` is
+                // *interleaved*: residue class first, per-shard counter
+                // second. Re-index the shard-major tallies to match.
+                let shard_major = counter.output_counts();
+                let mut interleaved = vec![0u64; shard_major.len()];
+                for s in 0..count {
+                    for c in 0..shard_width {
+                        interleaved[s + count * c] = shard_major[s * shard_width + c];
+                    }
+                }
+                let counts: OutputCounts = interleaved.into_iter().collect();
+                let stats = driver::stats_from_trace(trace, counts, shard_width, metrics);
+                RunOutcome {
+                    backend: self.name(),
+                    stats,
+                    wall_ms,
+                    frontend: counter.frontend_metrics(),
                 }
             }
         }
@@ -226,6 +338,81 @@ mod tests {
             ..Workload::paper(2, 100, 500)
         });
         assert!(outcome.stats.average_ratio(500).is_finite());
+    }
+
+    #[test]
+    fn batch_flavor_counts_exactly() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = ShmBackend::batch(
+            &net,
+            BalancerKind::WaitFree,
+            cnet_concurrent::CombiningConfig::default(),
+            3,
+        )
+        .run(&workload(4, 400));
+        assert_eq!(outcome.backend, "shm-batch");
+        assert_eq!(outcome.stats.operations.len(), 400);
+        assert!(outcome.counts_exactly());
+        // a k-batch lands k tallies on one counter: sum-preserving,
+        // (k-1)-relaxed step
+        assert_eq!(outcome.stats.output_counts.total(), 400);
+    }
+
+    #[test]
+    fn shard_flavor_counts_exactly() {
+        let net = constructions::bitonic(16).unwrap();
+        let outcome = ShmBackend::shard(
+            &net,
+            BalancerKind::WaitFree,
+            cnet_concurrent::RoutePolicy::RoundRobin,
+            4,
+            7,
+        )
+        .run(&workload(4, 400));
+        assert_eq!(outcome.backend, "shm-shard");
+        assert_eq!(outcome.stats.operations.len(), 400);
+        assert!(outcome.counts_exactly());
+        assert_eq!(outcome.stats.output_counts.total(), 400);
+        assert_eq!(outcome.stats.output_counts.width(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn shard_flavor_rejects_indivisible_widths() {
+        let net = constructions::bitonic(4).unwrap();
+        let _ = ShmBackend::shard(
+            &net,
+            BalancerKind::WaitFree,
+            cnet_concurrent::RoutePolicy::RoundRobin,
+            3,
+            7,
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn frontend_flavors_report_telemetry() {
+        let net = constructions::bitonic(16).unwrap();
+        let batch = ShmBackend::batch(
+            &net,
+            BalancerKind::WaitFree,
+            cnet_concurrent::CombiningConfig::default(),
+            3,
+        )
+        .run(&workload(4, 200));
+        let m = batch.frontend.expect("obs build snapshots");
+        assert_eq!(m.batch_hist.sum() + m.solo_ops, 200);
+
+        let shard = ShmBackend::shard(
+            &net,
+            BalancerKind::WaitFree,
+            cnet_concurrent::RoutePolicy::RoundRobin,
+            4,
+            3,
+        )
+        .run(&workload(4, 200));
+        let m = shard.frontend.expect("obs build snapshots");
+        assert_eq!(m.shard_ops.iter().sum::<u64>(), 200);
     }
 
     #[test]

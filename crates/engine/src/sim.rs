@@ -51,6 +51,7 @@ impl Backend for SimBackend<'_> {
             backend: self.name(),
             stats,
             wall_ms,
+            frontend: None,
         }
     }
 }

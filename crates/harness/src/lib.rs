@@ -36,7 +36,7 @@ pub mod table;
 pub use args::BenchArgs;
 pub use baseline::{Baseline, BaselineComparison};
 pub use grid::{run_jobs, run_jobs_report, CellRun, Grid, GridOutcome, Job, NetworkKind};
-pub use record::{GridReport, RunRecord, SCHEMA_VERSION};
+pub use record::{native_cell_reps, GridReport, RunRecord, SCHEMA_VERSION};
 pub use report::BenchReport;
 pub use seed::{derive_cell_seed, derive_seed};
 pub use table::{percent, ResultTable};

@@ -16,10 +16,14 @@ use serde::{impl_serde_struct, Deserialize, Error, Serialize, Value};
 ///   record (`"sim"`, `"shm"`, or `"mp"`). Records written before the
 ///   field existed were all simulator runs, so readers default it to
 ///   `"sim"`.
+/// * **4**: adds the optional `noisy` flag — `true` when the producing
+///   bench detected it could not isolate the measurement (e.g. the
+///   host exposed a single hardware thread to a multi-threaded cell).
+///   Written only when set; readers default it to `false`.
 ///
 /// Readers accept all versions ≤ the current one: committed baselines
 /// from before the field existed keep loading.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The serializable summary of one simulator run (one grid cell or one
 /// standalone simulation).
@@ -60,6 +64,12 @@ pub struct RunRecord {
     /// Host wall-clock spent simulating this cell, in milliseconds.
     /// Excluded from the determinism guarantee.
     pub wall_ms: f64,
+    /// `true` when the producing bench flagged the measurement as
+    /// noisy — the host could not give the cell the parallelism it
+    /// models (see the native benches' single-CPU detection). Like
+    /// `wall_ms`, a property of the measuring host, so it is excluded
+    /// from the determinism guarantee.
+    pub noisy: bool,
 }
 
 // Serde is hand-written (not `impl_serde_struct!`) because the macro
@@ -88,6 +98,9 @@ impl Serialize for RunRecord {
         if let Some(m) = &self.metrics {
             fields.push(("metrics".to_string(), m.to_value()));
         }
+        if self.noisy {
+            fields.push(("noisy".to_string(), true.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -115,6 +128,12 @@ impl Deserialize for RunRecord {
             }
             None => "sim".to_string(), // every pre-v3 record was a simulator run
         };
+        let noisy: bool = match v.get("noisy") {
+            Some(raw) => {
+                bool::from_value(raw).map_err(|e| Error::new(format!("field `noisy`: {e}")))?
+            }
+            None => false, // pre-v4 records never flagged noise
+        };
         Ok(RunRecord {
             schema_version,
             label: v.field("label")?,
@@ -128,6 +147,7 @@ impl Deserialize for RunRecord {
             stats: v.field("stats")?,
             metrics,
             wall_ms: v.field("wall_ms")?,
+            noisy,
         })
     }
 }
@@ -171,6 +191,7 @@ impl RunRecord {
             stats: stats.summary(workload.wait_cycles),
             metrics: stats.metrics.clone(),
             wall_ms,
+            noisy: false,
         }
     }
 
@@ -201,8 +222,30 @@ impl RunRecord {
     pub fn canonical(&self) -> Self {
         RunRecord {
             wall_ms: 0.0,
+            noisy: false,
             ..self.clone()
         }
+    }
+}
+
+/// The repetitions a native bench cell should take, and whether its
+/// record must carry the [`RunRecord::noisy`] flag.
+///
+/// A cell that models `threads`-way parallelism cannot be measured
+/// faithfully when the host exposes a single hardware thread — the
+/// "concurrent" clients are in fact time-sliced. The benches respond
+/// by widening best-of-`default_reps` to best-of-5 (more chances to
+/// dodge a scheduler hiccup) and flagging every record from the cell
+/// as noisy so committed baselines document the caveat.
+#[must_use]
+pub fn native_cell_reps(threads: usize, default_reps: usize) -> (usize, bool) {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if threads > 1 && cores == 1 {
+        (default_reps.max(5), true)
+    } else {
+        (default_reps, false)
     }
 }
 
@@ -357,6 +400,38 @@ mod tests {
         assert_eq!(back.schema_version, 2);
         assert_eq!(back.backend, "sim");
         assert_eq!(back.stats, r.stats);
+    }
+
+    #[test]
+    fn noisy_flag_round_trips_and_defaults_false() {
+        let mut r = record("W=100,n=4", 1.0);
+        r.noisy = true;
+        let text = serde::json::to_string(&r.to_value());
+        assert!(text.contains("\"noisy\""));
+        let back = RunRecord::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert!(back.noisy);
+
+        // quiet records stay byte-shaped like v3: no `noisy` key at all
+        let quiet = record("W=100,n=4", 1.0);
+        let text = serde::json::to_string(&quiet.to_value());
+        assert!(!text.contains("\"noisy\""));
+        let back = RunRecord::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert!(!back.noisy);
+    }
+
+    #[test]
+    fn native_cell_reps_widens_only_uniprocessor_parallel_cells() {
+        // a single-threaded cell is always measured as requested
+        assert_eq!(native_cell_reps(1, 3), (3, false));
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let (reps, noisy) = native_cell_reps(64, 3);
+        if cores == 1 {
+            assert_eq!((reps, noisy), (5, true));
+        } else {
+            assert_eq!((reps, noisy), (3, false));
+        }
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub mod snapshot;
 pub mod violation;
 
 pub use hist::{LogHistogram, BUCKETS};
-pub use snapshot::{BalancerMetrics, MetricsSnapshot, NetworkMetrics, METRICS_SCHEMA_VERSION};
+pub use snapshot::{
+    BalancerMetrics, FrontendMetrics, MetricsSnapshot, NetworkMetrics, METRICS_SCHEMA_VERSION,
+};
 pub use violation::ViolationTracker;
 
 /// The layer selected by this crate's `enabled` feature — a
@@ -77,6 +79,7 @@ mod tests {
     fn noop_layer_is_zero_sized() {
         assert_eq!(std::mem::size_of::<crate::noop::BalancerProbe>(), 0);
         assert_eq!(std::mem::size_of::<crate::noop::NetObserver>(), 0);
+        assert_eq!(std::mem::size_of::<crate::noop::FrontendProbe>(), 0);
         assert_eq!(crate::noop::now(), 0);
     }
 
@@ -106,12 +109,29 @@ mod tests {
                 obs::BalancerProbe::sink().record_toggle(0);
                 o.record_wire(4);
                 o.record_op(0, 5, 6);
-                o.snapshot(7)
+                let f = obs::FrontendProbe::new(2);
+                f.record_batch(3);
+                f.record_solo();
+                f.record_pair();
+                f.record_elim_solo();
+                f.record_shard(1);
+                (o.snapshot(7), f.snapshot())
             }};
         }
-        let live = drive!(crate::live);
-        let noop = drive!(crate::noop);
+        let (live, live_f) = drive!(crate::live);
+        let (noop, noop_f) = drive!(crate::noop);
         assert!(live.is_some());
         assert!(noop.is_none());
+        let f = live_f.expect("live frontend probe snapshots");
+        assert_eq!(f.batch_hist.count(), 1);
+        assert_eq!(f.solo_ops, 1);
+        assert_eq!(f.elim_pairs, 1);
+        assert_eq!(f.elim_solo, 1);
+        assert_eq!(f.shard_ops, vec![0, 1]);
+        assert!((f.avg_batch() - 3.0).abs() < 1e-12);
+        assert!((f.combiner_occupancy() - 0.75).abs() < 1e-12);
+        assert!((f.elimination_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f.shard_imbalance() - 2.0).abs() < 1e-12);
+        assert!(noop_f.is_none());
     }
 }

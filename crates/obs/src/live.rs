@@ -12,7 +12,9 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::hist::{bucket_of, LogHistogram, BUCKETS};
-use crate::snapshot::{BalancerMetrics, MetricsSnapshot, NetworkMetrics, METRICS_SCHEMA_VERSION};
+use crate::snapshot::{
+    BalancerMetrics, FrontendMetrics, MetricsSnapshot, NetworkMetrics, METRICS_SCHEMA_VERSION,
+};
 use crate::violation::ViolationTracker;
 
 /// Nanoseconds since the first call in this process. Monotonic, cheap
@@ -171,6 +173,79 @@ impl BalancerProbe {
             lock_hold_total: self.lock_hold_total.load(Ordering::Relaxed),
             wait_hist: self.wait_hist.snapshot(),
         }
+    }
+}
+
+/// Telemetry recorder for an elastic frontend (combining, sharding,
+/// elimination). Lock-free relaxed atomics like [`BalancerProbe`];
+/// snapshots are taken at quiescence.
+#[derive(Debug)]
+pub struct FrontendProbe {
+    batch_hist: AtomicHistogram,
+    solo: AtomicU64,
+    pairs: AtomicU64,
+    elim_solo: AtomicU64,
+    shard_ops: Box<[AtomicU64]>,
+}
+
+impl FrontendProbe {
+    /// A probe for a frontend routing over `shards` networks (0 for
+    /// the non-sharded frontends).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        FrontendProbe {
+            batch_hist: AtomicHistogram::new(),
+            solo: AtomicU64::new(0),
+            pairs: AtomicU64::new(0),
+            elim_solo: AtomicU64::new(0),
+            shard_ops: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// One combiner traversal served `k` requests.
+    #[inline]
+    pub fn record_batch(&self, k: u64) {
+        self.batch_hist.record(k);
+    }
+
+    /// One operation bypassed combining and traversed alone.
+    #[inline]
+    pub fn record_solo(&self) {
+        self.solo.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One elimination pair matched at the ingress.
+    #[inline]
+    pub fn record_pair(&self) {
+        self.pairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One advertised operation timed out and went through alone.
+    #[inline]
+    pub fn record_elim_solo(&self) {
+        self.elim_solo.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One operation was routed to shard `s`.
+    #[inline]
+    pub fn record_shard(&self, s: usize) {
+        self.shard_ops[s].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the recorded telemetry. Always `Some` on this layer.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<FrontendMetrics> {
+        Some(FrontendMetrics {
+            batch_hist: self.batch_hist.snapshot(),
+            solo_ops: self.solo.load(Ordering::Relaxed),
+            elim_pairs: self.pairs.load(Ordering::Relaxed),
+            elim_solo: self.elim_solo.load(Ordering::Relaxed),
+            shard_ops: self
+                .shard_ops
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        })
     }
 }
 

@@ -17,7 +17,7 @@
 //! optimizer erases the calls — the zero-cost claim is pinned by the
 //! size assertions in the crate root and by the perf gate in CI.
 
-use crate::snapshot::MetricsSnapshot;
+use crate::snapshot::{FrontendMetrics, MetricsSnapshot};
 
 /// Disabled clock: always 0, so latency arithmetic folds away.
 #[inline(always)]
@@ -55,6 +55,45 @@ impl BalancerProbe {
     /// Discards the record.
     #[inline(always)]
     pub fn record_lock(&self, _wait: u64, _hold: u64) {}
+}
+
+/// Zero-sized stand-in for [`crate::live::FrontendProbe`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FrontendProbe;
+
+impl FrontendProbe {
+    /// A probe that records nothing, whatever the shard count.
+    #[must_use]
+    pub fn new(_shards: usize) -> Self {
+        FrontendProbe
+    }
+
+    /// Discards the record.
+    #[inline(always)]
+    pub fn record_batch(&self, _k: u64) {}
+
+    /// Discards the record.
+    #[inline(always)]
+    pub fn record_solo(&self) {}
+
+    /// Discards the record.
+    #[inline(always)]
+    pub fn record_pair(&self) {}
+
+    /// Discards the record.
+    #[inline(always)]
+    pub fn record_elim_solo(&self) {}
+
+    /// Discards the record.
+    #[inline(always)]
+    pub fn record_shard(&self, _s: usize) {}
+
+    /// Always `None`: the disabled layer has nothing to report.
+    #[inline(always)]
+    #[must_use]
+    pub fn snapshot(&self) -> Option<FrontendMetrics> {
+        None
+    }
 }
 
 /// Zero-sized stand-in for [`crate::live::NetObserver`].

@@ -159,6 +159,95 @@ impl MetricsSnapshot {
     }
 }
 
+/// Frontend-level telemetry: what an elastic frontend (combining,
+/// sharding, elimination) did *in front of* the network its
+/// [`MetricsSnapshot`] describes.
+///
+/// Kept as its own block — not a field of [`MetricsSnapshot`] — so the
+/// metrics schema the committed baselines embed is untouched; the
+/// engine carries it alongside the snapshot in `RunOutcome`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendMetrics {
+    /// Distribution of combined-batch widths `k`, one sample per
+    /// combiner traversal (`k == 1` = a combiner that found only its
+    /// own request).
+    pub batch_hist: LogHistogram,
+    /// Operations that bypassed combining entirely (publication CAS
+    /// lost or the request was withdrawn after spinning).
+    pub solo_ops: u64,
+    /// Elimination pairs matched at the ingress (each pair is two
+    /// operations served by one traversal).
+    pub elim_pairs: u64,
+    /// Operations that advertised for elimination, timed out, and
+    /// walked the network alone.
+    pub elim_solo: u64,
+    /// Operations routed to each shard, by shard index.
+    pub shard_ops: Vec<u64>,
+}
+
+serde::impl_serde_struct!(FrontendMetrics {
+    batch_hist,
+    solo_ops,
+    elim_pairs,
+    elim_solo,
+    shard_ops,
+});
+
+impl FrontendMetrics {
+    /// Mean batch width over combiner traversals (1.0 when none ran).
+    #[must_use]
+    pub fn avg_batch(&self) -> f64 {
+        if self.batch_hist.count() > 0 {
+            self.batch_hist.sum() as f64 / self.batch_hist.count() as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of combining-frontend operations that were served by a
+    /// combiner traversal rather than going solo — the combiner
+    /// occupancy of the publication list.
+    #[must_use]
+    pub fn combiner_occupancy(&self) -> f64 {
+        let combined = self.batch_hist.sum();
+        let total = combined + self.solo_ops;
+        if total > 0 {
+            combined as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of elimination-frontend operations that matched a
+    /// partner (two per pair) instead of walking the network alone.
+    #[must_use]
+    pub fn elimination_hit_rate(&self) -> f64 {
+        let matched = 2 * self.elim_pairs;
+        let total = matched + self.elim_solo;
+        if total > 0 {
+            matched as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Shard-load imbalance: max over mean of per-shard operation
+    /// counts (1.0 = perfectly balanced; 0.0 when no shards recorded).
+    #[must_use]
+    pub fn shard_imbalance(&self) -> f64 {
+        if self.shard_ops.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.shard_ops.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.shard_ops.len() as f64;
+        let max = *self.shard_ops.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +313,27 @@ mod tests {
             .filter(|(k, _)| k != "schema_version")
             .collect();
         assert!(MetricsSnapshot::from_value(&Value::Object(stripped)).is_err());
+    }
+
+    #[test]
+    fn frontend_metrics_round_trip_through_serde() {
+        let mut batch_hist = LogHistogram::new();
+        batch_hist.record(4);
+        batch_hist.record(8);
+        let f = FrontendMetrics {
+            batch_hist,
+            solo_ops: 3,
+            elim_pairs: 5,
+            elim_solo: 2,
+            shard_ops: vec![10, 30],
+        };
+        let text = serde::json::to_string_pretty(&f.to_value());
+        let back = FrontendMetrics::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, f);
+        assert!((f.avg_batch() - 6.0).abs() < 1e-12);
+        assert!((f.combiner_occupancy() - 0.8).abs() < 1e-12);
+        assert!((f.elimination_hit_rate() - 10.0 / 12.0).abs() < 1e-12);
+        assert!((f.shard_imbalance() - 1.5).abs() < 1e-12);
     }
 
     #[test]

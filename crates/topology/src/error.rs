@@ -81,6 +81,8 @@ pub enum TopologyError {
         /// Human-readable description of the uniformity violation.
         detail: String,
     },
+    /// A sharded construction was asked for zero shards.
+    NoShards,
     /// A token was injected on a nonexistent network input.
     InputOutOfRange {
         /// The offending network-input index.
@@ -129,6 +131,7 @@ impl fmt::Display for TopologyError {
             TopologyError::NotUniform { detail } => {
                 write!(f, "network is not uniform: {detail}")
             }
+            TopologyError::NoShards => write!(f, "a sharded construction needs at least one shard"),
             TopologyError::InputOutOfRange { input, width } => {
                 write!(f, "input {input} out of range for input width {width}")
             }

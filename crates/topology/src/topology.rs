@@ -456,6 +456,34 @@ impl Topology {
         self.nodes.len()
     }
 
+    /// Builds `count` equal bitonic networks of output width `width` —
+    /// the shard array behind a sharded counter frontend, in one call
+    /// instead of hand-built narrow nets at every use site.
+    ///
+    /// Returns [`TopologyError::NoShards`] when `count == 0` and
+    /// [`TopologyError::WidthNotPowerOfTwo`] unless `width` is a power
+    /// of two `>= 2` (each shard is a full counting network of its
+    /// own).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// // four width-4 shards race one width-16 network at equal
+    /// // total width
+    /// let shards = cnet_topology::Topology::shards(4, 4)?;
+    /// assert_eq!(shards.len(), 4);
+    /// assert_eq!(shards.iter().map(|t| t.output_width()).sum::<usize>(), 16);
+    /// # Ok::<(), cnet_topology::TopologyError>(())
+    /// ```
+    pub fn shards(width: usize, count: usize) -> Result<Vec<Topology>, TopologyError> {
+        if count == 0 {
+            return Err(TopologyError::NoShards);
+        }
+        (0..count)
+            .map(|_| crate::constructions::bitonic(width))
+            .collect()
+    }
+
     /// The 1-based layer of `node` (Definition: layer `i` holds the
     /// nodes at distance `i - 1` links from the inputs).
     ///
@@ -563,6 +591,34 @@ mod tests {
         b.connect_counter(n, 0, 0).unwrap();
         b.connect_counter(n, 1, 1).unwrap();
         b.finalize().unwrap()
+    }
+
+    #[test]
+    fn shards_builds_equal_validated_networks() {
+        let shards = Topology::shards(4, 4).unwrap();
+        assert_eq!(shards.len(), 4);
+        for t in &shards {
+            assert_eq!(t.output_width(), 4);
+            assert_eq!(t.input_width(), 4);
+            assert_eq!(t.depth(), 3); // bitonic(4)
+        }
+        // a single shard is just the plain construction
+        let one = Topology::shards(16, 1).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].output_width(), 16);
+    }
+
+    #[test]
+    fn shards_rejects_invalid_arguments() {
+        assert_eq!(Topology::shards(4, 0).unwrap_err(), TopologyError::NoShards);
+        assert_eq!(
+            Topology::shards(3, 2).unwrap_err(),
+            TopologyError::WidthNotPowerOfTwo { width: 3 }
+        );
+        assert_eq!(
+            Topology::shards(1, 2).unwrap_err(),
+            TopologyError::WidthNotPowerOfTwo { width: 1 }
+        );
     }
 
     #[test]
