@@ -8,8 +8,8 @@ use cnet_adversary::{
     SearchConfig,
 };
 use cnet_engine::{
-    ArrivalProcess, Backend, BalancerKind, CombiningConfig, EliminationConfig, MpBackend, MpConfig,
-    RoutePolicy, ShmBackend, SimBackend,
+    ArrivalProcess, AsyncBackend, AsyncConfig, Backend, BalancerKind, CombiningConfig,
+    EliminationConfig, MpBackend, MpConfig, RoutePolicy, ShmBackend, SimBackend,
 };
 use cnet_harness::{run_jobs_report, GridReport, Job, ResultTable, RunRecord};
 use cnet_proteus::{SimConfig, WaitMode, Workload};
@@ -389,9 +389,24 @@ fn frontend_param(suffix: &str, default: usize, name: &str) -> Result<usize, Cli
         .ok_or_else(|| CliError::usage(format!("bad backend parameter in `{name}` (want `:N`)")))
 }
 
+/// Validates that `s` shards can split `width` into power-of-two
+/// per-shard widths `>= 2` (the [`ShmBackend::shard`] /
+/// [`AsyncBackend::shard`] contract), so the CLI errors before the
+/// constructor panics.
+fn check_shard_split(width: usize, s: usize, name: &str) -> Result<(), CliError> {
+    if !width.is_multiple_of(s) || width / s < 2 || !(width / s).is_power_of_two() {
+        return Err(CliError::usage(format!(
+            "`{name}`: {s} shards cannot split width {width} \
+             into powers of two >= 2"
+        )));
+    }
+    Ok(())
+}
+
 /// `cnet run` — one seeded workload executed through the engine on one
 /// or more backends (`sim` | `shm` | `shm-batch[:K]` | `shm-shard[:S]`
-/// | `mp` | `mp-elim`), compared side by side.
+/// | `mp` | `mp-elim` | `async` | `async-batch[:K]` | `async-shard[:S]`
+/// | `async-mp`), compared side by side.
 ///
 /// All backends share the workload and seed; the simulator reports in
 /// simulated cycles, the native backends in logical-clock ticks, so the
@@ -460,13 +475,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
             }
             other if other.starts_with("shm-shard") => {
                 let s = frontend_param(&other["shm-shard".len()..], 4, other)?;
-                let width = net.output_width();
-                if width % s != 0 || width / s < 2 || !(width / s).is_power_of_two() {
-                    return Err(CliError::usage(format!(
-                        "`{other}`: {s} shards cannot split width {width} \
-                         into powers of two >= 2"
-                    )));
-                }
+                check_shard_split(net.output_width(), s, other)?;
                 ShmBackend::shard(
                     &net,
                     BalancerKind::WaitFree,
@@ -476,24 +485,70 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
                 )
                 .run(&workload)
             }
+            "async" => {
+                AsyncBackend::network(&net, BalancerKind::WaitFree, AsyncConfig::default(), seed)
+                    .run(&workload)
+            }
+            "async-mp" => {
+                AsyncBackend::mp(&net, MpConfig { hop_spin }, AsyncConfig::default(), seed)
+                    .run(&workload)
+            }
+            other if other.starts_with("async-batch") => {
+                let k = frontend_param(&other["async-batch".len()..], 8, other)? as u64;
+                let config = CombiningConfig {
+                    slots: workload.processors.max(1),
+                    max_batch: k,
+                    ..CombiningConfig::default()
+                };
+                AsyncBackend::batch(
+                    &net,
+                    BalancerKind::WaitFree,
+                    config,
+                    AsyncConfig::default(),
+                    seed,
+                )
+                .run(&workload)
+            }
+            other if other.starts_with("async-shard") => {
+                let s = frontend_param(&other["async-shard".len()..], 4, other)?;
+                check_shard_split(net.output_width(), s, other)?;
+                AsyncBackend::shard(
+                    &net,
+                    BalancerKind::WaitFree,
+                    RoutePolicy::RoundRobin,
+                    s,
+                    AsyncConfig::default(),
+                    seed,
+                )
+                .run(&workload)
+            }
             other => {
                 return Err(CliError::usage(format!(
-                    "unknown backend `{other}` (sim|shm|shm-batch[:K]|shm-shard[:S]|mp|mp-elim)"
+                    "unknown backend `{other}` (sim|shm|shm-batch[:K]|shm-shard[:S]|mp|mp-elim\
+                     |async|async-batch[:K]|async-shard[:S]|async-mp)"
                 )))
             }
         };
         if let Some(m) = &outcome.frontend {
-            let line = match outcome.backend {
-                "shm-batch" => format!(
-                    "shm-batch: avg batch {:.2}, combiner occupancy {}",
+            let line = if outcome.backend.ends_with("batch") {
+                format!(
+                    "{}: avg batch {:.2}, combiner occupancy {}",
+                    outcome.backend,
                     m.avg_batch(),
                     cnet_harness::percent(m.combiner_occupancy())
-                ),
-                "shm-shard" => format!("shm-shard: shard imbalance {:.3}", m.shard_imbalance()),
-                _ => format!(
-                    "mp-elim: elimination hit rate {}",
+                )
+            } else if outcome.backend.ends_with("shard") {
+                format!(
+                    "{}: shard imbalance {:.3}",
+                    outcome.backend,
+                    m.shard_imbalance()
+                )
+            } else {
+                format!(
+                    "{}: elimination hit rate {}",
+                    outcome.backend,
                     cnet_harness::percent(m.elimination_hit_rate())
-                ),
+                )
             };
             telemetry.push(line);
         }
@@ -512,7 +567,10 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
                 .to_string(),
                 if outcome.has_step_property() {
                     "ok"
-                } else if matches!(outcome.backend, "shm-batch" | "shm-shard" | "mp-elim") {
+                } else if matches!(
+                    outcome.backend,
+                    "shm-batch" | "shm-shard" | "mp-elim" | "async-batch" | "async-shard"
+                ) {
                     // frontends trade the exact quiescent step for
                     // throughput by design; that is not a failure
                     "relaxed"
@@ -549,6 +607,112 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         out,
         "\ntimes: sim in simulated cycles, shm/mp in host wall-clock / logical ticks"
     );
+    Ok(out)
+}
+
+/// `cnet saturate` — sweep open-loop arrival gaps over the async
+/// executor and locate the network's saturation knee.
+///
+/// The in-process face of the saturation atlas (`cnet-bench --bin
+/// saturation`): one topology, one client-arena size, the standard gap
+/// ladder from far-subcritical down past the service rate. Each gap
+/// reports the schema-v5 open-loop block (offered/achieved rate, lag
+/// ratio, sojourn quantiles); the knee is the smallest gap whose
+/// completions stayed within 1.25× of the arrival span.
+pub fn saturate(args: &ParsedArgs) -> Result<String, CliError> {
+    /// Same ladder as the atlas bench, subcritical first.
+    const GAPS: [u64; 8] = [16_000, 4_000, 1_000, 500, 250, 125, 60, 30];
+    const TOLERANCE: f64 = 1.25;
+    let net = build_network(args)?;
+    let kind = args.positional(0, "kind")?.to_string();
+    let clients = args.u64_opt("n")?.unwrap_or(256) as usize;
+    let ops = args.u64_opt("ops")?.unwrap_or(2000) as usize;
+    let seed = args.u64_opt("seed")?.unwrap_or(1);
+    let workers = args.u64_opt("threads")?.unwrap_or(2) as usize;
+    let config = AsyncConfig {
+        workers,
+        ..AsyncConfig::default()
+    };
+    let mut table = ResultTable::new(
+        format!("saturation sweep ({kind}, n={clients}, {ops} ops per gap, async backend)"),
+        &[
+            "offered kops/s",
+            "achieved kops/s",
+            "lag",
+            "p50 us",
+            "p99 us",
+            "saturated",
+        ],
+    );
+    let mut records = Vec::new();
+    let mut knee: Option<(u64, f64)> = None;
+    for &gap in &GAPS {
+        let workload = Workload {
+            total_ops: ops,
+            wait_mode: WaitMode::Fixed,
+            arrival: ArrivalProcess::Open { mean_gap: gap },
+            ..Workload::paper(clients, 0, 0)
+        };
+        let outcome =
+            AsyncBackend::network(&net, BalancerKind::WaitFree, config, seed).run(&workload);
+        let open = outcome
+            .open_loop
+            .as_ref()
+            .expect("open-loop async runs carry telemetry");
+        if !open.is_saturated(TOLERANCE) && knee.is_none_or(|(g, _)| gap < g) {
+            knee = Some((gap, open.offered_rate()));
+        }
+        table.push_row(
+            format!("gap={gap}ns"),
+            vec![
+                format!("{:.1}", open.offered_rate() / 1e3),
+                format!("{:.1}", open.achieved_rate() / 1e3),
+                format!("{:.3}", open.lag_ratio()),
+                format!(
+                    "{:.1}",
+                    open.latency.quantile_upper_bound(0.50) as f64 / 1e3
+                ),
+                format!(
+                    "{:.1}",
+                    open.latency.quantile_upper_bound(0.99) as f64 / 1e3
+                ),
+                if open.is_saturated(TOLERANCE) {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
+            ],
+        );
+        records.push(RunRecord::from_outcome(
+            format!("gap={gap}ns"),
+            kind.clone(),
+            &workload,
+            seed,
+            &outcome,
+        ));
+    }
+    let grid = GridReport {
+        title: "cnet saturate".to_string(),
+        base_seed: seed,
+        threads: workers,
+        wall_ms: records.iter().map(|r| r.wall_ms).sum(),
+        records,
+    };
+    write_json(args, &grid.to_value())?;
+    let mut out = table.to_text();
+    match knee {
+        Some((gap, offered)) => {
+            let _ = writeln!(
+                out,
+                "knee: gap={gap}ns ({:.1} kops/s offered) — smallest gap with lag <= {TOLERANCE}",
+                offered / 1e3
+            );
+        }
+        None => {
+            let _ = writeln!(out, "knee: none (every gap saturated at lag > {TOLERANCE})");
+        }
+    }
     Ok(out)
 }
 
@@ -930,6 +1094,82 @@ mod tests {
         .unwrap();
         assert!(out.contains("shm-batch"), "{out}");
         assert!(out.contains("shm-shard"), "{out}");
+    }
+
+    #[test]
+    fn run_async_backends_compare_cleanly() {
+        let out = run(&parse(&[
+            "bitonic",
+            "16",
+            "--backend",
+            "async,async-batch:4,async-shard:4,async-mp",
+            "--n",
+            "8",
+            "--ops",
+            "200",
+        ]))
+        .unwrap();
+        for backend in ["async", "async-batch", "async-shard", "async-mp"] {
+            assert!(
+                out.lines().any(|l| l.starts_with(backend)),
+                "missing {backend} row:\n{out}"
+            );
+        }
+        assert!(!out.contains("FAIL"), "{out}");
+    }
+
+    #[test]
+    fn run_async_with_open_arrivals() {
+        let out = run(&parse(&[
+            "bitonic",
+            "4",
+            "--backend",
+            "async",
+            "--n",
+            "4",
+            "--ops",
+            "150",
+            "--open",
+            "300",
+        ]))
+        .unwrap();
+        assert!(out.lines().any(|l| l.starts_with("async")), "{out}");
+        assert!(!out.contains("FAIL"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_bad_async_shard_split() {
+        assert!(run(&parse(&["bitonic", "4", "--backend", "async-shard:4"])).is_err());
+    }
+
+    #[test]
+    fn saturate_locates_a_knee_and_writes_grid_json() {
+        let dir = std::env::temp_dir().join("cnet-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("saturate.json");
+        let out = saturate(&parse(&[
+            "bitonic",
+            "4",
+            "--n",
+            "8",
+            "--ops",
+            "300",
+            "--seed",
+            "7",
+            "--json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("saturation sweep"), "{out}");
+        assert!(out.contains("knee:"), "{out}");
+        use serde::Deserialize as _;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let grid = GridReport::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(grid.records.len(), 8, "one record per swept gap");
+        assert!(
+            grid.records.iter().all(|r| r.open_loop.is_some()),
+            "every record carries the open-loop block"
+        );
     }
 
     #[test]

@@ -1,0 +1,728 @@
+//! The cooperative async backend: millions of logical clients on a
+//! handful of OS threads.
+//!
+//! Every other native backend pins one OS thread per logical client,
+//! which caps "clients" at what the host can schedule — thousands,
+//! not the millions the ROADMAP north-star asks about. This module
+//! inverts the mapping: each client is a tiny hand-rolled state
+//! machine (a [`std::future::Future`] with no waker machinery, no
+//! `tokio`, no allocation per operation) living in one contiguous
+//! arena, and a small worker pool polls them cooperatively. A client
+//! costs tens of bytes, so `10^6+` clients fit in one process.
+//!
+//! # Execution model: turn-sequenced admission
+//!
+//! Operation `i` of the workload is statically assigned to client
+//! `i % n_clients`, and a single `committed` sequence counter admits
+//! operations into the network **in op-index order**: a client's poll
+//! returns `Pending` until `committed == i`, then performs the
+//! traversal synchronously and publishes `committed = i + 1`. Workers
+//! overlap everything *around* the traversal (arrival waits, spin
+//! draws, bookkeeping) while the traversal tail itself is serialized.
+//!
+//! Three properties fall out by construction:
+//!
+//! * **Determinism.** The network sees one serial token stream in a
+//!   fixed order, so returned values and logical-clock brackets
+//!   (op `i` spans ticks `2i..2i+1`) are identical regardless of
+//!   worker-pool size or client chunking — the property the
+//!   determinism proptest pins.
+//! * **Closed-loop client order.** Op `i − n_clients` (the same
+//!   client's previous op) always commits before op `i`, so no client
+//!   ever has two operations in flight.
+//! * **Deadlock freedom.** By induction on the smallest uncommitted
+//!   op `i`: every earlier op has committed, so the worker owning
+//!   client `i % n_clients` has finished all its earlier turns and is
+//!   polling exactly op `i`, which is admissible.
+//!
+//! Fairness is the scheduler's: each worker sweeps its clients in
+//! ascending id order once per round, which is exactly the global
+//! admission order restricted to its ownership — a worker is always
+//! polling the one client that can make progress next, so no client
+//! starves and no poll is wasted. Waiting polls back off
+//! spin-then-[`std::thread::yield_now`], which keeps single-CPU hosts
+//! (like CI runners) live.
+//!
+//! Because admission is serialized, Definition 2.4 violations are
+//! structurally zero here — the async backend measures *latency under
+//! offered load* (the saturation atlas), not overlap anomalies. Its
+//! outcomes are the only ones carrying [`RunOutcome::open_loop`]:
+//! per-operation completion instants in nanoseconds against the
+//! seeded arrival schedule, windowed by `cnet-obs`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::task::{Context, Poll, Waker};
+use std::time::Instant;
+
+use cnet_concurrent::audit::StressCounter;
+use cnet_concurrent::frontend::{CombiningConfig, CombiningCounter, RoutePolicy, ShardedCounter};
+use cnet_concurrent::mp::{MpConfig, MpNetwork};
+use cnet_concurrent::network::{BalancerKind, NetworkCounter};
+use cnet_proteus::{SimRng, WaitMode, Workload};
+use cnet_topology::{OutputCounts, Topology};
+
+use crate::driver::{self, SpinSite, Trace};
+use crate::schedule::{arrival_schedule, THREAD_STREAM};
+use crate::{Backend, RunOutcome};
+
+/// Polls a waiting client spins this many times before yielding the
+/// OS thread — long enough to catch a near-committed turn without a
+/// syscall, short enough that single-CPU hosts hand over promptly.
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// Tuning knobs for the cooperative executor.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncConfig {
+    /// OS threads polling the client arena (at least 1).
+    pub workers: usize,
+    /// Clients per contiguous chunk; chunks are dealt round-robin to
+    /// workers, so ownership interleaves at `chunk` granularity.
+    /// Determinism does not depend on this value — it only shapes
+    /// which worker hosts which client.
+    pub chunk: usize,
+    /// Equal-population windows in the outcome's
+    /// [`RunOutcome::open_loop`] telemetry (open-loop workloads only).
+    pub windows: usize,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            workers: 2,
+            chunk: 1024,
+            windows: 8,
+        }
+    }
+}
+
+/// Which substrate the cooperative clients traverse.
+#[derive(Debug, Clone, Copy)]
+enum Flavor {
+    /// [`NetworkCounter`] over the backend's topology (the compiled
+    /// arena hot path).
+    Network(BalancerKind),
+    /// [`CombiningCounter`] over the backend's topology.
+    Batch(BalancerKind, CombiningConfig),
+    /// [`ShardedCounter`] over `count` bitonic shards.
+    Shard(BalancerKind, RoutePolicy, usize),
+    /// [`MpNetwork`]: the actor network, tokens as messages.
+    Mp(MpConfig),
+}
+
+/// Runs workloads by multiplexing `workload.processors` *logical*
+/// clients onto [`AsyncConfig::workers`] OS threads — the only
+/// backend where "processors" can plausibly be `10^6`.
+///
+/// The same seeded arrival schedules as the thread-per-client
+/// backends are replayed (same `ARRIVAL_STREAM`, nanoseconds of host
+/// time), so outcomes stay comparable with sim/shm/mp. See the
+/// module docs for the turn-sequenced execution model and its
+/// determinism guarantee.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncBackend<'a> {
+    topology: &'a Topology,
+    flavor: Flavor,
+    config: AsyncConfig,
+    seed: u64,
+}
+
+impl<'a> AsyncBackend<'a> {
+    /// A backend driving a [`NetworkCounter`] built over `topology`.
+    #[must_use]
+    pub fn network(
+        topology: &'a Topology,
+        kind: BalancerKind,
+        config: AsyncConfig,
+        seed: u64,
+    ) -> Self {
+        AsyncBackend {
+            topology,
+            flavor: Flavor::Network(kind),
+            config,
+            seed,
+        }
+    }
+
+    /// A backend driving a [`CombiningCounter`] (the flat-combining
+    /// frontend) over `topology`.
+    #[must_use]
+    pub fn batch(
+        topology: &'a Topology,
+        kind: BalancerKind,
+        combining: CombiningConfig,
+        config: AsyncConfig,
+        seed: u64,
+    ) -> Self {
+        AsyncBackend {
+            topology,
+            flavor: Flavor::Batch(kind, combining),
+            config,
+            seed,
+        }
+    }
+
+    /// A backend driving a [`ShardedCounter`] over `count` bitonic
+    /// shards whose widths sum to `topology`'s output width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` does not split the output width into
+    /// power-of-two per-shard widths `>= 2` (same contract as
+    /// [`crate::ShmBackend::shard`]).
+    #[must_use]
+    pub fn shard(
+        topology: &'a Topology,
+        kind: BalancerKind,
+        policy: RoutePolicy,
+        count: usize,
+        config: AsyncConfig,
+        seed: u64,
+    ) -> Self {
+        let width = topology.output_width();
+        assert!(count > 0, "at least one shard");
+        assert!(
+            width.is_multiple_of(count)
+                && (width / count) >= 2
+                && (width / count).is_power_of_two(),
+            "shard count {count} must split width {width} into powers of two >= 2"
+        );
+        AsyncBackend {
+            topology,
+            flavor: Flavor::Shard(kind, policy, count),
+            config,
+            seed,
+        }
+    }
+
+    /// A backend injecting tokens into a freshly spawned [`MpNetwork`]
+    /// (the actor substrate; its balancer/counter threads are the
+    /// network, the cooperative clients are the load).
+    #[must_use]
+    pub fn mp(topology: &'a Topology, mp: MpConfig, config: AsyncConfig, seed: u64) -> Self {
+        AsyncBackend {
+            topology,
+            flavor: Flavor::Mp(mp),
+            config,
+            seed,
+        }
+    }
+}
+
+/// State shared by every client and worker of one run.
+struct Shared<'a> {
+    counter: &'a (dyn StressCounter + 'a),
+    workload: &'a Workload,
+    /// Global logical clock: one tick on each side of every
+    /// traversal, the audit methodology of `cnet-concurrent::audit`.
+    clock: AtomicU64,
+    /// The admission turnstile: the op index allowed to traverse next.
+    committed: AtomicUsize,
+    /// Open-loop arrival instants (empty when closed).
+    arrivals: Vec<u64>,
+    epoch: Instant,
+    site: SpinSite,
+    n_clients: usize,
+}
+
+/// One operation's record as harvested from a client:
+/// `(client, op, start, end, value, completion_ns)`.
+type OpRecord = (usize, usize, u64, u64, u64, u64);
+
+/// One logical client: a hand-rolled future whose poll either waits
+/// (arrival instant not reached, or not its turn) or performs exactly
+/// one traversal. The worker harvests `done` after each completed op,
+/// so the client itself never allocates.
+struct ClientTask<'a> {
+    shared: &'a Shared<'a>,
+    id: usize,
+    /// Global index of this client's next assigned op
+    /// (`id`, `id + n`, `id + 2n`, …).
+    next_op: usize,
+    delayed: bool,
+    rng: SimRng,
+    done: Option<OpRecord>,
+}
+
+impl<'a> ClientTask<'a> {
+    fn new(shared: &'a Shared<'a>, id: usize, seed: u64) -> Self {
+        ClientTask {
+            shared,
+            id,
+            next_op: id,
+            delayed: shared.workload.is_delayed(id),
+            rng: SimRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(THREAD_STREAM)),
+            done: None,
+        }
+    }
+}
+
+impl Future for ClientTask<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let task = self.get_mut();
+        let sh = task.shared;
+        let op = task.next_op;
+        if op >= sh.workload.total_ops {
+            return Poll::Ready(());
+        }
+        if let Some(&at) = sh.arrivals.get(op) {
+            // open loop: this token may not enter before its instant
+            if (sh.epoch.elapsed().as_nanos() as u64) < at {
+                return Poll::Pending;
+            }
+        }
+        if sh.committed.load(Ordering::Acquire) != op {
+            return Poll::Pending;
+        }
+        // admitted: the traversal runs synchronously inside the poll
+        let spin = match sh.workload.wait_mode {
+            WaitMode::Fixed => {
+                if task.delayed {
+                    sh.workload.wait_cycles
+                } else {
+                    0
+                }
+            }
+            WaitMode::UniformRandom => {
+                if sh.workload.wait_cycles == 0 {
+                    0
+                } else {
+                    task.rng.inclusive(sh.workload.wait_cycles)
+                }
+            }
+        };
+        let per_node = match sh.site {
+            SpinSite::PerNode => spin,
+            SpinSite::PerOp => {
+                for _ in 0..spin {
+                    std::hint::spin_loop();
+                }
+                0
+            }
+        };
+        let start = sh.clock.fetch_add(1, Ordering::AcqRel);
+        let value = sh.counter.next_stressed(task.id, per_node);
+        let end = sh.clock.fetch_add(1, Ordering::AcqRel);
+        let completed_ns = sh.epoch.elapsed().as_nanos() as u64;
+        sh.committed.store(op + 1, Ordering::Release);
+        task.done = Some((task.id, op, start, end, value, completed_ns));
+        task.next_op = op + sh.n_clients;
+        if task.next_op >= sh.workload.total_ops {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// One worker's loop: sweep the owned clients in ascending id order,
+/// driving each through exactly one op per round. Because the global
+/// admission order *is* round-major client-minor, the client under
+/// the cursor is always the worker's next admissible one — so a
+/// `Pending` poll means "someone else's turn or arrival pending", and
+/// the worker backs off in place rather than scanning.
+fn run_worker(chunks: Vec<&mut [ClientTask<'_>]>, out: &mut Vec<OpRecord>) {
+    let mut cx = Context::from_waker(Waker::noop());
+    let mut live: Vec<&mut ClientTask<'_>> =
+        chunks.into_iter().flat_map(|c| c.iter_mut()).collect();
+    while !live.is_empty() {
+        let mut next_round = Vec::with_capacity(live.len());
+        for client in live {
+            let mut spins = 0u32;
+            let finished = loop {
+                match Pin::new(&mut *client).poll(&mut cx) {
+                    Poll::Ready(()) => break true,
+                    Poll::Pending => {
+                        if client.done.is_some() {
+                            break false;
+                        }
+                        spins += 1;
+                        if spins > SPINS_BEFORE_YIELD {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            };
+            if let Some(record) = client.done.take() {
+                out.push(record);
+            }
+            if !finished {
+                next_round.push(client);
+            }
+        }
+        live = next_round;
+    }
+}
+
+/// The executor: builds the client arena, deals chunks to workers,
+/// runs to quiescence, and reassembles the records **in op order** so
+/// trace token `i` is workload op `i` (which is what aligns the
+/// open-loop arrival and completion vectors).
+fn drive_async(
+    counter: &(dyn StressCounter + '_),
+    workload: &Workload,
+    seed: u64,
+    site: SpinSite,
+    config: AsyncConfig,
+) -> (Trace, Vec<u64>, Vec<u64>) {
+    if workload.processors == 0 || workload.total_ops == 0 {
+        return (
+            Trace {
+                operations: Vec::new(),
+                clock_end: 0,
+            },
+            Vec::new(),
+            Vec::new(),
+        );
+    }
+    let shared = Shared {
+        counter,
+        workload,
+        clock: AtomicU64::new(0),
+        committed: AtomicUsize::new(0),
+        arrivals: arrival_schedule(workload, seed),
+        epoch: Instant::now(),
+        site,
+        n_clients: workload.processors,
+    };
+    let mut arena: Vec<ClientTask<'_>> = (0..workload.processors)
+        .map(|id| ClientTask::new(&shared, id, seed))
+        .collect();
+    let workers = config.workers.max(1).min(workload.processors);
+    let chunk = config.chunk.max(1);
+    let mut records: Vec<OpRecord> = Vec::with_capacity(workload.total_ops);
+    std::thread::scope(|scope| {
+        let mut assignments: Vec<Vec<&mut [ClientTask<'_>]>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, c) in arena.chunks_mut(chunk).enumerate() {
+            assignments[i % workers].push(c);
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for chunks in assignments {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                run_worker(chunks, &mut out);
+                out
+            }));
+        }
+        for h in handles {
+            records.extend(h.join().expect("async worker panicked"));
+        }
+    });
+    drop(arena);
+    records.sort_unstable_by_key(|&(_, op, ..)| op);
+    let mut operations = Vec::with_capacity(records.len());
+    let mut completions = Vec::with_capacity(records.len());
+    for (client, _, start, end, value, completed_ns) in records {
+        operations.push((client, start, end, value));
+        completions.push(completed_ns);
+    }
+    let clock_end = shared.clock.load(Ordering::Acquire);
+    (
+        Trace {
+            operations,
+            clock_end,
+        },
+        shared.arrivals,
+        completions,
+    )
+}
+
+impl AsyncBackend<'_> {
+    /// Runs `counter` under the cooperative executor and assembles the
+    /// full outcome, including the open-loop telemetry block on
+    /// open-loop workloads.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        counter: &(dyn StressCounter + '_),
+        workload: &Workload,
+        counts_of: impl FnOnce(&Trace) -> OutputCounts,
+        input_width: usize,
+        metrics_of: impl FnOnce() -> Option<cnet_obs::MetricsSnapshot>,
+        frontend_of: impl FnOnce() -> Option<cnet_obs::FrontendMetrics>,
+        started: Instant,
+    ) -> RunOutcome {
+        let (trace, arrivals, completions) =
+            drive_async(counter, workload, self.seed, self.spin_site(), self.config);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        // snapshot export stays outside the timed window, like every
+        // other backend's recorder freeze
+        let metrics = metrics_of();
+        let frontend = frontend_of();
+        let counts = counts_of(&trace);
+        let stats = driver::stats_from_trace(trace, counts, input_width, metrics);
+        let open_loop = if workload.is_open_loop() && !stats.operations.is_empty() {
+            let tokens = cnet_timing::linearizability::nonlinearizable_tokens(&stats.operations);
+            Some(cnet_obs::open_loop_metrics(
+                &arrivals,
+                &completions,
+                &tokens,
+                self.config.windows,
+            ))
+        } else {
+            None
+        };
+        RunOutcome {
+            backend: self.name(),
+            stats,
+            wall_ms,
+            frontend,
+            open_loop,
+        }
+    }
+
+    fn spin_site(&self) -> SpinSite {
+        match self.flavor {
+            // the actor network's per-hop delay is fixed at spawn time,
+            // so the delayed fraction spins client-side, like MpBackend
+            Flavor::Mp(_) => SpinSite::PerOp,
+            _ => SpinSite::PerNode,
+        }
+    }
+}
+
+impl Backend for AsyncBackend<'_> {
+    fn name(&self) -> &'static str {
+        match self.flavor {
+            Flavor::Network(_) => "async",
+            Flavor::Batch(..) => "async-batch",
+            Flavor::Shard(..) => "async-shard",
+            Flavor::Mp(_) => "async-mp",
+        }
+    }
+
+    fn run(&self, workload: &Workload) -> RunOutcome {
+        driver::validated(workload);
+        match self.flavor {
+            Flavor::Network(kind) => {
+                let counter = NetworkCounter::with_kind(self.topology, kind);
+                let started = Instant::now();
+                self.finish(
+                    &counter,
+                    workload,
+                    |_| counter.output_counts().into_iter().collect(),
+                    counter.input_width(),
+                    || counter.metrics_snapshot(workload.wait_cycles),
+                    || None,
+                    started,
+                )
+            }
+            Flavor::Batch(kind, combining) => {
+                let counter = CombiningCounter::with_kind(self.topology, kind, combining);
+                let started = Instant::now();
+                self.finish(
+                    &counter,
+                    workload,
+                    |_| counter.output_counts().into_iter().collect(),
+                    counter.input_width(),
+                    || counter.metrics_snapshot(workload.wait_cycles),
+                    || counter.frontend_metrics(),
+                    started,
+                )
+            }
+            Flavor::Shard(kind, policy, count) => {
+                let shard_width = self.topology.output_width() / count;
+                let shards = Topology::shards(shard_width, count)
+                    .expect("shard arguments validated at construction");
+                let counter = ShardedCounter::with_kind(&shards, kind, policy);
+                let started = Instant::now();
+                self.finish(
+                    &counter,
+                    workload,
+                    |_| crate::shm::interleave_shard_counts(counter.output_counts(), count),
+                    shard_width,
+                    || counter.shard_metrics(0, workload.wait_cycles),
+                    || counter.frontend_metrics(),
+                    started,
+                )
+            }
+            Flavor::Mp(mp) => {
+                let net = MpNetwork::spawn(self.topology, mp);
+                let started = Instant::now();
+                let width = self.topology.output_width();
+                self.finish(
+                    &net,
+                    workload,
+                    |trace| {
+                        // the counter threads own their totals;
+                        // reconstruct from the returned values
+                        let mut counts = OutputCounts::zeros(width);
+                        for &(_, _, _, value) in &trace.operations {
+                            counts.increment((value % width.max(1) as u64) as usize);
+                        }
+                        counts
+                    },
+                    net.input_width(),
+                    || net.metrics_snapshot(workload.wait_cycles),
+                    || None,
+                    started,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_proteus::ArrivalProcess;
+    use cnet_topology::constructions;
+
+    fn workload(clients: usize, ops: usize) -> Workload {
+        Workload {
+            total_ops: ops,
+            ..Workload::paper(clients, 0, 0)
+        }
+    }
+
+    fn cfg(workers: usize, chunk: usize) -> AsyncConfig {
+        AsyncConfig {
+            workers,
+            chunk,
+            windows: 4,
+        }
+    }
+
+    #[test]
+    fn network_flavor_counts_exactly_with_more_clients_than_workers() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = AsyncBackend::network(&net, BalancerKind::WaitFree, cfg(2, 16), 3)
+            .run(&workload(100, 500));
+        assert_eq!(outcome.backend, "async");
+        assert_eq!(outcome.stats.operations.len(), 500);
+        assert!(outcome.counts_exactly());
+        assert!(outcome.has_step_property());
+        assert_eq!(outcome.stats.output_counts.total(), 500);
+        // serialized admission: zero Definition 2.4 violations
+        assert_eq!(outcome.stats.nonlinearizable, 0);
+    }
+
+    #[test]
+    fn trace_is_in_op_order_with_serial_clock_brackets() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = AsyncBackend::network(&net, BalancerKind::WaitFree, cfg(3, 8), 9)
+            .run(&workload(64, 300));
+        for (i, op) in outcome.stats.operations.iter().enumerate() {
+            assert_eq!(op.token, i);
+            assert_eq!(op.start, 2 * i as u64);
+            assert_eq!(op.end, 2 * i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn closed_loop_clients_take_turns_round_robin() {
+        let net = constructions::bitonic(2).unwrap();
+        let outcome = AsyncBackend::network(&net, BalancerKind::WaitFree, cfg(2, 4), 1)
+            .run(&workload(10, 35));
+        // op i belongs to client i % 10 by static assignment
+        for (i, &client) in outcome.stats.completed_by.iter().enumerate() {
+            assert_eq!(client, i % 10);
+        }
+    }
+
+    #[test]
+    fn open_loop_outcomes_carry_telemetry() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome =
+            AsyncBackend::network(&net, BalancerKind::WaitFree, cfg(2, 8), 11).run(&Workload {
+                total_ops: 200,
+                arrival: ArrivalProcess::Open { mean_gap: 100 },
+                ..Workload::paper(32, 0, 0)
+            });
+        assert_eq!(outcome.stats.operations.len(), 200);
+        assert!(outcome.counts_exactly());
+        let ol = outcome.open_loop.expect("open-loop runs carry telemetry");
+        assert_eq!(ol.latency.count(), 200);
+        assert_eq!(ol.windows.len(), 4);
+        assert!(ol.lag_ratio() >= 1.0);
+        assert!(outcome.stats.operations.len() == 200 && ol.violations == 0);
+    }
+
+    #[test]
+    fn closed_loop_outcomes_have_no_telemetry_block() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = AsyncBackend::network(&net, BalancerKind::WaitFree, cfg(1, 64), 2)
+            .run(&workload(16, 100));
+        assert!(outcome.open_loop.is_none());
+    }
+
+    #[test]
+    fn batch_flavor_counts_exactly() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome = AsyncBackend::batch(
+            &net,
+            BalancerKind::WaitFree,
+            CombiningConfig::default(),
+            cfg(2, 8),
+            3,
+        )
+        .run(&workload(50, 400));
+        assert_eq!(outcome.backend, "async-batch");
+        assert!(outcome.counts_exactly());
+        assert_eq!(outcome.stats.output_counts.total(), 400);
+    }
+
+    #[test]
+    fn shard_flavor_counts_exactly() {
+        let net = constructions::bitonic(16).unwrap();
+        let outcome = AsyncBackend::shard(
+            &net,
+            BalancerKind::WaitFree,
+            RoutePolicy::RoundRobin,
+            4,
+            cfg(2, 8),
+            7,
+        )
+        .run(&workload(50, 400));
+        assert_eq!(outcome.backend, "async-shard");
+        assert!(outcome.counts_exactly());
+        assert_eq!(outcome.stats.output_counts.total(), 400);
+        assert_eq!(outcome.stats.output_counts.width(), 16);
+    }
+
+    #[test]
+    fn mp_flavor_counts_exactly() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome =
+            AsyncBackend::mp(&net, MpConfig::default(), cfg(2, 8), 5).run(&workload(40, 200));
+        assert_eq!(outcome.backend, "async-mp");
+        assert!(outcome.counts_exactly());
+        assert!(outcome.has_step_property());
+    }
+
+    #[test]
+    fn delayed_fraction_and_bursty_arrivals_stay_correct() {
+        let net = constructions::bitonic(4).unwrap();
+        let outcome =
+            AsyncBackend::network(&net, BalancerKind::Locked, cfg(2, 8), 13).run(&Workload {
+                total_ops: 150,
+                arrival: ArrivalProcess::Bursty { burst: 8, gap: 500 },
+                ..Workload::paper(24, 50, 100)
+            });
+        assert!(outcome.counts_exactly());
+    }
+
+    #[test]
+    fn zero_work_degenerates_safely() {
+        let net = constructions::bitonic(4).unwrap();
+        let b = AsyncBackend::network(&net, BalancerKind::WaitFree, cfg(2, 8), 1);
+        assert!(b.run(&workload(0, 100)).stats.operations.is_empty());
+        assert!(b.run(&workload(8, 0)).stats.operations.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_gap >= 1")]
+    fn degenerate_open_gap_is_rejected() {
+        let net = constructions::bitonic(4).unwrap();
+        let _ = AsyncBackend::network(&net, BalancerKind::WaitFree, cfg(1, 8), 1).run(&Workload {
+            arrival: ArrivalProcess::Open { mean_gap: 0 },
+            ..Workload::paper(4, 0, 0)
+        });
+    }
+}

@@ -12,17 +12,26 @@ use std::time::Instant;
 
 use cnet_concurrent::audit::StressCounter;
 use cnet_obs::MetricsSnapshot;
-use cnet_proteus::{ArrivalProcess, RunStats, SimRng, WaitMode, Workload};
+use cnet_proteus::{RunStats, SimRng, WaitMode, Workload};
 use cnet_timing::Operation;
 use cnet_topology::OutputCounts;
 
-/// Seed perturbation for the arrival-schedule stream; the same
-/// constant the simulator uses, so a given `(seed, workload)` pair
-/// draws the same gap sequence on every backend.
-const ARRIVAL_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+use crate::schedule::{arrival_schedule, THREAD_STREAM};
 
-/// Per-thread seed spread for `WaitMode::UniformRandom` draws.
-const THREAD_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
+/// Every backend's first move: reject degenerate workloads with the
+/// typed [`cnet_proteus::WorkloadError`] before any thread spawns.
+/// The fallible path is [`crate::Backend::try_run`]; `run` keeps its
+/// infallible signature by construction-checking here.
+///
+/// # Panics
+///
+/// Panics with the error's display text when the workload is
+/// degenerate.
+pub(crate) fn validated(workload: &Workload) {
+    if let Err(e) = workload.validate() {
+        panic!("invalid workload: {e}");
+    }
+}
 
 /// Where a native backend applies the workload's `W`.
 #[derive(Debug, Clone, Copy)]
@@ -44,42 +53,6 @@ pub(crate) enum SpinSite {
 pub(crate) struct Trace {
     pub operations: Vec<(usize, u64, u64, u64)>,
     pub clock_end: u64,
-}
-
-/// The open-loop arrival instants (nanoseconds from run start), empty
-/// for closed-loop workloads. Token `i` may not be injected before
-/// instant `i` — the native analogue of the simulator's lazily chained
-/// `StartOp` events, from the same gap formulas and seed stream.
-fn arrival_schedule(workload: &Workload, seed: u64) -> Vec<u64> {
-    if !workload.is_open_loop() {
-        return Vec::new();
-    }
-    let mut rng = SimRng::seed_from_u64(seed ^ ARRIVAL_STREAM);
-    let mut at = 0u64;
-    (0..workload.total_ops)
-        .map(|token| {
-            if token > 0 {
-                at += match workload.arrival {
-                    ArrivalProcess::Closed => 0,
-                    ArrivalProcess::Open { mean_gap } => {
-                        if mean_gap == 0 {
-                            0
-                        } else {
-                            rng.inclusive(mean_gap.saturating_mul(2))
-                        }
-                    }
-                    ArrivalProcess::Bursty { burst, gap } => {
-                        if token.is_multiple_of(burst.max(1) as usize) {
-                            gap
-                        } else {
-                            0
-                        }
-                    }
-                };
-            }
-            at
-        })
-        .collect()
 }
 
 /// Drives `workload.processors` client threads against `counter` until
@@ -227,40 +200,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn closed_loop_has_no_schedule() {
-        let w = Workload {
-            total_ops: 100,
-            ..Workload::paper(4, 0, 0)
-        };
-        assert!(arrival_schedule(&w, 7).is_empty());
-    }
-
-    #[test]
-    fn open_schedule_is_deterministic_and_monotone() {
-        let w = Workload {
-            total_ops: 50,
-            arrival: ArrivalProcess::Open { mean_gap: 300 },
-            ..Workload::paper(4, 0, 0)
-        };
-        let a = arrival_schedule(&w, 42);
-        let b = arrival_schedule(&w, 42);
-        assert_eq!(a, b);
-        assert_eq!(a.len(), 50);
-        assert_eq!(a[0], 0);
-        assert!(a.windows(2).all(|p| p[0] <= p[1]));
-        assert_ne!(a, arrival_schedule(&w, 43), "seed must matter");
-    }
-
-    #[test]
-    fn bursty_schedule_groups_arrivals() {
-        let w = Workload {
-            total_ops: 9,
-            arrival: ArrivalProcess::Bursty { burst: 3, gap: 100 },
+    #[should_panic(expected = "mean_gap >= 1")]
+    fn validated_rejects_degenerate_open_gap() {
+        use cnet_proteus::ArrivalProcess;
+        validated(&Workload {
+            arrival: ArrivalProcess::Open { mean_gap: 0 },
             ..Workload::paper(2, 0, 0)
-        };
-        assert_eq!(
-            arrival_schedule(&w, 1),
-            vec![0, 0, 0, 100, 100, 100, 200, 200, 200]
-        );
+        });
     }
 }

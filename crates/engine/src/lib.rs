@@ -13,12 +13,15 @@
 //! three names:
 //!
 //! * [`Backend`] — something that can execute a [`Workload`] against a
-//!   counting network and produce a [`RunOutcome`]. Three
+//!   counting network and produce a [`RunOutcome`]. Four
 //!   implementations ship: [`SimBackend`] (the deterministic
 //!   discrete-event simulator), [`ShmBackend`] (real threads over the
 //!   native-atomics counters, including the combining and sharded
-//!   elastic frontends), and [`MpBackend`] (real threads over the
-//!   message-passing network, optionally elimination-fronted).
+//!   elastic frontends), [`MpBackend`] (real threads over the
+//!   message-passing network, optionally elimination-fronted), and
+//!   [`AsyncBackend`] (a cooperative executor multiplexing millions of
+//!   logical clients onto a small worker pool — the only substrate
+//!   where "clients" can mean `10^6`).
 //! * [`Workload`] — re-exported from `cnet-proteus`, now carrying an
 //!   [`ArrivalProcess`]: the paper's closed loop, or open-loop /
 //!   bursty arrivals on a deterministic seeded schedule.
@@ -63,9 +66,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod async_exec;
 mod driver;
 mod mp;
 mod outcome;
+mod schedule;
 mod shm;
 mod sim;
 
@@ -73,8 +78,9 @@ pub use cnet_concurrent::frontend::{CombiningConfig, EliminationConfig, RoutePol
 pub use cnet_concurrent::mp::MpConfig;
 pub use cnet_concurrent::network::BalancerKind;
 pub use cnet_concurrent::tree::TreeConfig;
-pub use cnet_proteus::{ArrivalProcess, RunStats, SimConfig, WaitMode, Workload};
+pub use cnet_proteus::{ArrivalProcess, RunStats, SimConfig, WaitMode, Workload, WorkloadError};
 
+pub use async_exec::{AsyncBackend, AsyncConfig};
 pub use mp::MpBackend;
 pub use outcome::RunOutcome;
 pub use shm::ShmBackend;
@@ -96,5 +102,23 @@ pub trait Backend {
 
     /// Executes the workload to completion and returns the unified
     /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate workload ([`Workload::validate`]); use
+    /// [`Backend::try_run`] for the fallible path.
     fn run(&self, workload: &Workload) -> RunOutcome;
+
+    /// Validates the workload, then executes it — the fallible
+    /// counterpart of [`Backend::run`] for callers (the CLI, the
+    /// benches) that surface [`WorkloadError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WorkloadError`] naming the degenerate field,
+    /// without starting the run.
+    fn try_run(&self, workload: &Workload) -> Result<RunOutcome, WorkloadError> {
+        workload.validate()?;
+        Ok(self.run(workload))
+    }
 }

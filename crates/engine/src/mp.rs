@@ -82,6 +82,7 @@ impl Backend for MpBackend<'_> {
     }
 
     fn run(&self, workload: &Workload) -> RunOutcome {
+        driver::validated(workload);
         match self.flavor {
             Flavor::Plain => {
                 let net = MpNetwork::spawn(self.topology, self.config);
@@ -103,6 +104,7 @@ impl Backend for MpBackend<'_> {
                     stats,
                     wall_ms,
                     frontend: None,
+                    open_loop: None,
                 }
             }
             Flavor::Elim(elim) => {
@@ -122,6 +124,7 @@ impl Backend for MpBackend<'_> {
                     stats,
                     wall_ms,
                     frontend: net.frontend_metrics(),
+                    open_loop: None,
                 }
             }
         }

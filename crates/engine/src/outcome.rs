@@ -23,6 +23,12 @@ pub struct RunOutcome {
     /// routing) for the elastic-frontend backends. `None` on plain
     /// backends and on probe-free (`obs`-less) builds.
     pub frontend: Option<cnet_obs::FrontendMetrics>,
+    /// Open-loop telemetry — per-window sojourn latency against the
+    /// seeded arrival schedule, the saturation atlas's raw material.
+    /// Only [`crate::AsyncBackend`] records per-op completion instants
+    /// (host nanoseconds), and only on open-loop workloads; `None`
+    /// everywhere else.
+    pub open_loop: Option<cnet_obs::OpenLoopMetrics>,
 }
 
 impl RunOutcome {
@@ -81,6 +87,7 @@ mod tests {
             },
             wall_ms: 0.0,
             frontend: None,
+            open_loop: None,
         }
     }
 

@@ -1,0 +1,97 @@
+//! The seeded arrival schedules shared by every native substrate.
+//!
+//! One `(seed, workload)` pair must mean one token stream no matter
+//! which backend replays it — that is what makes the differential
+//! suites meaningful. The schedule lives here, outside any one
+//! backend's run loop, so the thread-per-client driver and the
+//! cooperative async executor draw from exactly the same instants.
+
+use cnet_proteus::{ArrivalProcess, SimRng, Workload};
+
+/// Seed perturbation for the arrival-schedule stream; the same
+/// constant the simulator uses, so a given `(seed, workload)` pair
+/// draws the same gap sequence on every backend.
+pub(crate) const ARRIVAL_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Per-thread (or per-client) seed spread for
+/// `WaitMode::UniformRandom` draws.
+pub(crate) const THREAD_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// The open-loop arrival instants (nanoseconds from run start), empty
+/// for closed-loop workloads. Token `i` may not be injected before
+/// instant `i` — the native analogue of the simulator's lazily chained
+/// `StartOp` events, from the same gap formulas and seed stream.
+pub(crate) fn arrival_schedule(workload: &Workload, seed: u64) -> Vec<u64> {
+    if !workload.is_open_loop() {
+        return Vec::new();
+    }
+    let mut rng = SimRng::seed_from_u64(seed ^ ARRIVAL_STREAM);
+    let mut at = 0u64;
+    (0..workload.total_ops)
+        .map(|token| {
+            if token > 0 {
+                at += match workload.arrival {
+                    ArrivalProcess::Closed => 0,
+                    ArrivalProcess::Open { mean_gap } => {
+                        if mean_gap == 0 {
+                            0
+                        } else {
+                            rng.inclusive(mean_gap.saturating_mul(2))
+                        }
+                    }
+                    ArrivalProcess::Bursty { burst, gap } => {
+                        if token.is_multiple_of(burst.max(1) as usize) {
+                            gap
+                        } else {
+                            0
+                        }
+                    }
+                };
+            }
+            at
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_has_no_schedule() {
+        let w = Workload {
+            total_ops: 100,
+            ..Workload::paper(4, 0, 0)
+        };
+        assert!(arrival_schedule(&w, 7).is_empty());
+    }
+
+    #[test]
+    fn open_schedule_is_deterministic_and_monotone() {
+        let w = Workload {
+            total_ops: 50,
+            arrival: ArrivalProcess::Open { mean_gap: 300 },
+            ..Workload::paper(4, 0, 0)
+        };
+        let a = arrival_schedule(&w, 42);
+        let b = arrival_schedule(&w, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a[0], 0);
+        assert!(a.windows(2).all(|p| p[0] <= p[1]));
+        assert_ne!(a, arrival_schedule(&w, 43), "seed must matter");
+    }
+
+    #[test]
+    fn bursty_schedule_groups_arrivals() {
+        let w = Workload {
+            total_ops: 9,
+            arrival: ArrivalProcess::Bursty { burst: 3, gap: 100 },
+            ..Workload::paper(2, 0, 0)
+        };
+        assert_eq!(
+            arrival_schedule(&w, 1),
+            vec![0, 0, 0, 100, 100, 100, 200, 200, 200]
+        );
+    }
+}

@@ -126,7 +126,9 @@ impl<'a> ShmBackend<'a> {
         let width = topology.output_width();
         assert!(count > 0, "at least one shard");
         assert!(
-            width.is_multiple_of(count) && (width / count) >= 2 && (width / count).is_power_of_two(),
+            width.is_multiple_of(count)
+                && (width / count) >= 2
+                && (width / count).is_power_of_two(),
             "shard count {count} must split width {width} into powers of two >= 2"
         );
         ShmBackend {
@@ -135,6 +137,22 @@ impl<'a> ShmBackend<'a> {
             seed,
         }
     }
+}
+
+/// Re-indexes a [`ShardedCounter`]'s shard-major tallies into the
+/// natural counter order of the values it returns: the frontend labels
+/// a value `s + S·local`, so `value % (S·w)` is *interleaved* —
+/// residue class first, per-shard counter second. Shared with the
+/// async backend's shard flavor.
+pub(crate) fn interleave_shard_counts(shard_major: Vec<u64>, count: usize) -> OutputCounts {
+    let shard_width = shard_major.len() / count.max(1);
+    let mut interleaved = vec![0u64; shard_major.len()];
+    for s in 0..count {
+        for c in 0..shard_width {
+            interleaved[s + count * c] = shard_major[s * shard_width + c];
+        }
+    }
+    interleaved.into_iter().collect()
 }
 
 impl Backend for ShmBackend<'_> {
@@ -148,6 +166,7 @@ impl Backend for ShmBackend<'_> {
     }
 
     fn run(&self, workload: &Workload) -> RunOutcome {
+        driver::validated(workload);
         match self.flavor {
             Flavor::Reference(kind) => {
                 let counter = ReferenceCounter::with_kind(self.topology, kind);
@@ -166,6 +185,7 @@ impl Backend for ShmBackend<'_> {
                     stats,
                     wall_ms,
                     frontend: None,
+                    open_loop: None,
                 }
             }
             Flavor::Network(kind) => {
@@ -187,6 +207,7 @@ impl Backend for ShmBackend<'_> {
                     stats,
                     wall_ms,
                     frontend: None,
+                    open_loop: None,
                 }
             }
             Flavor::Tree(config) => {
@@ -208,6 +229,7 @@ impl Backend for ShmBackend<'_> {
                     stats,
                     wall_ms,
                     frontend: None,
+                    open_loop: None,
                 }
             }
             Flavor::Batch(kind, config) => {
@@ -223,6 +245,7 @@ impl Backend for ShmBackend<'_> {
                     stats,
                     wall_ms,
                     frontend: counter.frontend_metrics(),
+                    open_loop: None,
                 }
             }
             Flavor::Shard(kind, policy, count) => {
@@ -236,24 +259,14 @@ impl Backend for ShmBackend<'_> {
                 // contention metrics are per-shard; shard 0 is the
                 // representative (round-robin keeps loads within one op)
                 let metrics = counter.shard_metrics(0, workload.wait_cycles);
-                // the frontend labels a value `s + S·local`, so the
-                // natural counter index of `value % (S·w)` is
-                // *interleaved*: residue class first, per-shard counter
-                // second. Re-index the shard-major tallies to match.
-                let shard_major = counter.output_counts();
-                let mut interleaved = vec![0u64; shard_major.len()];
-                for s in 0..count {
-                    for c in 0..shard_width {
-                        interleaved[s + count * c] = shard_major[s * shard_width + c];
-                    }
-                }
-                let counts: OutputCounts = interleaved.into_iter().collect();
+                let counts = interleave_shard_counts(counter.output_counts(), count);
                 let stats = driver::stats_from_trace(trace, counts, shard_width, metrics);
                 RunOutcome {
                     backend: self.name(),
                     stats,
                     wall_ms,
                     frontend: counter.frontend_metrics(),
+                    open_loop: None,
                 }
             }
         }

@@ -42,6 +42,7 @@ impl Backend for SimBackend<'_> {
     }
 
     fn run(&self, workload: &Workload) -> RunOutcome {
+        crate::driver::validated(workload);
         let sim = Simulator::new(self.topology, self.config);
         let started = Instant::now();
         let (mut stats, recorder) = sim.run_instrumented(workload);
@@ -52,6 +53,7 @@ impl Backend for SimBackend<'_> {
             stats,
             wall_ms,
             frontend: None,
+            open_loop: None,
         }
     }
 }

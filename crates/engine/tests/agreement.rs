@@ -1,12 +1,12 @@
-//! Differential agreement across the three execution backends.
+//! Differential agreement across the four execution backends.
 //!
 //! The engine's contract is that a counting network is a counting
 //! network regardless of substrate: the simulator, the shared-memory
-//! counters, and the message-passing network must all produce histories
-//! that count exactly and final totals with the step property, for the
-//! *same* seeded workload. Timing (and therefore linearizability
-//! violations) legitimately differs between substrates; the semantic
-//! invariants may not.
+//! counters, the message-passing network, and the cooperative async
+//! executor must all produce histories that count exactly and final
+//! totals with the step property, for the *same* seeded workload.
+//! Timing (and therefore linearizability violations) legitimately
+//! differs between substrates; the semantic invariants may not.
 //!
 //! Failures print `reproduce with CNET_TEST_SEED=<seed>` via
 //! [`cnet_concurrent::testcfg::with_seed_report`]; set that variable to
@@ -15,18 +15,21 @@
 use cnet_concurrent::mp::MpConfig;
 use cnet_concurrent::network::BalancerKind;
 use cnet_concurrent::testcfg;
-use cnet_engine::{ArrivalProcess, Backend, MpBackend, ShmBackend, SimBackend, Workload};
+use cnet_engine::{
+    ArrivalProcess, AsyncBackend, AsyncConfig, Backend, MpBackend, ShmBackend, SimBackend, Workload,
+};
 use cnet_proteus::SimConfig;
 use cnet_topology::constructions;
 
-/// Runs `workload` through all three backends over the same topology
+/// Runs `workload` through all four backends over the same topology
 /// and audits every history against the backend-independent invariants.
 fn assert_backends_agree(workload: &Workload, seed: u64) {
     let net = constructions::bitonic(8).expect("valid width");
-    let backends: [&dyn Backend; 3] = [
+    let backends: [&dyn Backend; 4] = [
         &SimBackend::new(&net, SimConfig::queue_lock(seed)),
         &ShmBackend::network(&net, BalancerKind::WaitFree, seed),
         &MpBackend::new(&net, MpConfig::default(), seed),
+        &AsyncBackend::network(&net, BalancerKind::WaitFree, AsyncConfig::default(), seed),
     ];
     for backend in backends {
         let outcome = backend.run(workload);
@@ -53,6 +56,22 @@ fn assert_backends_agree(workload: &Workload, seed: u64) {
             "backend `{}` counter totals disagree with the op count",
             outcome.backend
         );
+        // Def-2.4 exactness: the stored violation count is the sweep's
+        // answer for this trace, recomputable bit-for-bit
+        assert_eq!(
+            outcome.stats.nonlinearizable,
+            cnet_timing::linearizability::count_nonlinearizable(&outcome.stats.operations),
+            "backend `{}` reported a stale Definition 2.4 count",
+            outcome.backend
+        );
+        // the async executor serializes admission, so its histories are
+        // linearizable by construction
+        if outcome.backend.starts_with("async") {
+            assert_eq!(
+                outcome.stats.nonlinearizable, 0,
+                "turn-sequenced admission cannot produce overlap anomalies"
+            );
+        }
     }
 }
 

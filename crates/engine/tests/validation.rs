@@ -1,0 +1,96 @@
+//! Degenerate-workload rejection, per backend.
+//!
+//! `ArrivalProcess::Open { mean_gap: 0 }` and `Bursty { burst: 0, .. }`
+//! used to fall through into degenerate schedules (an all-zero gap
+//! stream, a burst that schedules nothing). Every backend now rejects
+//! them with the typed [`WorkloadError`] before any thread spawns:
+//! [`Backend::try_run`] returns the error, [`Backend::run`] panics
+//! with its display text.
+
+use cnet_concurrent::mp::MpConfig;
+use cnet_concurrent::network::BalancerKind;
+use cnet_engine::{
+    ArrivalProcess, AsyncBackend, AsyncConfig, Backend, MpBackend, ShmBackend, SimBackend,
+    Workload, WorkloadError,
+};
+use cnet_proteus::SimConfig;
+use cnet_topology::{constructions, Topology};
+
+fn zero_gap() -> Workload {
+    Workload {
+        total_ops: 10,
+        arrival: ArrivalProcess::Open { mean_gap: 0 },
+        ..Workload::paper(2, 0, 0)
+    }
+}
+
+fn zero_burst() -> Workload {
+    Workload {
+        total_ops: 10,
+        arrival: ArrivalProcess::Bursty { burst: 0, gap: 100 },
+        ..Workload::paper(2, 0, 0)
+    }
+}
+
+fn assert_rejects(backend: &dyn Backend) {
+    assert_eq!(
+        backend.try_run(&zero_gap()).err(),
+        Some(WorkloadError::ZeroMeanGap),
+        "backend `{}` accepted a zero mean gap",
+        backend.name()
+    );
+    assert_eq!(
+        backend.try_run(&zero_burst()).err(),
+        Some(WorkloadError::ZeroBurst),
+        "backend `{}` accepted a zero burst",
+        backend.name()
+    );
+    // and a well-formed workload still runs
+    let ok = backend
+        .try_run(&Workload {
+            total_ops: 20,
+            ..Workload::paper(2, 0, 0)
+        })
+        .expect("well-formed workloads pass validation");
+    assert_eq!(ok.stats.operations.len(), 20);
+}
+
+fn net() -> Topology {
+    constructions::bitonic(4).expect("valid width")
+}
+
+#[test]
+fn sim_backend_rejects_degenerate_arrivals() {
+    let net = net();
+    assert_rejects(&SimBackend::new(&net, SimConfig::queue_lock(1)));
+}
+
+#[test]
+fn shm_backend_rejects_degenerate_arrivals() {
+    let net = net();
+    assert_rejects(&ShmBackend::network(&net, BalancerKind::WaitFree, 1));
+}
+
+#[test]
+fn mp_backend_rejects_degenerate_arrivals() {
+    let net = net();
+    assert_rejects(&MpBackend::new(&net, MpConfig::default(), 1));
+}
+
+#[test]
+fn async_backend_rejects_degenerate_arrivals() {
+    let net = net();
+    assert_rejects(&AsyncBackend::network(
+        &net,
+        BalancerKind::WaitFree,
+        AsyncConfig::default(),
+        1,
+    ));
+}
+
+#[test]
+#[should_panic(expected = "burst >= 1")]
+fn infallible_run_panics_with_the_typed_message() {
+    let net = net();
+    let _ = ShmBackend::network(&net, BalancerKind::WaitFree, 1).run(&zero_burst());
+}

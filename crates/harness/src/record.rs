@@ -20,10 +20,15 @@ use serde::{impl_serde_struct, Deserialize, Error, Serialize, Value};
 ///   bench detected it could not isolate the measurement (e.g. the
 ///   host exposed a single hardware thread to a multi-threaded cell).
 ///   Written only when set; readers default it to `false`.
+/// * **5**: adds the optional `open_loop` block — per-window sojourn
+///   latency against the seeded arrival schedule (see
+///   [`cnet_obs::OpenLoopMetrics`]), written by the async backend's
+///   open-loop runs (the saturation atlas). Written only when present;
+///   readers default it to `None`.
 ///
 /// Readers accept all versions ≤ the current one: committed baselines
 /// from before the field existed keep loading.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The serializable summary of one simulator run (one grid cell or one
 /// standalone simulation).
@@ -70,6 +75,11 @@ pub struct RunRecord {
     /// `wall_ms`, a property of the measuring host, so it is excluded
     /// from the determinism guarantee.
     pub noisy: bool,
+    /// Open-loop telemetry from the producing run, when it had any
+    /// (async backend, open-loop arrivals). Sojourn latencies are host
+    /// nanoseconds, so the block is excluded from the determinism
+    /// guarantee, like `wall_ms`.
+    pub open_loop: Option<cnet_obs::OpenLoopMetrics>,
 }
 
 // Serde is hand-written (not `impl_serde_struct!`) because the macro
@@ -100,6 +110,9 @@ impl Serialize for RunRecord {
         }
         if self.noisy {
             fields.push(("noisy".to_string(), true.to_value()));
+        }
+        if let Some(ol) = &self.open_loop {
+            fields.push(("open_loop".to_string(), ol.to_value()));
         }
         Value::Object(fields)
     }
@@ -134,6 +147,11 @@ impl Deserialize for RunRecord {
             }
             None => false, // pre-v4 records never flagged noise
         };
+        let open_loop: Option<cnet_obs::OpenLoopMetrics> = match v.get("open_loop") {
+            Some(raw) => Option::<cnet_obs::OpenLoopMetrics>::from_value(raw)
+                .map_err(|e| Error::new(format!("field `open_loop`: {e}")))?,
+            None => None, // pre-v5 records had no open-loop runs
+        };
         Ok(RunRecord {
             schema_version,
             label: v.field("label")?,
@@ -148,6 +166,7 @@ impl Deserialize for RunRecord {
             metrics,
             wall_ms: v.field("wall_ms")?,
             noisy,
+            open_loop,
         })
     }
 }
@@ -192,6 +211,7 @@ impl RunRecord {
             metrics: stats.metrics.clone(),
             wall_ms,
             noisy: false,
+            open_loop: None,
         }
     }
 
@@ -205,15 +225,18 @@ impl RunRecord {
         seed: u64,
         outcome: &cnet_engine::RunOutcome,
     ) -> Self {
-        Self::measure_on(
-            outcome.backend,
-            label,
-            kind,
-            workload,
-            seed,
-            &outcome.stats,
-            outcome.wall_ms,
-        )
+        RunRecord {
+            open_loop: outcome.open_loop.clone(),
+            ..Self::measure_on(
+                outcome.backend,
+                label,
+                kind,
+                workload,
+                seed,
+                &outcome.stats,
+                outcome.wall_ms,
+            )
+        }
     }
 
     /// The record with its wall-clock field zeroed — the canonical form
@@ -223,6 +246,7 @@ impl RunRecord {
         RunRecord {
             wall_ms: 0.0,
             noisy: false,
+            open_loop: None,
             ..self.clone()
         }
     }
@@ -432,6 +456,51 @@ mod tests {
         } else {
             assert_eq!((reps, noisy), (3, false));
         }
+    }
+
+    #[test]
+    fn open_loop_block_round_trips_and_defaults_none() {
+        let mut r = record("gap=500,n=256", 1.0);
+        r.open_loop = Some(cnet_obs::open_loop_metrics(
+            &[0, 100, 200],
+            &[50, 160, 240],
+            &[],
+            2,
+        ));
+        let text = serde::json::to_string(&r.to_value());
+        assert!(text.contains("\"open_loop\""));
+        let back = RunRecord::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+
+        // records without the block stay byte-shaped like v4, and the
+        // canonical form (determinism comparisons) strips it: sojourn
+        // latency is host time
+        let plain = record("W=100,n=4", 1.0);
+        assert!(!serde::json::to_string(&plain.to_value()).contains("\"open_loop\""));
+        assert_eq!(r.canonical().open_loop, None);
+    }
+
+    #[test]
+    fn version_4_records_without_open_loop_still_load() {
+        let r = record("W=100,n=4", 0.0);
+        let Value::Object(fields) = r.to_value() else {
+            panic!("records serialize as objects");
+        };
+        let v4: Vec<_> = fields
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "schema_version" {
+                    (k, 4u32.to_value())
+                } else {
+                    (k, v)
+                }
+            })
+            .filter(|(k, _)| k != "open_loop")
+            .collect();
+        let back = RunRecord::from_value(&Value::Object(v4)).unwrap();
+        assert_eq!(back.schema_version, 4);
+        assert_eq!(back.open_loop, None);
+        assert_eq!(back.stats, r.stats);
     }
 
     #[test]

@@ -51,10 +51,12 @@
 pub mod hist;
 pub mod live;
 pub mod noop;
+pub mod openloop;
 pub mod snapshot;
 pub mod violation;
 
 pub use hist::{LogHistogram, BUCKETS};
+pub use openloop::{open_loop_metrics, OpenLoopMetrics, OpenLoopWindow};
 pub use snapshot::{
     BalancerMetrics, FrontendMetrics, MetricsSnapshot, NetworkMetrics, METRICS_SCHEMA_VERSION,
 };

@@ -1,0 +1,253 @@
+//! Open-loop run telemetry: latency and violation counts per window.
+//!
+//! A closed-loop run (the paper's Section 5 benchmark) cannot
+//! saturate: offered load is capped by the processor count, so the
+//! interesting scalar is the violation ratio at a fixed concurrency.
+//! An *open-loop* run decouples arrivals from completions, and the
+//! interesting signal becomes a *curve* — how far completions fall
+//! behind the arrival schedule, and how operation latency grows, as
+//! the offered rate approaches the substrate's service rate. This
+//! module is the block that carries that curve: the run is split into
+//! a fixed number of equal-population windows in arrival order, and
+//! each window records its latency histogram and its Definition 2.4
+//! violation count.
+//!
+//! Latency here is *sojourn time*: completion instant minus scheduled
+//! arrival instant, in nanoseconds of host time. An operation that the
+//! executor could not admit on schedule accrues queueing delay even
+//! though no code was "slow" — that is exactly the saturation signal
+//! the atlas benches sweep for.
+
+use serde::impl_serde_struct;
+
+use crate::hist::LogHistogram;
+
+/// One window of an open-loop run: a contiguous slice of the arrival
+/// schedule (windows partition the run in arrival order, equal
+/// population except for the last).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopWindow {
+    /// Operations completed in this window.
+    pub ops: u64,
+    /// Sojourn time (completion − scheduled arrival, nanoseconds).
+    pub latency: LogHistogram,
+    /// Definition 2.4 non-linearizable operations in this window.
+    pub violations: u64,
+}
+
+impl_serde_struct!(OpenLoopWindow {
+    ops,
+    latency,
+    violations,
+});
+
+/// The open-loop telemetry of one run: per-window curves plus the
+/// run-level spans the saturation verdict is computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopMetrics {
+    /// Per-window telemetry, in arrival order.
+    pub windows: Vec<OpenLoopWindow>,
+    /// Sojourn time over the whole run (nanoseconds).
+    pub latency: LogHistogram,
+    /// Instant of the last scheduled arrival (nanoseconds from run
+    /// start); the denominator of the offered rate.
+    pub arrival_span_ns: u64,
+    /// Instant of the last completion (nanoseconds from run start);
+    /// the denominator of the achieved rate.
+    pub completion_span_ns: u64,
+    /// Definition 2.4 non-linearizable operations over the whole run.
+    pub violations: u64,
+}
+
+impl_serde_struct!(OpenLoopMetrics {
+    windows,
+    latency,
+    arrival_span_ns,
+    completion_span_ns,
+    violations,
+});
+
+impl OpenLoopMetrics {
+    /// Operations the schedule *offered* per second: `ops` spread over
+    /// the arrival span (0.0 for an empty or instantaneous schedule).
+    #[must_use]
+    pub fn offered_rate(&self) -> f64 {
+        rate(self.latency.count(), self.arrival_span_ns)
+    }
+
+    /// Operations actually *completed* per second: `ops` spread over
+    /// the completion span (0.0 for an empty run).
+    #[must_use]
+    pub fn achieved_rate(&self) -> f64 {
+        rate(self.latency.count(), self.completion_span_ns)
+    }
+
+    /// How far completions stretched past the arrival schedule:
+    /// `completion_span / arrival_span`. ≈ 1 when the substrate keeps
+    /// up (the run ends one op-latency after the last arrival), and
+    /// grows without bound past the saturation knee, where the backlog
+    /// at the end of the run is proportional to the run length.
+    ///
+    /// Returns infinity for an instantaneous arrival span with a
+    /// positive completion span.
+    #[must_use]
+    pub fn lag_ratio(&self) -> f64 {
+        if self.arrival_span_ns == 0 {
+            return if self.completion_span_ns == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
+        }
+        self.completion_span_ns as f64 / self.arrival_span_ns as f64
+    }
+
+    /// The saturation verdict the atlas sweeps for: completions
+    /// stretched more than `tolerance` past the arrival span
+    /// (`lag_ratio > tolerance`; 1.25 is the benches' convention).
+    #[must_use]
+    pub fn is_saturated(&self, tolerance: f64) -> bool {
+        self.lag_ratio() > tolerance
+    }
+}
+
+fn rate(ops: u64, span_ns: u64) -> f64 {
+    if span_ns == 0 {
+        return 0.0;
+    }
+    ops as f64 * 1e9 / span_ns as f64
+}
+
+/// Assembles the telemetry block from per-operation instants, all in
+/// nanoseconds from run start: `arrivals[i]` is operation `i`'s
+/// scheduled arrival, `completions[i]` its completion, and
+/// `violation_tokens` lists the operations the Definition 2.4 sweep
+/// flagged. Operations are windowed by *index* (arrival order), into
+/// `windows` equal-population windows (at least 1; the remainder goes
+/// to the last window).
+///
+/// # Panics
+///
+/// Panics if the two instant slices have different lengths or a
+/// violation token is out of range.
+#[must_use]
+pub fn open_loop_metrics(
+    arrivals: &[u64],
+    completions: &[u64],
+    violation_tokens: &[usize],
+    windows: usize,
+) -> OpenLoopMetrics {
+    assert_eq!(
+        arrivals.len(),
+        completions.len(),
+        "one completion per arrival"
+    );
+    let n = arrivals.len();
+    let windows = windows.max(1).min(n.max(1));
+    let per_window = (n / windows).max(1);
+    let mut violations_by_window = vec![0u64; windows];
+    for &token in violation_tokens {
+        assert!(token < n, "violation token {token} out of range ({n} ops)");
+        violations_by_window[(token / per_window).min(windows - 1)] += 1;
+    }
+    let mut out = OpenLoopMetrics {
+        windows: Vec::with_capacity(windows),
+        latency: LogHistogram::new(),
+        arrival_span_ns: arrivals.iter().copied().max().unwrap_or(0),
+        completion_span_ns: completions.iter().copied().max().unwrap_or(0),
+        violations: violation_tokens.len() as u64,
+    };
+    for (w, violations) in violations_by_window.into_iter().enumerate() {
+        let lo = w * per_window;
+        let hi = if w + 1 == windows {
+            n
+        } else {
+            ((w + 1) * per_window).min(n)
+        };
+        let mut latency = LogHistogram::new();
+        for i in lo..hi {
+            latency.record(completions[i].saturating_sub(arrivals[i]));
+        }
+        out.latency.merge(&latency);
+        out.windows.push(OpenLoopWindow {
+            ops: (hi - lo) as u64,
+            latency,
+            violations,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize as _, Serialize as _};
+
+    #[test]
+    fn windows_partition_the_run_in_arrival_order() {
+        let arrivals: Vec<u64> = (0..10).map(|i| i * 100).collect();
+        let completions: Vec<u64> = arrivals.iter().map(|a| a + 50).collect();
+        let m = open_loop_metrics(&arrivals, &completions, &[2, 7, 8], 3);
+        assert_eq!(m.windows.len(), 3);
+        // 10 ops over 3 windows: 3 + 3 + 4
+        assert_eq!(
+            m.windows.iter().map(|w| w.ops).collect::<Vec<_>>(),
+            vec![3, 3, 4]
+        );
+        assert_eq!(
+            m.windows.iter().map(|w| w.violations).collect::<Vec<_>>(),
+            vec![1, 0, 2]
+        );
+        assert_eq!(m.violations, 3);
+        assert_eq!(m.latency.count(), 10);
+        // every latency is exactly 50ns
+        assert_eq!(m.latency.min(), 50);
+        assert_eq!(m.latency.max(), 50);
+        assert_eq!(m.arrival_span_ns, 900);
+        assert_eq!(m.completion_span_ns, 950);
+    }
+
+    #[test]
+    fn rates_and_lag_describe_saturation() {
+        // 11 arrivals over 1000ns; completions stretch to 2000ns: the
+        // substrate achieved half the offered rate
+        let arrivals: Vec<u64> = (0..11).map(|i| i * 100).collect();
+        let completions: Vec<u64> = (0..11).map(|i| i * 200).collect();
+        let m = open_loop_metrics(&arrivals, &completions, &[], 4);
+        assert!((m.lag_ratio() - 2.0).abs() < 1e-12);
+        assert!(m.is_saturated(1.25));
+        assert!((m.offered_rate() - 11.0 * 1e9 / 1000.0).abs() < 1e-3);
+        assert!((m.achieved_rate() - 11.0 * 1e9 / 2000.0).abs() < 1e-3);
+
+        // keeping up: completions end one latency after the arrivals
+        let on_time: Vec<u64> = arrivals.iter().map(|a| a + 30).collect();
+        let m = open_loop_metrics(&arrivals, &on_time, &[], 4);
+        assert!(!m.is_saturated(1.25));
+        assert!(m.lag_ratio() < 1.1);
+    }
+
+    #[test]
+    fn degenerate_runs_stay_finite() {
+        let m = open_loop_metrics(&[], &[], &[], 8);
+        assert_eq!(m.windows.len(), 1);
+        assert_eq!(m.windows[0].ops, 0);
+        assert_eq!(m.offered_rate(), 0.0);
+        assert_eq!(m.achieved_rate(), 0.0);
+        assert!((m.lag_ratio() - 1.0).abs() < 1e-12);
+
+        // all arrivals at instant 0 but completions later: infinite lag
+        let m = open_loop_metrics(&[0, 0], &[10, 20], &[], 2);
+        assert!(m.lag_ratio().is_infinite());
+        assert!(m.is_saturated(1.25));
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let arrivals: Vec<u64> = (0..20).map(|i| i * 7).collect();
+        let completions: Vec<u64> = arrivals.iter().map(|a| a + 13).collect();
+        let m = open_loop_metrics(&arrivals, &completions, &[1, 19], 4);
+        let text = serde::json::to_string(&m.to_value());
+        let back = OpenLoopMetrics::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+}

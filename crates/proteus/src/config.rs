@@ -1,5 +1,7 @@
 //! Simulator and workload configuration.
 
+use std::fmt;
+
 use serde::{impl_serde_struct, impl_serde_unit_enum, Deserialize, Error, Serialize, Value};
 
 /// Configuration of the prism (diffraction) arrays placed in front of
@@ -232,6 +234,58 @@ pub enum ArrivalProcess {
     },
 }
 
+/// A workload that cannot be meaningfully executed.
+///
+/// Every backend rejects these at the top of its run instead of
+/// quietly degrading: an open-loop process with a zero mean gap is a
+/// closed-loop burst wearing an open-loop label (every token "arrives"
+/// at instant 0), and a zero-size burst has no defined schedule at
+/// all. Both used to fall through to degenerate schedules that
+/// *looked* like measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// `ArrivalProcess::Open { mean_gap: 0 }`: the offered load is
+    /// infinite and the seeded gap stream is all zeros.
+    ZeroMeanGap,
+    /// `ArrivalProcess::Bursty { burst: 0, .. }`: a burst of zero
+    /// tokens never schedules anything.
+    ZeroBurst,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ZeroMeanGap => write!(
+                f,
+                "ArrivalProcess::Open requires mean_gap >= 1 \
+                 (a zero gap is a closed-loop burst, not an open loop)"
+            ),
+            WorkloadError::ZeroBurst => write!(
+                f,
+                "ArrivalProcess::Bursty requires burst >= 1 \
+                 (a zero-token burst schedules nothing)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl ArrivalProcess {
+    /// Checks the process for degenerate parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WorkloadError`] naming the degenerate field.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        match *self {
+            ArrivalProcess::Open { mean_gap: 0 } => Err(WorkloadError::ZeroMeanGap),
+            ArrivalProcess::Bursty { burst: 0, .. } => Err(WorkloadError::ZeroBurst),
+            _ => Ok(()),
+        }
+    }
+}
+
 // `ArrivalProcess` has struct variants, so serde is hand-written like
 // `Placement`'s: `"Closed"`, `{"Open": {"mean_gap": …}}`, or
 // `{"Bursty": {"burst": …, "gap": …}}`.
@@ -361,6 +415,16 @@ impl Workload {
     pub fn is_open_loop(&self) -> bool {
         self.arrival != ArrivalProcess::Closed
     }
+
+    /// Checks the workload for degenerate parameters every backend
+    /// must reject (see [`WorkloadError`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WorkloadError`] naming the degenerate field.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        self.arrival.validate()
+    }
 }
 
 #[cfg(test)]
@@ -455,5 +519,32 @@ mod tests {
     fn arrival_process_rejects_unknown_shapes() {
         assert!(ArrivalProcess::from_value(&Value::Str("Sideways".to_string())).is_err());
         assert!(ArrivalProcess::from_value(&Value::Object(vec![])).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_arrivals() {
+        assert_eq!(
+            ArrivalProcess::Open { mean_gap: 0 }.validate(),
+            Err(WorkloadError::ZeroMeanGap)
+        );
+        assert_eq!(
+            ArrivalProcess::Bursty { burst: 0, gap: 100 }.validate(),
+            Err(WorkloadError::ZeroBurst)
+        );
+        assert!(ArrivalProcess::Closed.validate().is_ok());
+        assert!(ArrivalProcess::Open { mean_gap: 1 }.validate().is_ok());
+        assert!(ArrivalProcess::Bursty { burst: 1, gap: 0 }
+            .validate()
+            .is_ok());
+
+        let bad = Workload {
+            arrival: ArrivalProcess::Open { mean_gap: 0 },
+            ..Workload::paper(4, 0, 0)
+        };
+        assert_eq!(bad.validate(), Err(WorkloadError::ZeroMeanGap));
+        assert!(Workload::paper(4, 0, 0).validate().is_ok());
+        // the error is a real std error with a self-explanatory message
+        let msg = WorkloadError::ZeroMeanGap.to_string();
+        assert!(msg.contains("mean_gap"), "unhelpful message: {msg}");
     }
 }

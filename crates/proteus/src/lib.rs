@@ -59,7 +59,9 @@ pub mod rng;
 mod sim;
 mod stats;
 
-pub use config::{ArrivalProcess, Placement, PrismConfig, SimConfig, WaitMode, Workload};
+pub use config::{
+    ArrivalProcess, Placement, PrismConfig, SimConfig, WaitMode, Workload, WorkloadError,
+};
 pub use rng::SimRng;
 pub use sim::{MetricsRecorder, Simulator};
 pub use stats::{RunStats, StatsSummary};
