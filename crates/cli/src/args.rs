@@ -4,13 +4,25 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-/// CLI failure: bad usage or a failed underlying operation.
+/// CLI failure: bad usage, a failed underlying operation, or a tripped
+/// quality gate.
 #[derive(Debug)]
 pub enum CliError {
     /// The invocation was malformed; the payload is a help message.
     Usage(String),
     /// The requested operation failed.
     Failed(Box<dyn Error + Send + Sync>),
+    /// The operation ran to completion but a quality gate tripped
+    /// (an SLO breach, a baseline regression). The dedicated exit
+    /// code lets CI distinguish "the service misbehaved" from "the
+    /// tool broke".
+    Gate {
+        /// Process exit code for `main` (3 = baseline regression,
+        /// 4 = live SLO breach).
+        code: i32,
+        /// The full verdict, including the evidence tables.
+        message: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -18,6 +30,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Failed(e) => write!(f, "error: {e}"),
+            CliError::Gate { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -25,7 +38,7 @@ impl fmt::Display for CliError {
 impl Error for CliError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Gate { .. } => None,
             CliError::Failed(e) => Some(e.as_ref()),
         }
     }
@@ -42,6 +55,15 @@ impl CliError {
     pub fn usage(msg: impl Into<String>) -> Self {
         CliError::Usage(msg.into())
     }
+
+    /// The process exit code this error maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Gate { code, .. } => *code,
+            _ => 2,
+        }
+    }
 }
 
 /// Positional arguments plus `--key value` options and `--flag`
@@ -56,8 +78,36 @@ pub struct ParsedArgs {
 /// The option keys that take a value; everything else starting with
 /// `--` is a boolean flag.
 const VALUED: &[&str] = &[
-    "c1", "c2", "n", "f", "w", "ops", "seed", "pad", "arity", "width", "tokens", "budget",
-    "threads", "json", "backend", "open", "bursty", "hop-spin",
+    "c1",
+    "c2",
+    "n",
+    "f",
+    "w",
+    "ops",
+    "seed",
+    "pad",
+    "arity",
+    "width",
+    "tokens",
+    "budget",
+    "threads",
+    "json",
+    "backend",
+    "open",
+    "bursty",
+    "hop-spin",
+    "socket",
+    "window",
+    "slo",
+    "clients",
+    "rate",
+    "duration",
+    "dump",
+    "dump-every",
+    "batch",
+    "baseline",
+    "history",
+    "label",
 ];
 
 /// Valued options that may also appear bare, as a flag (`--json path`

@@ -946,6 +946,184 @@ pub fn run_schedule(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses `--slo RATE,MAG,P99NS` into a policy (unbounded when the
+/// option is absent).
+fn slo_policy(args: &ParsedArgs) -> Result<cnet_obs::SloPolicy, CliError> {
+    let Some(spec) = args.str_opt("slo") else {
+        return Ok(cnet_obs::SloPolicy::unbounded());
+    };
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [rate, mag, p99] = parts.as_slice() else {
+        return Err(CliError::usage(format!(
+            "--slo expects RATE,MAG,P99NS (e.g. 0.05,64,5000000), got `{spec}`"
+        )));
+    };
+    let max_violation_rate: f64 = rate
+        .parse()
+        .map_err(|_| CliError::usage(format!("--slo rate must be a fraction, got `{rate}`")))?;
+    if !(0.0..=1.0).contains(&max_violation_rate) {
+        return Err(CliError::usage(format!(
+            "--slo rate must be in [0, 1], got `{rate}`"
+        )));
+    }
+    let max_magnitude: u64 = mag
+        .parse()
+        .map_err(|_| CliError::usage(format!("--slo magnitude must be a count, got `{mag}`")))?;
+    let p99_latency_ns: u64 = p99
+        .parse()
+        .map_err(|_| CliError::usage(format!("--slo p99 must be nanoseconds, got `{p99}`")))?;
+    Ok(cnet_obs::SloPolicy {
+        max_violation_rate,
+        max_magnitude,
+        p99_latency_ns,
+    })
+}
+
+/// `cnet serve` — run the counter daemon until `SIGTERM`/`SIGINT` or a
+/// client `Shutdown`, then report the final SLO snapshot. Exits 4 (via
+/// [`CliError::Gate`]) when the service's lifetime was not breach-free.
+pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    let net = build_network(args)?;
+    let kind = args.positional(0, "kind")?.to_string();
+    let socket = args
+        .str_opt("socket")
+        .ok_or_else(|| CliError::usage("--socket PATH is required"))?;
+    let mut config = cnet_serve::ServeConfig::new(socket);
+    config.policy = slo_policy(args)?;
+    if let Some(w) = args.u64_opt("window")? {
+        config.window_ops = w;
+    }
+    if let Some(h) = args.u64_opt("history")? {
+        config.history_cap = h as usize;
+    }
+    if let Some(path) = args.str_opt("dump") {
+        config.dump_path = Some(path.into());
+    }
+    if let Some(secs) = args.u64_opt("dump-every")? {
+        config.dump_every = std::time::Duration::from_secs(secs.max(1));
+    }
+    if let Some(label) = args.str_opt("label") {
+        config.label = label.to_string();
+    }
+    config.seed = args.u64_opt("seed")?.unwrap_or(0);
+    config.kind = kind;
+    config.watch_signals = true;
+
+    cnet_serve::signal::install_termination_handler();
+    let handle = cnet_serve::CounterServer::start(&net, config).map_err(CliError::failed)?;
+    eprintln!(
+        "cnet serve: listening on {}",
+        handle.socket_path().display()
+    );
+    let summary = handle.wait().map_err(CliError::failed)?;
+
+    let mut out = summary.report.to_metrics_text();
+    let _ = writeln!(
+        out,
+        "served {} ops over {} connection(s); history retained {} (dropped {}), {} dump(s) written",
+        summary.report.total.ops,
+        summary.connections,
+        summary.operations.len(),
+        summary.history_dropped,
+        summary.dumps_written,
+    );
+    if summary.report.breach_free() {
+        Ok(out)
+    } else {
+        let _ = writeln!(
+            out,
+            "SLO BREACH: {} ok->breach transition(s), onsets at {:?} ms",
+            summary.report.breaches, summary.report.breach_timestamps_ms
+        );
+        Err(CliError::Gate {
+            code: 4,
+            message: out,
+        })
+    }
+}
+
+/// `cnet drive` — soak a running daemon with open-loop load and judge
+/// the observed trace. With `--baseline` the run is gated against the
+/// committed reference (exit 3 on regression); adding
+/// `--write-slo-baseline` regenerates the reference instead.
+pub fn drive_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    let socket = args
+        .str_opt("socket")
+        .ok_or_else(|| CliError::usage("--socket PATH is required"))?;
+    let mut config = cnet_serve::DriveConfig::new(socket);
+    if let Some(c) = args.u64_opt("clients")? {
+        config.clients = (c as usize).max(1);
+    }
+    if let Some(r) = args.u64_opt("rate")? {
+        config.rate_per_sec = r.max(1);
+    }
+    if let Some(s) = args.u64_opt("duration")? {
+        config.duration = std::time::Duration::from_secs(s.max(1));
+    }
+    if let Some(b) = args.u64_opt("batch")? {
+        config.batch = u32::try_from(b.max(1))
+            .map_err(|_| CliError::usage("--batch is too large for a u32"))?;
+    }
+    if let Some(w) = args.u64_opt("window")? {
+        config.window_ops = w;
+    }
+    config.policy = slo_policy(args)?;
+    if let Some(seed) = args.u64_opt("seed")? {
+        config.seed = seed;
+    }
+
+    let outcome = cnet_serve::drive(&config).map_err(CliError::failed)?;
+    if outcome.requests == 0 {
+        return Err(CliError::usage(format!(
+            "every request failed ({} failures) — is the server at {} healthy?",
+            outcome.failures,
+            config.socket.display()
+        )));
+    }
+
+    let mut out = outcome.report.to_metrics_text();
+    let _ = writeln!(
+        out,
+        "drove {} request(s) / {} value(s) in {:.2}s ({:.0} req/s offered, {} failure(s))",
+        outcome.requests,
+        outcome.values,
+        outcome.elapsed.as_secs_f64(),
+        config.rate_per_sec as f64,
+        outcome.failures,
+    );
+    write_json(args, &outcome.report.to_value())?;
+
+    // the measuring host caveat, exactly as the native benches apply it
+    let (_, run_noisy) = cnet_harness::native_cell_reps(config.clients, 1);
+    if let Some(path) = args.str_opt("baseline") {
+        let path = std::path::Path::new(path);
+        if args.flag("write-slo-baseline") {
+            let baseline = cnet_harness::SloBaseline {
+                policy: config.policy,
+                reference: outcome.report.clone(),
+                noisy: run_noisy,
+            };
+            baseline.save(path).map_err(CliError::usage)?;
+            let _ = writeln!(out, "wrote SLO baseline to {}", path.display());
+        } else {
+            let baseline = cnet_harness::SloBaseline::load(path).map_err(CliError::usage)?;
+            let comparison = baseline.compare(&outcome.report, run_noisy);
+            out.push_str(&comparison.table.to_text());
+            if !comparison.passed() {
+                for r in &comparison.regressions {
+                    let _ = writeln!(out, "REGRESSED: {r}");
+                }
+                return Err(CliError::Gate {
+                    code: 3,
+                    message: out,
+                });
+            }
+            let _ = writeln!(out, "SLO gate passed vs {}", path.display());
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1537,6 +1715,118 @@ mod verify_tests {
         let out = verify(&parse(&["block", "8"])).unwrap();
         assert!(out.contains("NOT a counting network"), "{out}");
         assert!(out.contains("witness"));
+    }
+}
+
+#[cfg(test)]
+mod serve_tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(&v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn temp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("cnet-cli-serve-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn slo_policy_parses_and_validates() {
+        assert_eq!(
+            slo_policy(&parse(&[])).unwrap(),
+            cnet_obs::SloPolicy::unbounded()
+        );
+        let p = slo_policy(&parse(&["--slo", "0.05,64,5000000"])).unwrap();
+        assert!((p.max_violation_rate - 0.05).abs() < 1e-12);
+        assert_eq!(p.max_magnitude, 64);
+        assert_eq!(p.p99_latency_ns, 5_000_000);
+        assert!(slo_policy(&parse(&["--slo", "0.05,64"])).is_err());
+        assert!(slo_policy(&parse(&["--slo", "1.5,64,1"])).is_err());
+        assert!(slo_policy(&parse(&["--slo", "rate,64,1"])).is_err());
+    }
+
+    #[test]
+    fn serve_requires_a_socket() {
+        let e = serve(&parse(&["bitonic", "4"])).unwrap_err();
+        assert!(e.to_string().contains("--socket"));
+        let e = drive_cmd(&parse(&[])).unwrap_err();
+        assert!(e.to_string().contains("--socket"));
+    }
+
+    #[test]
+    fn drive_against_a_dead_socket_fails_cleanly() {
+        let e = drive_cmd(&parse(&[
+            "--socket",
+            &temp("dead.sock"),
+            "--duration",
+            "1",
+            "--rate",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(matches!(e, CliError::Failed(_)));
+    }
+
+    /// The whole loop in-process: `serve` on one thread, `drive`
+    /// against it, a baseline written then gated against, shutdown via
+    /// the client, and the serve side exiting breach-free.
+    #[test]
+    fn serve_and_drive_round_trip_with_baseline_gate() {
+        let socket = temp("loop.sock");
+        let baseline = temp("loop-baseline.json");
+        let json = temp("loop-report.json");
+        let serve_args = parse(&[
+            "bitonic",
+            "8",
+            "--socket",
+            &socket,
+            "--window",
+            "64",
+            "--slo",
+            "1.0,18446744073709551615,18446744073709551615",
+        ]);
+        let server = std::thread::spawn(move || serve(&serve_args));
+
+        let drive_args: Vec<String> = [
+            "--socket",
+            &socket,
+            "--clients",
+            "2",
+            "--rate",
+            "2000",
+            "--duration",
+            "1",
+            "--window",
+            "64",
+            "--baseline",
+            &baseline,
+            "--json",
+            &json,
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        let mut write_args = drive_args.clone();
+        write_args.push("--write-slo-baseline".to_string());
+        let out = drive_cmd(&ParsedArgs::parse(&write_args).unwrap()).unwrap();
+        assert!(out.contains("wrote SLO baseline"), "{out}");
+
+        // second run gates against the reference it just wrote
+        let out = drive_cmd(&ParsedArgs::parse(&drive_args).unwrap()).unwrap();
+        assert!(out.contains("SLO gate passed"), "{out}");
+        assert!(out.contains("cnet_serve_ops_total"), "{out}");
+
+        let mut client = cnet_serve::ServeClient::connect(&socket).unwrap();
+        client.shutdown().unwrap();
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("cnet_serve_breaches_total 0"), "{report}");
+        assert!(report.contains("connection(s)"), "{report}");
+        for p in [&socket, &baseline, &json] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }
 

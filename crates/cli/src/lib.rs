@@ -15,7 +15,13 @@
 //! cnet threshold <kind> <width> --c1 C1 --c2 C2 [--json PATH]
 //! cnet check <trace.csv>
 //! cnet run-schedule <kind> <width> <schedule.csv> [--svg]
+//! cnet serve <kind> <width> --socket PATH [--window OPS] [--slo RATE,MAG,P99NS] [--dump PATH]
+//! cnet drive --socket PATH [--clients N] [--rate REQ_PER_S] [--duration SECS] [--baseline PATH]
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage/operation failure, 3 a `drive` run
+//! regressed its committed SLO baseline, 4 a `serve` lifetime ended in
+//! breach of its live SLO policy.
 //!
 //! Network kinds: `bitonic`, `periodic`, `tree`, `merger`, `block`,
 //! `single`.
@@ -54,6 +60,8 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         "windows" => commands::windows_cmd(&args),
         "check" => commands::check(&args),
         "run-schedule" => commands::run_schedule(&args),
+        "serve" => commands::serve(&args),
+        "drive" => commands::drive_cmd(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{}",
@@ -82,6 +90,8 @@ usage:
   cnet check <trace.csv>
   cnet windows <trace.csv> [--w WIDTH]
   cnet run-schedule <kind> <width> <schedule.csv> [--svg]
+  cnet serve <kind> <width> --socket PATH [--window OPS] [--slo RATE,MAG,P99NS] [--dump PATH] [--dump-every SECS] [--history OPS] [--label L] [--seed S]
+  cnet drive --socket PATH [--clients N] [--rate REQ_PER_S] [--duration SECS] [--batch K] [--window OPS] [--slo RATE,MAG,P99NS] [--baseline PATH] [--write-slo-baseline] [--seed S] [--json PATH]
 
 network kinds: bitonic periodic tree merger block single, or `file <path>`
 for a topology in the cnet-topology text format

@@ -7,7 +7,7 @@ fn main() {
         Ok(report) => print!("{report}"),
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -71,6 +71,7 @@ mod driver;
 mod mp;
 mod outcome;
 mod schedule;
+mod service;
 mod shm;
 mod sim;
 
@@ -83,6 +84,8 @@ pub use cnet_proteus::{ArrivalProcess, RunStats, SimConfig, WaitMode, Workload, 
 pub use async_exec::{AsyncBackend, AsyncConfig};
 pub use mp::MpBackend;
 pub use outcome::RunOutcome;
+pub use schedule::arrival_schedule;
+pub use service::ServiceDriver;
 pub use shm::ShmBackend;
 pub use sim::SimBackend;
 

@@ -21,7 +21,11 @@ pub(crate) const THREAD_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
 /// for closed-loop workloads. Token `i` may not be injected before
 /// instant `i` — the native analogue of the simulator's lazily chained
 /// `StartOp` events, from the same gap formulas and seed stream.
-pub(crate) fn arrival_schedule(workload: &Workload, seed: u64) -> Vec<u64> {
+///
+/// Public so external load generators (`cnet drive`) can pace traffic
+/// on exactly the schedule the in-process backends would use for the
+/// same `(seed, workload)` pair.
+pub fn arrival_schedule(workload: &Workload, seed: u64) -> Vec<u64> {
     if !workload.is_open_loop() {
         return Vec::new();
     }

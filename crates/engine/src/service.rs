@@ -1,0 +1,195 @@
+//! The open-ended driver for long-running counter services.
+//!
+//! Every fixed-op backend in this crate runs a workload to completion
+//! and exits; a *service* (`cnet serve`) has no op quota and no run
+//! end. What it still needs from the engine is the audit methodology:
+//! a global logical clock bracketing every operation so "completely
+//! precedes" has a sound witness, exactly as [`crate::driver`] does
+//! with its `fetch_add` ticks — plus two things a batch run never
+//! needed:
+//!
+//! 1. **An in-flight registry.** An online Definition 2.4 evaluator
+//!    can only discard old state once it knows no future completion
+//!    can start before some tick. The registry's minimum pending start
+//!    is that bound (see `cnet_obs::ViolationTracker::retire`).
+//! 2. **A completion critical section.** Streaming violation counts
+//!    are exact only when observations arrive in end-tick order.
+//!    [`ServiceDriver::complete`] assigns the end tick *and* runs the
+//!    caller's callback under one lock, so feed order equals end order
+//!    by construction — the integration suites replay recorded
+//!    histories offline to confirm the counts match exactly.
+//!
+//! The counter traversal itself runs between [`begin`] and
+//! [`complete`], unlocked — only the tick assignment is serialized,
+//! which is the same total order an `AcqRel` `fetch_add` would give.
+//!
+//! [`begin`]: ServiceDriver::begin
+//! [`complete`]: ServiceDriver::complete
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Logical clock + in-flight registry for an open-ended run.
+#[derive(Debug, Default)]
+pub struct ServiceDriver {
+    inner: Mutex<ServiceState>,
+}
+
+#[derive(Debug, Default)]
+struct ServiceState {
+    /// Next logical tick (every begin/complete consumes one).
+    clock: u64,
+    /// Start ticks of operations begun but not yet completed.
+    pending: BTreeSet<u64>,
+}
+
+impl ServiceDriver {
+    /// A fresh driver with the clock at zero and nothing in flight.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens an operation: assigns its start tick and registers it
+    /// in flight. The caller traverses the counter (unlocked), then
+    /// must pass the tick back to [`complete`] exactly once.
+    ///
+    /// [`complete`]: ServiceDriver::complete
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned (a prior holder panicked).
+    pub fn begin(&self) -> u64 {
+        let mut s = self.inner.lock().expect("service clock poisoned");
+        let start = s.clock;
+        s.clock += 1;
+        s.pending.insert(start);
+        start
+    }
+
+    /// Closes the operation opened with `start`: assigns the end tick,
+    /// deregisters it, and runs `f(end, min_pending_start)` before any
+    /// other operation can complete.
+    ///
+    /// `min_pending_start` is the smallest start tick still in flight
+    /// after this completion — or the end tick itself when nothing is
+    /// in flight, since any future [`begin`] draws a later tick. Every
+    /// future completion therefore has `start >= min_pending_start`,
+    /// which is the retirement bound streaming evaluators need.
+    /// Because `f` runs under the clock lock, callbacks across threads
+    /// execute in strict end-tick order.
+    ///
+    /// [`begin`]: ServiceDriver::begin
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not in flight (double-complete or a tick
+    /// that never came from [`ServiceDriver::begin`]), or if the lock
+    /// is poisoned.
+    pub fn complete<R>(&self, start: u64, f: impl FnOnce(u64, u64) -> R) -> R {
+        let mut s = self.inner.lock().expect("service clock poisoned");
+        assert!(
+            s.pending.remove(&start),
+            "complete({start}): operation not in flight"
+        );
+        let end = s.clock;
+        s.clock += 1;
+        let min_pending_start = s.pending.first().copied().unwrap_or(end);
+        f(end, min_pending_start)
+    }
+
+    /// Current logical-clock reading (ticks consumed so far).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.inner.lock().expect("service clock poisoned").clock
+    }
+
+    /// Operations currently in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("service clock poisoned")
+            .pending
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_strictly_increasing_and_bracket_ops() {
+        let d = ServiceDriver::new();
+        let s1 = d.begin();
+        let s2 = d.begin();
+        assert!(s2 > s1);
+        assert_eq!(d.in_flight(), 2);
+        let (e2, min2) = d.complete(s2, |end, min| (end, min));
+        assert!(e2 > s2);
+        // s1 still pending: it bounds future starts
+        assert_eq!(min2, s1);
+        let (e1, min1) = d.complete(s1, |end, min| (end, min));
+        assert!(e1 > e2);
+        // nothing pending: the end tick itself is the bound
+        assert_eq!(min1, e1);
+        assert_eq!(d.in_flight(), 0);
+        assert_eq!(d.clock(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn double_complete_is_rejected() {
+        let d = ServiceDriver::new();
+        let s = d.begin();
+        d.complete(s, |_, _| ());
+        d.complete(s, |_, _| ());
+    }
+
+    #[test]
+    fn callbacks_observe_end_tick_order_under_contention() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let d = ServiceDriver::new();
+        let feed = Mutex::new(Vec::new());
+        let remaining = AtomicUsize::new(4_000);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| loop {
+                    if remaining
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                        .is_err()
+                    {
+                        break;
+                    }
+                    let start = d.begin();
+                    std::hint::spin_loop(); // the "traversal"
+                    d.complete(start, |end, min| {
+                        assert!(min <= end);
+                        feed.lock().unwrap().push((start, end, min));
+                    });
+                });
+            }
+        });
+        let feed = feed.into_inner().unwrap();
+        assert_eq!(feed.len(), 4_000);
+        // the whole point: feed order is end-tick order, and every
+        // later entry's start respects the earlier retirement bounds
+        let mut frontier = 0u64;
+        for w in feed.windows(2) {
+            assert!(w[0].1 < w[1].1, "ends out of order: {w:?}");
+        }
+        for &(start, _, min) in &feed {
+            assert!(start >= frontier, "start {start} below frontier {frontier}");
+            frontier = frontier.max(min);
+        }
+    }
+}

@@ -33,7 +33,8 @@
 use std::collections::HashMap;
 use std::path::Path;
 
-use serde::{Deserialize as _, Value};
+use cnet_obs::{SloPolicy, SloReport};
+use serde::{impl_serde_struct, Deserialize as _, Serialize as _, Value};
 
 use crate::record::GridReport;
 use crate::table::ResultTable;
@@ -234,6 +235,150 @@ fn per_op(wall_ms: f64, total_ops: usize) -> f64 {
     }
 }
 
+/// A committed `results/SLO_soak.json`: the declarative policy plus
+/// the reference windowed metrics of a known-good local soak.
+///
+/// The comparison mirrors the per-op wall-clock gate above: each SLO
+/// dimension (violation rate, worst magnitude, p99 sojourn) regresses
+/// only when the run exceeds **both** the policy threshold and
+/// [`REGRESSION_FACTOR`]× the reference measurement — widened to
+/// [`NOISY_REGRESSION_FACTOR`]× when either side is flagged noisy.
+/// Judging against `max(policy, factor × reference)` keeps the gate
+/// meaningful when the reference measured a clean zero (any policy
+/// breach still trips) while absorbing host jitter when the reference
+/// itself saw violations. Live breach transitions recorded by the run
+/// (`breaches > 0`) always regress: the service already judged itself
+/// against its own policy, window by window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloBaseline {
+    /// Thresholds the soak must hold.
+    pub policy: SloPolicy,
+    /// Totals of the reference soak this baseline was generated from.
+    pub reference: SloReport,
+    /// Whether the reference soak ran on a host that could not supply
+    /// the modeled parallelism (see [`crate::native_cell_reps`]).
+    pub noisy: bool,
+}
+
+impl_serde_struct!(SloBaseline {
+    policy,
+    reference,
+    noisy,
+});
+
+impl SloBaseline {
+    /// Loads a committed `SLO_soak.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file is unreadable, is not JSON, or
+    /// does not have the baseline shape.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let value: Value = serde::json::from_str(&text)
+            .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+        Self::from_value(&value).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Serializes and writes the baseline (pretty-printed, trailing
+    /// newline) — how `cnet drive --write-slo-baseline` commits a
+    /// reference soak.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let mut text = serde::json::to_string_pretty(&self.to_value());
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// Judges a run's SLO report against this baseline.
+    ///
+    /// `run_noisy` marks the measuring host (widens the gate exactly
+    /// like the per-op wall-clock comparison).
+    #[must_use]
+    pub fn compare(&self, run: &SloReport, run_noisy: bool) -> SloComparison {
+        let noisy = self.noisy || run_noisy;
+        let factor = if noisy {
+            NOISY_REGRESSION_FACTOR
+        } else {
+            REGRESSION_FACTOR
+        };
+        let base = &self.reference.total;
+        let now = &run.total;
+        let mut regressions = Vec::new();
+        let mut table = ResultTable::new(
+            format!(
+                "vs SLO baseline (gate = max(policy, {factor}x reference){})",
+                if noisy { ", noisy" } else { "" }
+            ),
+            &["policy", "reference", "now", "verdict"],
+        );
+        let mut judge = |dim: &str, policy: f64, reference: f64, now_v: f64| {
+            let allowed = policy.max(factor * reference);
+            let regressed = now_v > allowed;
+            table.push_row(
+                dim.to_string(),
+                vec![
+                    format!("{policy:.4}"),
+                    format!("{reference:.4}"),
+                    format!("{now_v:.4}"),
+                    if regressed { "REGRESSED" } else { "ok" }.to_string(),
+                ],
+            );
+            if regressed {
+                regressions.push(format!(
+                    "{dim}: {now_v:.4} exceeds max(policy {policy:.4}, {factor}x reference {reference:.4})"
+                ));
+            }
+        };
+        judge(
+            "violation_rate",
+            self.policy.max_violation_rate,
+            base.violation_rate(),
+            now.violation_rate(),
+        );
+        judge(
+            "magnitude_max",
+            self.policy.max_magnitude as f64,
+            base.magnitude_max as f64,
+            now.magnitude_max as f64,
+        );
+        judge(
+            "p99_latency_ns",
+            self.policy.p99_latency_ns as f64,
+            base.p99_latency_ns() as f64,
+            now.p99_latency_ns() as f64,
+        );
+        if run.breaches > 0 {
+            regressions.push(format!(
+                "live policy breached {} time(s) during the run (first onsets at {:?} ms)",
+                run.breaches, run.breach_timestamps_ms
+            ));
+        }
+        SloComparison { table, regressions }
+    }
+}
+
+/// The outcome of judging a run against an [`SloBaseline`].
+#[derive(Debug, Clone)]
+pub struct SloComparison {
+    /// The rendered per-dimension verdict table.
+    pub table: ResultTable,
+    /// Human-readable descriptions of every regressed dimension.
+    pub regressions: Vec<String>,
+}
+
+impl SloComparison {
+    /// Whether every dimension held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +533,134 @@ mod tests {
         let cmp = base.compare(&run);
         assert_eq!(cmp.regressions.len(), 1);
         assert!(cmp.regressions[0].contains("9x, noisy cell"));
+    }
+
+    fn slo_report(violating: &[(u64, u64, u64)], sojourn_ns: u64) -> cnet_obs::SloReport {
+        // a clean op, then the caller's (start, end, value) triples
+        let mut ev = cnet_obs::SloEvaluator::new(cnet_obs::SloPolicy::unbounded(), 4);
+        ev.record(0, 1, 10, sojourn_ns, 0, 0);
+        for &(start, end, value) in violating {
+            ev.record(start, end, value, sojourn_ns, 0, 0);
+        }
+        ev.snapshot(1000)
+    }
+
+    fn slo_baseline(max_rate: f64) -> SloBaseline {
+        SloBaseline {
+            policy: cnet_obs::SloPolicy {
+                max_violation_rate: max_rate,
+                max_magnitude: 4,
+                p99_latency_ns: 1 << 14,
+            },
+            reference: slo_report(&[], 100),
+            noisy: false,
+        }
+    }
+
+    #[test]
+    fn slo_gate_passes_a_clean_run() {
+        let base = slo_baseline(0.0);
+        let cmp = base.compare(&slo_report(&[], 100), false);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        assert!(cmp.table.to_text().contains("violation_rate"));
+    }
+
+    #[test]
+    fn slo_gate_trips_on_each_dimension() {
+        let base = slo_baseline(0.0);
+        // a magnitude-10 violation: rate 0.5 > policy 0, magnitude
+        // 10 > policy 4 — two dimensions regress
+        let cmp = base.compare(&slo_report(&[(2, 3, 0)], 100), false);
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+        assert!(cmp.regressions[0].contains("violation_rate"));
+        assert!(cmp.regressions[1].contains("magnitude_max"));
+        // clean ops but each sojourn blows the p99 budget
+        let cmp = base.compare(&slo_report(&[], 1 << 20), false);
+        assert_eq!(cmp.regressions.len(), 1, "{:?}", cmp.regressions);
+        assert!(cmp.regressions[0].contains("p99_latency_ns"));
+    }
+
+    #[test]
+    fn slo_gate_widens_against_a_violating_reference() {
+        // reference soak itself saw rate 0.5 and magnitude 10; policy
+        // tolerates rate 0.6 and magnitude 4
+        let base = SloBaseline {
+            reference: slo_report(&[(2, 3, 0)], 100),
+            ..slo_baseline(0.6)
+        };
+        // a run at the same rate/magnitude sits within 3x reference,
+        // even though magnitude 10 exceeds the policy's 4 on its own
+        let cmp = base.compare(&slo_report(&[(2, 3, 0)], 100), false);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn slo_gate_noisy_widening_matches_the_wall_clock_gate() {
+        // magnitude is the judged axis: reference saw 10, the run sees
+        // 40 — 4x the reference trips the quiet 3x gate
+        // (max(policy 4, 3x10) = 30 < 40) but passes the noisy 9x one
+        // (max(4, 9x10) = 90 >= 40)
+        let reference = slo_report(&[(2, 3, 0)], 100);
+        let run = {
+            let mut ev = cnet_obs::SloEvaluator::new(cnet_obs::SloPolicy::unbounded(), 4);
+            ev.record(0, 1, 40, 100, 0, 0); // finishes holding 40
+            ev.record(2, 3, 0, 100, 0, 0); // magnitude-40 violation
+            ev.snapshot(1000)
+        };
+        let quiet = SloBaseline {
+            policy: cnet_obs::SloPolicy {
+                max_violation_rate: 0.6,
+                max_magnitude: 4,
+                p99_latency_ns: 1 << 14,
+            },
+            reference,
+            noisy: false,
+        };
+        let cmp = quiet.compare(&run, false);
+        assert!(!cmp.passed(), "3x gate should trip on 4x magnitude");
+        let noisy = SloBaseline {
+            noisy: true,
+            ..quiet.clone()
+        };
+        let cmp = noisy.compare(&run, false);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        // the run-side flag widens identically
+        let cmp = quiet.compare(&run, true);
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn slo_gate_always_trips_on_live_breaches() {
+        let base = slo_baseline(1.0);
+        // tight live policy: the violating window breaches during the
+        // run even though the baseline policy tolerates any rate
+        let mut ev = cnet_obs::SloEvaluator::new(
+            cnet_obs::SloPolicy {
+                max_violation_rate: 0.0,
+                max_magnitude: u64::MAX,
+                p99_latency_ns: u64::MAX,
+            },
+            1,
+        );
+        ev.record(0, 1, 10, 100, 0, 0);
+        ev.record(2, 3, 0, 100, 0, 7);
+        let run = ev.snapshot(1000);
+        assert_eq!(run.breaches, 1);
+        let cmp = base.compare(&run, false);
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+        assert!(cmp.regressions.iter().any(|r| r.contains("live policy")));
+    }
+
+    #[test]
+    fn slo_baseline_round_trips_through_save_and_load() {
+        let dir = std::env::temp_dir().join("cnet-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("SLO_soak.json");
+        let base = slo_baseline(0.25);
+        base.save(&path).unwrap();
+        let back = SloBaseline::load(&path).unwrap();
+        assert_eq!(back, base);
+        assert!(std::fs::read_to_string(&path).unwrap().ends_with('\n'));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod seed;
 pub mod table;
 
 pub use args::BenchArgs;
-pub use baseline::{Baseline, BaselineComparison};
+pub use baseline::{Baseline, BaselineComparison, SloBaseline, SloComparison};
 pub use grid::{run_jobs, run_jobs_report, CellRun, Grid, GridOutcome, Job, NetworkKind};
 pub use record::{native_cell_reps, GridReport, RunRecord, SCHEMA_VERSION};
 pub use report::BenchReport;

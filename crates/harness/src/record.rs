@@ -25,10 +25,14 @@ use serde::{impl_serde_struct, Deserialize, Error, Serialize, Value};
 ///   [`cnet_obs::OpenLoopMetrics`]), written by the async backend's
 ///   open-loop runs (the saturation atlas). Written only when present;
 ///   readers default it to `None`.
+/// * **6**: adds the optional `slo` block — the online SLO snapshot of
+///   a long-running `cnet serve` soak (see [`cnet_obs::SloReport`],
+///   which carries its own block version). Written only when present;
+///   readers default it to `None`.
 ///
 /// Readers accept all versions ≤ the current one: committed baselines
 /// from before the field existed keep loading.
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// The serializable summary of one simulator run (one grid cell or one
 /// standalone simulation).
@@ -80,6 +84,11 @@ pub struct RunRecord {
     /// nanoseconds, so the block is excluded from the determinism
     /// guarantee, like `wall_ms`.
     pub open_loop: Option<cnet_obs::OpenLoopMetrics>,
+    /// Online SLO telemetry from a long-running service soak, when the
+    /// producing run was one (`cnet serve`). Sojourn latencies and
+    /// breach timestamps are host time, so the block is excluded from
+    /// the determinism guarantee, like `wall_ms`.
+    pub slo: Option<cnet_obs::SloReport>,
 }
 
 // Serde is hand-written (not `impl_serde_struct!`) because the macro
@@ -113,6 +122,9 @@ impl Serialize for RunRecord {
         }
         if let Some(ol) = &self.open_loop {
             fields.push(("open_loop".to_string(), ol.to_value()));
+        }
+        if let Some(slo) = &self.slo {
+            fields.push(("slo".to_string(), slo.to_value()));
         }
         Value::Object(fields)
     }
@@ -152,6 +164,11 @@ impl Deserialize for RunRecord {
                 .map_err(|e| Error::new(format!("field `open_loop`: {e}")))?,
             None => None, // pre-v5 records had no open-loop runs
         };
+        let slo: Option<cnet_obs::SloReport> = match v.get("slo") {
+            Some(raw) => Option::<cnet_obs::SloReport>::from_value(raw)
+                .map_err(|e| Error::new(format!("field `slo`: {e}")))?,
+            None => None, // pre-v6 records had no service soaks
+        };
         Ok(RunRecord {
             schema_version,
             label: v.field("label")?,
@@ -167,6 +184,7 @@ impl Deserialize for RunRecord {
             wall_ms: v.field("wall_ms")?,
             noisy,
             open_loop,
+            slo,
         })
     }
 }
@@ -212,6 +230,7 @@ impl RunRecord {
             wall_ms,
             noisy: false,
             open_loop: None,
+            slo: None,
         }
     }
 
@@ -247,6 +266,7 @@ impl RunRecord {
             wall_ms: 0.0,
             noisy: false,
             open_loop: None,
+            slo: None,
             ..self.clone()
         }
     }
@@ -500,6 +520,48 @@ mod tests {
         let back = RunRecord::from_value(&Value::Object(v4)).unwrap();
         assert_eq!(back.schema_version, 4);
         assert_eq!(back.open_loop, None);
+        assert_eq!(back.stats, r.stats);
+    }
+
+    #[test]
+    fn slo_block_round_trips_and_defaults_none() {
+        let mut r = record("soak", 1.0);
+        let mut ev = cnet_obs::SloEvaluator::new(cnet_obs::SloPolicy::unbounded(), 2);
+        ev.record(0, 10, 7, 50, 0, 0);
+        ev.record(20, 30, 2, 60, 0, 1);
+        r.slo = Some(ev.snapshot(99));
+        let text = serde::json::to_string(&r.to_value());
+        assert!(text.contains("\"slo\""));
+        let back = RunRecord::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+
+        // records without the block stay byte-shaped like v5, and the
+        // canonical form strips it: breach timestamps are host time
+        let plain = record("W=100,n=4", 1.0);
+        assert!(!serde::json::to_string(&plain.to_value()).contains("\"slo\""));
+        assert_eq!(r.canonical().slo, None);
+    }
+
+    #[test]
+    fn version_5_records_without_slo_still_load() {
+        let r = record("W=100,n=4", 0.0);
+        let Value::Object(fields) = r.to_value() else {
+            panic!("records serialize as objects");
+        };
+        let v5: Vec<_> = fields
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "schema_version" {
+                    (k, 5u32.to_value())
+                } else {
+                    (k, v)
+                }
+            })
+            .filter(|(k, _)| k != "slo")
+            .collect();
+        let back = RunRecord::from_value(&Value::Object(v5)).unwrap();
+        assert_eq!(back.schema_version, 5);
+        assert_eq!(back.slo, None);
         assert_eq!(back.stats, r.stats);
     }
 

@@ -52,11 +52,13 @@ pub mod hist;
 pub mod live;
 pub mod noop;
 pub mod openloop;
+pub mod slo;
 pub mod snapshot;
 pub mod violation;
 
 pub use hist::{LogHistogram, BUCKETS};
 pub use openloop::{open_loop_metrics, OpenLoopMetrics, OpenLoopWindow};
+pub use slo::{SloEvaluator, SloPolicy, SloReport, SloWindow, SLO_SCHEMA_VERSION};
 pub use snapshot::{
     BalancerMetrics, FrontendMetrics, MetricsSnapshot, NetworkMetrics, METRICS_SCHEMA_VERSION,
 };

@@ -1,0 +1,638 @@
+//! Online consistency SLOs for long-running counter services.
+//!
+//! A batch run reports one violation ratio and exits; a *service* owns
+//! a network for hours and must answer, continuously: "are violations
+//! still rare and small, and is latency still bounded?" — the
+//! quantitative-consistency framing of the paper's practical-
+//! linearizability claim. This module is the data model plus the
+//! streaming evaluator:
+//!
+//! * [`SloPolicy`] — declarative thresholds (violation rate, worst
+//!   violation magnitude, p99 sojourn latency);
+//! * [`SloWindow`] — one closed equal-population window of completions
+//!   (the same windowing convention as [`crate::openloop`], but rolled
+//!   online instead of assembled post-hoc);
+//! * [`SloEvaluator`] — feeds a [`ViolationTracker`] in completion
+//!   order, closes a window every `window_ops` completions, and runs
+//!   the breach state machine;
+//! * [`SloReport`] — the serializable snapshot (`SLO_SCHEMA_VERSION`),
+//!   also renderable as a `/metrics`-style text page.
+//!
+//! # Breach state machine
+//!
+//! Breach detection is edge-triggered on window close: a window either
+//! meets the policy or breaches it. The service is *in breach* from
+//! the first breaching window until the next conforming one; each
+//! ok→breach transition increments `breaches` and records a timestamp.
+//! A 10-window outage therefore counts as one breach with its onset
+//! time, the way an alerting pipeline would page once.
+
+use serde::impl_serde_struct;
+
+use crate::hist::LogHistogram;
+use crate::violation::ViolationTracker;
+
+/// Schema version of [`SloReport`]. Bump on any field change.
+pub const SLO_SCHEMA_VERSION: u32 = 1;
+
+/// Closed windows retained in the evaluator (a ring of the most
+/// recent; totals are exact regardless).
+pub const RETAINED_WINDOWS: usize = 64;
+
+/// Breach onset timestamps retained in the evaluator (most recent;
+/// the `breaches` counter is exact regardless).
+pub const RETAINED_BREACHES: usize = 64;
+
+/// Declarative consistency thresholds, evaluated per closed window.
+///
+/// A window breaches the policy when its violation rate exceeds
+/// `max_violation_rate`, OR some violation's magnitude exceeds
+/// `max_magnitude`, OR its p99 sojourn latency exceeds
+/// `p99_latency_ns`. Serialized integers are exact (the vendored
+/// serde keeps `u64` out of `f64`), so `u64::MAX` is a faithful
+/// "unbounded" marker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Max fraction of a window's operations that may be
+    /// non-linearizable (Definition 2.4), in `[0, 1]`.
+    pub max_violation_rate: f64,
+    /// Max tolerated violation magnitude (counter positions).
+    pub max_magnitude: u64,
+    /// Max tolerated p99 sojourn latency (nanoseconds).
+    pub p99_latency_ns: u64,
+}
+
+impl_serde_struct!(SloPolicy {
+    max_violation_rate,
+    max_magnitude,
+    p99_latency_ns,
+});
+
+impl SloPolicy {
+    /// A policy no window can breach.
+    #[must_use]
+    pub const fn unbounded() -> Self {
+        SloPolicy {
+            max_violation_rate: 1.0,
+            max_magnitude: u64::MAX,
+            p99_latency_ns: u64::MAX,
+        }
+    }
+
+    /// Whether `self` is at least as strict as `other` in every
+    /// dimension (pointwise lower-or-equal thresholds).
+    #[must_use]
+    pub fn stricter_or_equal(&self, other: &SloPolicy) -> bool {
+        self.max_violation_rate <= other.max_violation_rate
+            && self.max_magnitude <= other.max_magnitude
+            && self.p99_latency_ns <= other.p99_latency_ns
+    }
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// One window of completions: the SLO evaluator's unit of judgement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloWindow {
+    /// Operations completed in this window.
+    pub ops: u64,
+    /// Definition 2.4 non-linearizable operations.
+    pub violations: u64,
+    /// Summed violation magnitude (total displacement).
+    pub magnitude_total: u64,
+    /// Worst single violation magnitude.
+    pub magnitude_max: u64,
+    /// Sojourn latency (completion − scheduled arrival, ns).
+    pub latency: LogHistogram,
+}
+
+impl_serde_struct!(SloWindow {
+    ops,
+    violations,
+    magnitude_total,
+    magnitude_max,
+    latency,
+});
+
+impl SloWindow {
+    /// Fraction of this window's operations that violated (0.0 when
+    /// empty).
+    #[must_use]
+    pub fn violation_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.ops as f64
+        }
+    }
+
+    /// Upper bound on the window's p99 sojourn latency.
+    #[must_use]
+    pub fn p99_latency_ns(&self) -> u64 {
+        self.latency.quantile_upper_bound(0.99)
+    }
+
+    /// Whether this window breaches `policy` (any dimension over its
+    /// threshold).
+    #[must_use]
+    pub fn breaches(&self, policy: &SloPolicy) -> bool {
+        self.violation_rate() > policy.max_violation_rate
+            || self.magnitude_max > policy.max_magnitude
+            || self.p99_latency_ns() > policy.p99_latency_ns
+    }
+
+    fn record(&mut self, magnitude: u64, sojourn_ns: u64) {
+        self.ops += 1;
+        self.latency.record(sojourn_ns);
+        if magnitude > 0 {
+            self.violations += 1;
+            self.magnitude_total += magnitude;
+            self.magnitude_max = self.magnitude_max.max(magnitude);
+        }
+    }
+}
+
+/// Serializable snapshot of a service's SLO state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// [`SLO_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// The policy the service is evaluating.
+    pub policy: SloPolicy,
+    /// Completions per window.
+    pub window_ops: u64,
+    /// Windows closed so far (may exceed `windows.len()`).
+    pub windows_closed: u64,
+    /// The most recent closed windows (up to [`RETAINED_WINDOWS`]),
+    /// oldest first.
+    pub windows: Vec<SloWindow>,
+    /// The still-open window.
+    pub current: SloWindow,
+    /// Run-level totals over *all* completions, closed or not.
+    pub total: SloWindow,
+    /// ok→breach transitions so far.
+    pub breaches: u64,
+    /// Onset timestamps of the most recent breaches (ms since service
+    /// start, up to [`RETAINED_BREACHES`]).
+    pub breach_timestamps_ms: Vec<u64>,
+    /// Whether the most recently closed window breached.
+    pub in_breach: bool,
+    /// Service uptime at snapshot time (ms).
+    pub uptime_ms: u64,
+}
+
+impl_serde_struct!(SloReport {
+    schema_version,
+    policy,
+    window_ops,
+    windows_closed,
+    windows,
+    current,
+    total,
+    breaches,
+    breach_timestamps_ms,
+    in_breach,
+    uptime_ms,
+});
+
+impl SloReport {
+    /// Whether the service has never breached its policy.
+    #[must_use]
+    pub fn breach_free(&self) -> bool {
+        self.breaches == 0 && !self.in_breach
+    }
+
+    /// Renders the snapshot as a `/metrics`-style text page: one
+    /// `cnet_serve_*` gauge per line, space-separated, deterministic
+    /// order — greppable from shell and scrapeable by anything that
+    /// speaks the Prometheus exposition format.
+    #[must_use]
+    pub fn to_metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let last = self.windows.last();
+        let _ = writeln!(out, "cnet_serve_schema_version {}", self.schema_version);
+        let _ = writeln!(out, "cnet_serve_uptime_ms {}", self.uptime_ms);
+        let _ = writeln!(out, "cnet_serve_ops_total {}", self.total.ops);
+        let _ = writeln!(out, "cnet_serve_violations_total {}", self.total.violations);
+        let _ = writeln!(
+            out,
+            "cnet_serve_violation_rate {}",
+            self.total.violation_rate()
+        );
+        let _ = writeln!(
+            out,
+            "cnet_serve_violation_magnitude_max {}",
+            self.total.magnitude_max
+        );
+        let _ = writeln!(
+            out,
+            "cnet_serve_violation_magnitude_total {}",
+            self.total.magnitude_total
+        );
+        let _ = writeln!(
+            out,
+            "cnet_serve_p99_latency_ns {}",
+            self.total.p99_latency_ns()
+        );
+        let _ = writeln!(out, "cnet_serve_windows_closed {}", self.windows_closed);
+        let _ = writeln!(out, "cnet_serve_window_ops {}", self.window_ops);
+        let _ = writeln!(
+            out,
+            "cnet_serve_window_violation_rate {}",
+            last.map_or(0.0, SloWindow::violation_rate)
+        );
+        let _ = writeln!(
+            out,
+            "cnet_serve_window_magnitude_max {}",
+            last.map_or(0, |w| w.magnitude_max)
+        );
+        let _ = writeln!(
+            out,
+            "cnet_serve_window_p99_latency_ns {}",
+            last.map_or(0, SloWindow::p99_latency_ns)
+        );
+        let _ = writeln!(out, "cnet_serve_breaches_total {}", self.breaches);
+        let _ = writeln!(out, "cnet_serve_in_breach {}", u64::from(self.in_breach));
+        out
+    }
+}
+
+/// The streaming evaluator a service feeds as operations complete.
+///
+/// Feed order **must** be completion (end-tick) order — a service
+/// guarantees this by assigning the end tick and calling [`record`]
+/// inside one critical section. Under that contract the per-window
+/// violation counts are *exactly* the offline Definition 2.4 sweep's,
+/// window by window (the integration suite in `cnet-serve` replays
+/// recorded histories to assert this).
+///
+/// [`record`]: SloEvaluator::record
+#[derive(Debug, Clone)]
+pub struct SloEvaluator {
+    policy: SloPolicy,
+    window_ops: u64,
+    tracker: ViolationTracker,
+    current: SloWindow,
+    windows: Vec<SloWindow>,
+    windows_closed: u64,
+    total: SloWindow,
+    breaches: u64,
+    breach_timestamps_ms: Vec<u64>,
+    in_breach: bool,
+}
+
+impl SloEvaluator {
+    /// A fresh evaluator closing a window every `window_ops`
+    /// completions (clamped to at least 1).
+    #[must_use]
+    pub fn new(policy: SloPolicy, window_ops: u64) -> Self {
+        SloEvaluator {
+            policy,
+            window_ops: window_ops.max(1),
+            tracker: ViolationTracker::new(),
+            current: SloWindow::default(),
+            windows: Vec::new(),
+            windows_closed: 0,
+            total: SloWindow::default(),
+            breaches: 0,
+            breach_timestamps_ms: Vec::new(),
+            in_breach: false,
+        }
+    }
+
+    /// Records one completed operation and returns its violation
+    /// magnitude (0 = linearizable against everything seen so far).
+    ///
+    /// `start`/`end` are logical clock ticks, `value` the counter
+    /// position drawn, `sojourn_ns` host-time latency,
+    /// `min_pending_start` the smallest start tick over operations
+    /// still in flight (`u64::MAX` when none — callers promise every
+    /// future `record` has `start >=` this bound, which lets the
+    /// tracker retire old state), and `now_ms` the service uptime used
+    /// to timestamp breach onsets.
+    pub fn record(
+        &mut self,
+        start: u64,
+        end: u64,
+        value: u64,
+        sojourn_ns: u64,
+        min_pending_start: u64,
+        now_ms: u64,
+    ) -> u64 {
+        let magnitude = self.tracker.observe(start, end, value);
+        self.tracker.retire(min_pending_start);
+        self.current.record(magnitude, sojourn_ns);
+        self.total.record(magnitude, sojourn_ns);
+        if self.current.ops >= self.window_ops {
+            self.close_window(now_ms);
+        }
+        magnitude
+    }
+
+    fn close_window(&mut self, now_ms: u64) {
+        let window = std::mem::take(&mut self.current);
+        let breached = window.breaches(&self.policy);
+        if breached && !self.in_breach {
+            self.breaches += 1;
+            if self.breach_timestamps_ms.len() == RETAINED_BREACHES {
+                self.breach_timestamps_ms.remove(0);
+            }
+            self.breach_timestamps_ms.push(now_ms);
+        }
+        self.in_breach = breached;
+        if self.windows.len() == RETAINED_WINDOWS {
+            self.windows.remove(0);
+        }
+        self.windows.push(window);
+        self.windows_closed += 1;
+    }
+
+    /// ok→breach transitions so far.
+    #[must_use]
+    pub fn breaches(&self) -> u64 {
+        self.breaches
+    }
+
+    /// Operations recorded so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.total.ops
+    }
+
+    /// Entries the internal violation tracker currently retains —
+    /// bounded by retirement, observable for the soak tests.
+    #[must_use]
+    pub fn tracker_retained(&self) -> usize {
+        self.tracker.retained()
+    }
+
+    /// Freezes the current state into a serializable report.
+    #[must_use]
+    pub fn snapshot(&self, uptime_ms: u64) -> SloReport {
+        SloReport {
+            schema_version: SLO_SCHEMA_VERSION,
+            policy: self.policy,
+            window_ops: self.window_ops,
+            windows_closed: self.windows_closed,
+            windows: self.windows.clone(),
+            current: self.current.clone(),
+            total: self.total.clone(),
+            breaches: self.breaches,
+            breach_timestamps_ms: self.breach_timestamps_ms.clone(),
+            in_breach: self.in_breach,
+            uptime_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize as _, Serialize as _};
+
+    fn tight() -> SloPolicy {
+        SloPolicy {
+            max_violation_rate: 0.0,
+            max_magnitude: 0,
+            p99_latency_ns: 1_000_000,
+        }
+    }
+
+    /// Sequential clean ops: start i*2, end i*2+1, value i.
+    fn feed_clean(ev: &mut SloEvaluator, n: u64) {
+        for i in 0..n {
+            ev.record(i * 2, i * 2 + 1, i, 100, i * 2 + 2, i);
+        }
+    }
+
+    #[test]
+    fn clean_traffic_never_breaches() {
+        let mut ev = SloEvaluator::new(tight(), 4);
+        feed_clean(&mut ev, 10);
+        let r = ev.snapshot(123);
+        assert!(r.breach_free());
+        assert_eq!(r.windows_closed, 2);
+        assert_eq!(r.current.ops, 2);
+        assert_eq!(r.total.ops, 10);
+        assert_eq!(r.total.violations, 0);
+        assert_eq!(r.uptime_ms, 123);
+    }
+
+    #[test]
+    fn violations_are_counted_per_window_and_in_total() {
+        let mut ev = SloEvaluator::new(SloPolicy::unbounded(), 2);
+        // op A finishes at 10 holding 7; op B starts at 20 and draws 2:
+        // magnitude-5 violation in window 0
+        assert_eq!(ev.record(0, 10, 7, 50, 0, 0), 0);
+        assert_eq!(ev.record(20, 30, 2, 50, 0, 1), 5);
+        // window 1 clean
+        assert_eq!(ev.record(40, 50, 8, 50, 0, 2), 0);
+        assert_eq!(ev.record(60, 70, 9, 50, 0, 3), 0);
+        let r = ev.snapshot(4);
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!(r.windows[0].violations, 1);
+        assert_eq!(r.windows[0].magnitude_max, 5);
+        assert_eq!(r.windows[0].magnitude_total, 5);
+        assert_eq!(r.windows[1].violations, 0);
+        assert_eq!(r.total.violations, 1);
+        assert_eq!(r.total.magnitude_max, 5);
+        assert!((r.windows[0].violation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breach_transitions_are_edge_triggered() {
+        // rate threshold 0, window of 1: every violating window is a
+        // breach window
+        let policy = SloPolicy {
+            max_violation_rate: 0.0,
+            max_magnitude: u64::MAX,
+            p99_latency_ns: u64::MAX,
+        };
+        let mut ev = SloEvaluator::new(policy, 1);
+        ev.record(0, 10, 7, 50, 0, 5); // clean
+        ev.record(20, 30, 2, 50, 0, 6); // violation → breach onset @6
+        ev.record(40, 50, 3, 50, 0, 7); // violation (7 finished first) → still in breach
+        ev.record(60, 70, 9, 50, 0, 8); // clean → recovered
+        ev.record(80, 90, 4, 50, 0, 9); // violation → second onset @9
+        let r = ev.snapshot(10);
+        assert_eq!(r.breaches, 2);
+        assert_eq!(r.breach_timestamps_ms, vec![6, 9]);
+        assert!(r.in_breach);
+        assert!(!r.breach_free());
+    }
+
+    #[test]
+    fn latency_breaches_via_p99() {
+        let policy = SloPolicy {
+            max_violation_rate: 1.0,
+            max_magnitude: u64::MAX,
+            p99_latency_ns: 1_000,
+        };
+        let mut ev = SloEvaluator::new(policy, 2);
+        ev.record(0, 1, 0, 100, 2, 0);
+        ev.record(2, 3, 1, 1 << 20, 4, 1); // ~1ms sojourn blows the budget
+        let r = ev.snapshot(2);
+        assert_eq!(r.breaches, 1);
+        assert!(r.windows[0].p99_latency_ns() > 1_000);
+    }
+
+    #[test]
+    fn retirement_keeps_the_tracker_bounded() {
+        let mut ev = SloEvaluator::new(SloPolicy::unbounded(), 100);
+        // sequential ops with a perfect frontier: at most a handful of
+        // entries should ever be retained
+        for i in 0..10_000u64 {
+            ev.record(i * 2, i * 2 + 1, i, 10, i * 2 + 2, 0);
+        }
+        assert_eq!(ev.ops(), 10_000);
+        assert!(
+            ev.tracker_retained() <= 2,
+            "retained {} entries",
+            ev.tracker_retained()
+        );
+    }
+
+    #[test]
+    fn window_ring_is_capped_but_totals_are_exact() {
+        let mut ev = SloEvaluator::new(SloPolicy::unbounded(), 1);
+        feed_clean(&mut ev, RETAINED_WINDOWS as u64 + 10);
+        let r = ev.snapshot(0);
+        assert_eq!(r.windows.len(), RETAINED_WINDOWS);
+        assert_eq!(r.windows_closed, RETAINED_WINDOWS as u64 + 10);
+        assert_eq!(r.total.ops, RETAINED_WINDOWS as u64 + 10);
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let mut ev = SloEvaluator::new(tight(), 3);
+        ev.record(0, 10, 7, 50, 0, 0);
+        ev.record(20, 30, 2, 900, 0, 1);
+        ev.record(40, 50, 9, 60, 0, 2);
+        ev.record(60, 65, 10, 70, 0, 3);
+        let r = ev.snapshot(77);
+        let text = serde::json::to_string_pretty(&r.to_value());
+        let back = SloReport::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn unbounded_policy_round_trips_u64_max_exactly() {
+        let p = SloPolicy::unbounded();
+        let text = serde::json::to_string(&p.to_value());
+        let back = SloPolicy::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.max_magnitude, u64::MAX);
+        assert_eq!(back.p99_latency_ns, u64::MAX);
+    }
+
+    #[test]
+    fn metrics_text_is_line_per_gauge() {
+        let mut ev = SloEvaluator::new(tight(), 2);
+        ev.record(0, 10, 7, 50, 0, 0);
+        ev.record(20, 30, 2, 50, 0, 1);
+        let text = ev.snapshot(9).to_metrics_text();
+        assert!(text.contains("cnet_serve_ops_total 2\n"));
+        assert!(text.contains("cnet_serve_violations_total 1\n"));
+        assert!(text.contains("cnet_serve_breaches_total 1\n"));
+        assert!(text.contains("cnet_serve_in_breach 1\n"));
+        assert!(text.contains("cnet_serve_uptime_ms 9\n"));
+        for line in text.lines() {
+            assert_eq!(line.split(' ').count(), 2, "line {line:?}");
+            assert!(line.starts_with("cnet_serve_"), "line {line:?}");
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Replays one synthetic end-sorted trace against a policy,
+        /// returning which windows breached.
+        fn breached_windows(
+            trace: &[(u64, u64, u64, u64)],
+            policy: SloPolicy,
+            window_ops: u64,
+        ) -> (Vec<bool>, u64) {
+            let mut ev = SloEvaluator::new(policy, window_ops);
+            for (i, &(start, len, value, sojourn)) in trace.iter().enumerate() {
+                ev.record(start, start + len, value, sojourn, 0, i as u64);
+            }
+            let r = ev.snapshot(0);
+            (
+                r.windows.iter().map(|w| w.breaches(&policy)).collect(),
+                r.breaches,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Tightening any threshold can only grow the set of
+            /// breaching windows: breach detection is monotone in the
+            /// policy. (Windows are policy-independent — windowing is
+            /// by completion count — so the per-window breach sets are
+            /// directly comparable.)
+            #[test]
+            fn breach_detection_is_monotone_in_thresholds(
+                raw in proptest::collection::vec(
+                    (0u64..50, 1u64..20, 0u64..30, 0u64..5000), 1..60),
+                window_ops in 1u64..8,
+                rate_a_pm in 0u64..1000, rate_b_pm in 0u64..1000,
+                mag_a in 0u64..20, mag_b in 0u64..20,
+                p99_a in 0u64..5000, p99_b in 0u64..5000,
+            ) {
+                let mut trace = raw;
+                trace.sort_by_key(|&(start, len, _, _)| start + len);
+                // the vendored proptest has no f64 strategies; derive
+                // rates from permille draws
+                let (rate_a, rate_b) =
+                    (rate_a_pm as f64 / 1000.0, rate_b_pm as f64 / 1000.0);
+                let strict = SloPolicy {
+                    max_violation_rate: rate_a.min(rate_b),
+                    max_magnitude: mag_a.min(mag_b),
+                    p99_latency_ns: p99_a.min(p99_b),
+                };
+                let loose = SloPolicy {
+                    max_violation_rate: rate_a.max(rate_b),
+                    max_magnitude: mag_a.max(mag_b),
+                    p99_latency_ns: p99_a.max(p99_b),
+                };
+                prop_assert!(strict.stricter_or_equal(&loose));
+                let (strict_windows, strict_breaches) =
+                    breached_windows(&trace, strict, window_ops);
+                let (loose_windows, loose_breaches) =
+                    breached_windows(&trace, loose, window_ops);
+                prop_assert_eq!(strict_windows.len(), loose_windows.len());
+                for (s, l) in strict_windows.iter().zip(loose_windows.iter()) {
+                    // loose breach ⇒ strict breach
+                    prop_assert!(*s || !*l);
+                }
+                // more breaching windows can only mean at least as many
+                // breach *onsets* is NOT true in general (merging two
+                // breach episodes), but zero loose breaches with a
+                // nonzero strict count must hold monotonically:
+                if loose_breaches > 0 {
+                    prop_assert!(strict_breaches > 0);
+                }
+            }
+
+            /// The unbounded policy never breaches, on any trace.
+            #[test]
+            fn unbounded_policy_never_breaches(
+                raw in proptest::collection::vec(
+                    (0u64..50, 1u64..20, 0u64..30, 0u64..5000), 1..40),
+                window_ops in 1u64..8,
+            ) {
+                let mut trace = raw;
+                trace.sort_by_key(|&(start, len, _, _)| start + len);
+                let (_, breaches) =
+                    breached_windows(&trace, SloPolicy::unbounded(), window_ops);
+                prop_assert_eq!(breaches, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! A blocking client for the counter service.
+//!
+//! [`ServeClient`] wraps one unix-socket connection and exposes the
+//! five protocol verbs as typed calls. It is what `cnet drive` (and
+//! the integration tests) build on; external consumers can speak the
+//! frame format directly from any language.
+
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use cnet_obs::SloReport;
+use serde::Deserialize as _;
+
+use crate::proto::{read_response, write_request, Request, Response};
+
+/// One drawn value (or reserved interval) with its logical-clock
+/// bracket, as witnessed by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Drawn {
+    /// First value of the interval (`== the` value for a plain `Next`).
+    pub base: u64,
+    /// Interval length (1 for a plain `Next`).
+    pub k: u32,
+    /// Logical start tick.
+    pub start: u64,
+    /// Logical end tick.
+    pub end: u64,
+}
+
+/// The server's liveness scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Operations served.
+    pub ops: u64,
+    /// Milliseconds since the service started.
+    pub uptime_ms: u64,
+    /// ok→breach transitions so far.
+    pub breaches: u64,
+}
+
+/// A connected client. One request in flight at a time (the protocol
+/// is strictly request/response per connection).
+pub struct ServeClient {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+fn bad(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+impl ServeClient {
+    /// Connects to the daemon's socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Self> {
+        let stream = UnixStream::connect(socket)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects, retrying for up to `patience` while the server is
+    /// still binding its socket — the race every "spawn daemon, then
+    /// drive it" script hits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final connect error once patience runs out.
+    pub fn connect_with_patience(socket: impl AsRef<Path>, patience: Duration) -> io::Result<Self> {
+        let deadline = std::time::Instant::now() + patience;
+        loop {
+            match Self::connect(socket.as_ref()) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_request(&mut self.writer, req)?;
+        self.writer.flush()?;
+        match read_response(&mut self.reader)? {
+            Some(Response::Err { message }) => {
+                Err(bad(format!("server rejected request: {message}")))
+            }
+            Some(resp) => Ok(resp),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            )),
+        }
+    }
+
+    /// Draws one counter value.
+    ///
+    /// Named for symmetry with `Counter::next` — this is the remote
+    /// face of the same operation, not an iterator.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a protocol-level rejection.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> io::Result<Drawn> {
+        match self.call(&Request::Next)? {
+            Response::Value { value, start, end } => Ok(Drawn {
+                base: value,
+                k: 1,
+                start,
+                end,
+            }),
+            other => Err(bad(format!("expected Value, got {other:?}"))),
+        }
+    }
+
+    /// Reserves `k` contiguous values with one server-side traversal.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a protocol-level rejection (`k` out of range).
+    pub fn next_batch(&mut self, k: u32) -> io::Result<Drawn> {
+        match self.call(&Request::NextBatch { k })? {
+            Response::Batch {
+                base,
+                k,
+                start,
+                end,
+            } => Ok(Drawn {
+                base,
+                k,
+                start,
+                end,
+            }),
+            other => Err(bad(format!("expected Batch, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the SLO snapshot as raw JSON text.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a protocol-level rejection.
+    pub fn snapshot_json(&mut self) -> io::Result<String> {
+        match self.call(&Request::Snapshot)? {
+            Response::Snapshot { json } => Ok(json),
+            other => Err(bad(format!("expected Snapshot, got {other:?}"))),
+        }
+    }
+
+    /// Fetches and deserializes the SLO snapshot.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a protocol-level rejection, or a snapshot that does
+    /// not parse as a [`SloReport`] (a version-skewed server).
+    pub fn snapshot(&mut self) -> io::Result<SloReport> {
+        let json = self.snapshot_json()?;
+        let value = serde::json::from_str(&json).map_err(|e| bad(format!("snapshot JSON: {e}")))?;
+        SloReport::from_value(&value).map_err(|e| bad(format!("snapshot schema: {e}")))
+    }
+
+    /// Fetches the snapshot rendered as the `/metrics`-style text page.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ServeClient::snapshot`].
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        Ok(self.snapshot()?.to_metrics_text())
+    }
+
+    /// Fetches the liveness scalars.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a protocol-level rejection.
+    pub fn health(&mut self) -> io::Result<HealthInfo> {
+        match self.call(&Request::Health)? {
+            Response::Health {
+                ops,
+                uptime_ms,
+                breaches,
+            } => Ok(HealthInfo {
+                ops,
+                uptime_ms,
+                breaches,
+            }),
+            other => Err(bad(format!("expected Health, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once it acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a protocol-level rejection.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(bad(format!("expected Bye, got {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! The wire protocol: length-prefixed request/response frames.
+//!
+//! One frame = a little-endian `u32` payload length, then the payload:
+//! one opcode byte followed by fixed-width little-endian fields (or
+//! UTF-8 text for the snapshot/error payloads). Five requests, six
+//! responses — small enough to decode by hand on any client:
+//!
+//! | request  | opcode | payload            | response |
+//! |----------|--------|--------------------|----------|
+//! | Next     | `0x01` | —                  | Value    |
+//! | NextBatch| `0x02` | `k: u32`           | Batch    |
+//! | Snapshot | `0x03` | —                  | Snapshot |
+//! | Health   | `0x04` | —                  | Health   |
+//! | Shutdown | `0x05` | —                  | Bye      |
+//!
+//! | response | opcode | payload                                   |
+//! |----------|--------|-------------------------------------------|
+//! | Value    | `0x81` | `value, start, end: u64`                  |
+//! | Batch    | `0x82` | `base: u64, k: u32, start, end: u64`      |
+//! | Snapshot | `0x83` | JSON text (a serialized `SloReport`)      |
+//! | Health   | `0x84` | `ops, uptime_ms, breaches: u64`           |
+//! | Bye      | `0x85` | —                                         |
+//! | Err      | `0xFF` | UTF-8 message                             |
+//!
+//! `Value`/`Batch` carry the operation's logical start/end ticks so
+//! external clients can run the Definition 2.4 check on exactly the
+//! witness the server recorded. A batch reserves the contiguous values
+//! `[base, base + k)` with a single traversal; the whole interval
+//! shares one `(start, end)` bracket.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame payload. Snapshots carry a full windowed
+/// report (bounded by the evaluator's retained-window cap) and fit in
+/// well under a mebibyte; anything larger is a corrupt stream.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Largest accepted batch size — caps how much of the value space a
+/// single request can reserve.
+pub const MAX_BATCH: u32 = 1 << 20;
+
+/// A client-to-server frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Draw one counter value.
+    Next,
+    /// Reserve `k` contiguous values with one traversal.
+    NextBatch {
+        /// Interval length; `1..=MAX_BATCH`.
+        k: u32,
+    },
+    /// Fetch the serialized SLO report.
+    Snapshot,
+    /// Fetch the liveness scalars.
+    Health,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// One drawn value with its logical-clock bracket.
+    Value {
+        /// The counter position.
+        value: u64,
+        /// Logical start tick.
+        start: u64,
+        /// Logical end tick.
+        end: u64,
+    },
+    /// A reserved interval `[base, base + k)` with its shared bracket.
+    Batch {
+        /// First value of the interval.
+        base: u64,
+        /// Interval length.
+        k: u32,
+        /// Logical start tick.
+        start: u64,
+        /// Logical end tick.
+        end: u64,
+    },
+    /// The serialized [`cnet_obs::SloReport`] JSON.
+    Snapshot {
+        /// JSON text.
+        json: String,
+    },
+    /// Liveness scalars.
+    Health {
+        /// Operations served.
+        ops: u64,
+        /// Milliseconds since the service started.
+        uptime_ms: u64,
+        /// ok→breach transitions so far.
+        breaches: u64,
+    },
+    /// Acknowledges shutdown / announces the connection is closing.
+    Bye,
+    /// A rejected request, with the reason.
+    Err {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// `read_exact` that never abandons bytes already consumed: once the
+/// frame has started, a read timeout (`WouldBlock`/`TimedOut` from a
+/// socket with a poll-interval timeout) is retried instead of
+/// surfaced, so timeouts only ever appear at frame boundaries.
+fn read_full(r: &mut impl Read, buf: &mut [u8], started: bool, what: &str) -> io::Result<bool> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && !started {
+                    Ok(false) // clean EOF at a frame boundary
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("stream ended mid-frame ({what})"),
+                    ))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if (got > 0 || started)
+                    && (e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one length-prefixed payload. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary (the peer closed the stream).
+fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    if !read_full(r, &mut len, false, "length prefix")? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_full(r, &mut payload, true, "payload")?;
+    Ok(Some(payload))
+}
+
+fn u32_at(payload: &[u8], at: usize) -> io::Result<u32> {
+    payload
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame payload truncated"))
+}
+
+fn u64_at(payload: &[u8], at: usize) -> io::Result<u64> {
+    payload
+        .get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame payload truncated"))
+}
+
+fn expect_len(payload: &[u8], want: usize, what: &str) -> io::Result<()> {
+    if payload.len() == want {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{what}: expected {want}-byte payload, got {}",
+                payload.len()
+            ),
+        ))
+    }
+}
+
+fn text_of(payload: &[u8], what: &str) -> io::Result<String> {
+    String::from_utf8(payload.to_vec()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{what}: payload is not UTF-8"),
+        )
+    })
+}
+
+/// Writes one request frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let payload = match req {
+        Request::Next => vec![0x01],
+        Request::NextBatch { k } => {
+            let mut p = vec![0x02];
+            p.extend_from_slice(&k.to_le_bytes());
+            p
+        }
+        Request::Snapshot => vec![0x03],
+        Request::Health => vec![0x04],
+        Request::Shutdown => vec![0x05],
+    };
+    w.write_all(&frame(&payload))
+}
+
+/// Reads one request frame; `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Propagates the underlying read error; malformed frames surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_request(r: &mut impl Read) -> io::Result<Option<Request>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let Some(&op) = payload.first() else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty request frame",
+        ));
+    };
+    let req = match op {
+        0x01 => {
+            expect_len(&payload, 1, "Next")?;
+            Request::Next
+        }
+        0x02 => {
+            expect_len(&payload, 5, "NextBatch")?;
+            Request::NextBatch {
+                k: u32_at(&payload, 1)?,
+            }
+        }
+        0x03 => {
+            expect_len(&payload, 1, "Snapshot")?;
+            Request::Snapshot
+        }
+        0x04 => {
+            expect_len(&payload, 1, "Health")?;
+            Request::Health
+        }
+        0x05 => {
+            expect_len(&payload, 1, "Shutdown")?;
+            Request::Shutdown
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown request opcode 0x{other:02x}"),
+            ));
+        }
+    };
+    Ok(Some(req))
+}
+
+/// Writes one response frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let payload = match resp {
+        Response::Value { value, start, end } => {
+            let mut p = vec![0x81];
+            p.extend_from_slice(&value.to_le_bytes());
+            p.extend_from_slice(&start.to_le_bytes());
+            p.extend_from_slice(&end.to_le_bytes());
+            p
+        }
+        Response::Batch {
+            base,
+            k,
+            start,
+            end,
+        } => {
+            let mut p = vec![0x82];
+            p.extend_from_slice(&base.to_le_bytes());
+            p.extend_from_slice(&k.to_le_bytes());
+            p.extend_from_slice(&start.to_le_bytes());
+            p.extend_from_slice(&end.to_le_bytes());
+            p
+        }
+        Response::Snapshot { json } => {
+            let mut p = vec![0x83];
+            p.extend_from_slice(json.as_bytes());
+            p
+        }
+        Response::Health {
+            ops,
+            uptime_ms,
+            breaches,
+        } => {
+            let mut p = vec![0x84];
+            p.extend_from_slice(&ops.to_le_bytes());
+            p.extend_from_slice(&uptime_ms.to_le_bytes());
+            p.extend_from_slice(&breaches.to_le_bytes());
+            p
+        }
+        Response::Bye => vec![0x85],
+        Response::Err { message } => {
+            let mut p = vec![0xFF];
+            p.extend_from_slice(message.as_bytes());
+            p
+        }
+    };
+    w.write_all(&frame(&payload))
+}
+
+/// Reads one response frame; `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Propagates the underlying read error; malformed frames surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_response(r: &mut impl Read) -> io::Result<Option<Response>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let Some(&op) = payload.first() else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty response frame",
+        ));
+    };
+    let resp = match op {
+        0x81 => {
+            expect_len(&payload, 25, "Value")?;
+            Response::Value {
+                value: u64_at(&payload, 1)?,
+                start: u64_at(&payload, 9)?,
+                end: u64_at(&payload, 17)?,
+            }
+        }
+        0x82 => {
+            expect_len(&payload, 29, "Batch")?;
+            Response::Batch {
+                base: u64_at(&payload, 1)?,
+                k: u32_at(&payload, 9)?,
+                start: u64_at(&payload, 13)?,
+                end: u64_at(&payload, 21)?,
+            }
+        }
+        0x83 => Response::Snapshot {
+            json: text_of(&payload[1..], "Snapshot")?,
+        },
+        0x84 => {
+            expect_len(&payload, 25, "Health")?;
+            Response::Health {
+                ops: u64_at(&payload, 1)?,
+                uptime_ms: u64_at(&payload, 9)?,
+                breaches: u64_at(&payload, 17)?,
+            }
+        }
+        0x85 => {
+            expect_len(&payload, 1, "Bye")?;
+            Response::Bye
+        }
+        0xFF => Response::Err {
+            message: text_of(&payload[1..], "Err")?,
+        },
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown response opcode 0x{other:02x}"),
+            ));
+        }
+    };
+    Ok(Some(resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip_request(req: Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        read_request(&mut Cursor::new(buf)).unwrap().unwrap()
+    }
+
+    fn round_trip_response(resp: Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        read_response(&mut Cursor::new(buf)).unwrap().unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Next,
+            Request::NextBatch { k: 17 },
+            Request::Snapshot,
+            Request::Health,
+            Request::Shutdown,
+        ] {
+            assert_eq!(round_trip_request(req), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Value {
+                value: u64::MAX,
+                start: 3,
+                end: 9,
+            },
+            Response::Batch {
+                base: 100,
+                k: 32,
+                start: 1,
+                end: 2,
+            },
+            Response::Snapshot {
+                json: "{\"x\": 1}".to_string(),
+            },
+            Response::Health {
+                ops: 5,
+                uptime_ms: 1000,
+                breaches: 0,
+            },
+            Response::Bye,
+            Response::Err {
+                message: "no".to_string(),
+            },
+        ] {
+            assert_eq!(round_trip_response(resp.clone()), resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_reads_as_none() {
+        assert_eq!(read_request(&mut Cursor::new(Vec::new())).unwrap(), None);
+        assert_eq!(read_response(&mut Cursor::new(Vec::new())).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_prefix_is_an_error() {
+        let err = read_request(&mut Cursor::new(vec![1u8, 0])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Response::Value {
+                value: 1,
+                start: 2,
+                end: 3,
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 1);
+        let err = read_response(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut buf = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        buf.push(0x01);
+        let err = read_request(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cap"));
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.push(0x7E);
+        let err = read_request(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("0x7e"));
+    }
+
+    #[test]
+    fn frames_decode_back_to_back_on_one_stream() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Next).unwrap();
+        write_request(&mut buf, &Request::NextBatch { k: 4 }).unwrap();
+        write_request(&mut buf, &Request::Shutdown).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_request(&mut cur).unwrap(), Some(Request::Next));
+        assert_eq!(
+            read_request(&mut cur).unwrap(),
+            Some(Request::NextBatch { k: 4 })
+        );
+        assert_eq!(read_request(&mut cur).unwrap(), Some(Request::Shutdown));
+        assert_eq!(read_request(&mut cur).unwrap(), None);
+    }
+}

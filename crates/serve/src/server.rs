@@ -1,0 +1,544 @@
+//! The daemon: a compiled counting network behind a unix socket.
+//!
+//! [`CounterServer::start`] binds the socket, spawns the accept loop,
+//! and returns a [`ServerHandle`]. Each accepted connection gets a
+//! thread that decodes [`crate::proto`] frames and drives the shared
+//! [`NetworkCounter`] — always through the batch path (`Next` is a
+//! batch of one), because a compiled network must be driven through
+//! exactly one of its two allocator paths.
+//!
+//! # The consistency witness
+//!
+//! Every operation is bracketed by the [`ServiceDriver`]'s logical
+//! clock: `begin()` before the traversal, `complete()` after. The
+//! completion callback runs *inside* the driver's critical section, so
+//! the online [`SloEvaluator`] is fed in exactly end-tick order — the
+//! order in which the offline Definition 2.4 sweep would scan the same
+//! trace. That is what makes the service's live violation counts
+//! exact rather than approximate (the integration tests replay the
+//! recorded history offline and assert window-by-window equality).
+//!
+//! # Shutdown ordering
+//!
+//! A `Shutdown` frame, [`ServerHandle::request_shutdown`], or (when
+//! [`ServeConfig::watch_signals`] is set) `SIGTERM`/`SIGINT` begins the
+//! drain: the accept loop stops admitting connections, each connection
+//! thread finishes every request it has already read — a client
+//! mid-`NextBatch` always receives its full reply, so reserved values
+//! are never silently dropped — then says `Bye`. Only after every
+//! connection thread has exited does the server freeze the final SLO
+//! snapshot, flush the final [`RunRecord`] dump, and unlink the
+//! socket. Snapshot before socket teardown, per the service contract.
+
+use std::collections::VecDeque;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cnet_concurrent::NetworkCounter;
+use cnet_engine::ServiceDriver;
+use cnet_harness::RunRecord;
+use cnet_obs::{SloEvaluator, SloPolicy, SloReport};
+use cnet_proteus::{RunStats, Workload};
+use cnet_timing::Operation;
+use cnet_topology::{OutputCounts, Topology};
+
+use crate::proto::{self, Request, Response, MAX_BATCH};
+use crate::signal;
+
+/// How often connection threads and the accept loop wake up to check
+/// the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Everything a [`CounterServer`] needs besides the topology.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Filesystem path of the unix socket to bind (a stale file left
+    /// by a dead server is removed first).
+    pub socket: PathBuf,
+    /// The SLO thresholds evaluated per closed window.
+    pub policy: SloPolicy,
+    /// Completions per SLO window.
+    pub window_ops: u64,
+    /// Completed operations retained for offline replay and dumps
+    /// (older ones are dropped and counted, not lost silently).
+    pub history_cap: usize,
+    /// Where to write periodic + final [`RunRecord`] dumps; `None`
+    /// disables dumping.
+    pub dump_path: Option<PathBuf>,
+    /// Interval between periodic dumps.
+    pub dump_every: Duration,
+    /// `label` stamped on dumped records.
+    pub label: String,
+    /// Network description stamped on dumped records.
+    pub kind: String,
+    /// Seed stamped on dumped records (the service itself is driven by
+    /// live clients, not a seeded schedule).
+    pub seed: u64,
+    /// Whether the accept loop also honors the process-wide
+    /// `SIGTERM`/`SIGINT` flag ([`signal::termination_requested`]).
+    /// The CLI sets this; in-process tests leave it off so one test's
+    /// signal cannot stop another test's server.
+    pub watch_signals: bool,
+}
+
+impl ServeConfig {
+    /// A config with service defaults: 1024-op windows, an unbounded
+    /// policy, 64Ki retained operations, no dumps, no signal watch.
+    #[must_use]
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            policy: SloPolicy::unbounded(),
+            window_ops: 1024,
+            history_cap: 64 * 1024,
+            dump_path: None,
+            dump_every: Duration::from_secs(10),
+            label: "serve".to_string(),
+            kind: "Counting Network Service".to_string(),
+            seed: 0,
+            watch_signals: false,
+        }
+    }
+}
+
+/// The per-completion record kept for offline replay: the operation
+/// plus the connection that performed it (the "processor" for
+/// program-order purposes).
+#[derive(Debug, Clone)]
+struct HistoryEntry {
+    op: Operation,
+    conn: usize,
+}
+
+/// State guarded by one lock: the evaluator fed in end order, and the
+/// bounded history ring behind it.
+#[derive(Debug)]
+struct SloState {
+    evaluator: SloEvaluator,
+    history: VecDeque<HistoryEntry>,
+    history_cap: usize,
+    history_dropped: u64,
+    completions: u64,
+}
+
+impl SloState {
+    fn push_history(&mut self, op: Operation, conn: usize) {
+        if self.history.len() == self.history_cap {
+            self.history.pop_front();
+            self.history_dropped += 1;
+        }
+        self.history.push_back(HistoryEntry { op, conn });
+    }
+}
+
+/// Shared server state: the counter, the logical clock, and the SLO
+/// pipeline.
+struct Core {
+    counter: NetworkCounter,
+    driver: ServiceDriver,
+    slo: Mutex<SloState>,
+    epoch: Instant,
+    closing: AtomicBool,
+    conn_seq: AtomicUsize,
+    config: ServeConfig,
+}
+
+impl Core {
+    fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn closing(&self) -> bool {
+        self.closing.load(Ordering::Relaxed)
+            || (self.config.watch_signals && signal::termination_requested())
+    }
+
+    /// The whole operation: reserve `[base, base + k)` with one
+    /// traversal, bracketed by the logical clock, feeding the SLO
+    /// evaluator and the history ring inside the completion critical
+    /// section (this is what guarantees end-order feeding).
+    fn draw(&self, conn: usize, k: u64, as_batch: bool) -> Response {
+        let input = conn % self.counter.input_width();
+        let service_start = Instant::now();
+        let start = self.driver.begin();
+        let base = self.counter.next_batch_on(input, k, 0);
+        let end = self.driver.complete(start, |end, min_pending_start| {
+            let sojourn_ns = u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let now_ms = self.uptime_ms();
+            let width = self.counter.width() as u64;
+            let mut s = self.slo.lock().expect("slo lock poisoned");
+            for j in 0..k {
+                let value = base + j;
+                // the batch's remaining values still carry this same
+                // `start`, so the tracker may not retire past it until
+                // the last sibling has been fed
+                let retire_bound = if j + 1 == k {
+                    min_pending_start
+                } else {
+                    min_pending_start.min(start)
+                };
+                s.evaluator
+                    .record(start, end, value, sojourn_ns, retire_bound, now_ms);
+                let token = usize::try_from(s.completions).unwrap_or(usize::MAX);
+                s.completions += 1;
+                s.push_history(
+                    Operation {
+                        token,
+                        input,
+                        start,
+                        end,
+                        counter: (value % width) as usize,
+                        value,
+                    },
+                    conn,
+                );
+            }
+            end
+        });
+        if as_batch {
+            Response::Batch {
+                base,
+                k: k as u32,
+                start,
+                end,
+            }
+        } else {
+            Response::Value {
+                value: base,
+                start,
+                end,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> SloReport {
+        let uptime = self.uptime_ms();
+        let s = self.slo.lock().expect("slo lock poisoned");
+        s.evaluator.snapshot(uptime)
+    }
+
+    fn handle(&self, conn: usize, req: Request) -> Response {
+        match req {
+            Request::Next => self.draw(conn, 1, false),
+            Request::NextBatch { k } => {
+                if k == 0 || k > MAX_BATCH {
+                    Response::Err {
+                        message: format!("batch size {k} outside 1..={MAX_BATCH}"),
+                    }
+                } else {
+                    self.draw(conn, u64::from(k), true)
+                }
+            }
+            Request::Snapshot => Response::Snapshot {
+                json: serde::json::to_string_pretty(&serde::Serialize::to_value(&self.snapshot())),
+            },
+            Request::Health => {
+                let uptime_ms = self.uptime_ms();
+                let s = self.slo.lock().expect("slo lock poisoned");
+                Response::Health {
+                    ops: s.evaluator.ops(),
+                    uptime_ms,
+                    breaches: s.evaluator.breaches(),
+                }
+            }
+            Request::Shutdown => {
+                self.closing.store(true, Ordering::Relaxed);
+                Response::Bye
+            }
+        }
+    }
+
+    /// Freezes the retained history into a schema-v6 [`RunRecord`].
+    ///
+    /// The record's `stats` describe the *retained* trace (its
+    /// `nonlinearizable` is recomputed over exactly those operations,
+    /// so it stays self-consistent after old completions retire); the
+    /// full-stream truth lives in the `slo` block, whose totals cover
+    /// every completion since the service started.
+    fn dump_record(&self) -> RunRecord {
+        let report = self.snapshot();
+        let (operations, completed_by): (Vec<Operation>, Vec<usize>) = {
+            let s = self.slo.lock().expect("slo lock poisoned");
+            s.history.iter().map(|e| (e.op, e.conn)).unzip()
+        };
+        let nonlinearizable = cnet_timing::linearizability::count_nonlinearizable(&operations);
+        let total_ops = operations.len();
+        let stats = RunStats {
+            operations,
+            completed_by,
+            output_counts: OutputCounts::from(self.counter.output_counts()),
+            sim_time: self.driver.clock(),
+            toggle_count: 0,
+            toggle_wait_total: 0,
+            diffraction_pairs: 0,
+            node_visits: 0,
+            node_wait_total: 0,
+            max_lock_queue: 0,
+            nonlinearizable,
+            metrics: self.counter.metrics_snapshot(0),
+        };
+        let workload = Workload {
+            total_ops,
+            ..Workload::paper(self.conn_seq.load(Ordering::Relaxed).max(1), 0, 0)
+        };
+        let wall_ms = self.epoch.elapsed().as_secs_f64() * 1e3;
+        let mut record = RunRecord::measure_on(
+            "serve",
+            self.config.label.clone(),
+            self.config.kind.clone(),
+            &workload,
+            self.config.seed,
+            &stats,
+            wall_ms,
+        );
+        record.slo = Some(report);
+        record
+    }
+
+    /// Writes the dump atomically (temp file + rename) so a reader —
+    /// the soak CI's `test -s`, a human's `jq` — never sees a torn
+    /// JSON document.
+    fn write_dump(&self, path: &Path) -> io::Result<()> {
+        let record = self.dump_record();
+        let mut text = serde::json::to_string_pretty(&serde::Serialize::to_value(&record));
+        text.push('\n');
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// What [`ServerHandle::wait`] returns once the daemon has drained.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// The final SLO snapshot, frozen after the last connection exited.
+    pub report: SloReport,
+    /// The retained completion history, completion order.
+    pub operations: Vec<Operation>,
+    /// The connection ("processor") behind each retained operation.
+    pub completed_by: Vec<usize>,
+    /// Completions dropped from the front of the bounded history.
+    pub history_dropped: u64,
+    /// Connections accepted over the service's lifetime.
+    pub connections: usize,
+    /// Periodic + final dumps written.
+    pub dumps_written: u64,
+}
+
+/// A running daemon; dropping the handle does **not** stop it — call
+/// [`ServerHandle::request_shutdown`] then [`ServerHandle::wait`].
+pub struct ServerHandle {
+    core: Arc<Core>,
+    accept_thread: thread::JoinHandle<io::Result<ServeSummary>>,
+}
+
+impl ServerHandle {
+    /// The path clients should connect to.
+    #[must_use]
+    pub fn socket_path(&self) -> &Path {
+        &self.core.config.socket
+    }
+
+    /// Begins the drain, exactly as a client `Shutdown` frame would.
+    pub fn request_shutdown(&self) {
+        self.core.closing.store(true, Ordering::Relaxed);
+    }
+
+    /// A point-in-time SLO snapshot of the running service.
+    #[must_use]
+    pub fn snapshot(&self) -> SloReport {
+        self.core.snapshot()
+    }
+
+    /// Blocks until the daemon has drained and torn down, returning
+    /// the final snapshot and the retained history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures (bind errors surface from
+    /// [`CounterServer::start`] instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept thread itself panicked.
+    pub fn wait(self) -> io::Result<ServeSummary> {
+        self.accept_thread.join().expect("accept thread panicked")
+    }
+}
+
+/// Constructor for the daemon; see the module docs for the lifecycle.
+pub struct CounterServer;
+
+impl CounterServer {
+    /// Builds the compiled counter over `topology`, binds the socket,
+    /// and spawns the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (after removing a stale socket file, a
+    /// failure here means the path is genuinely unusable).
+    pub fn start(topology: &Topology, config: ServeConfig) -> io::Result<ServerHandle> {
+        let _ = std::fs::remove_file(&config.socket); // stale socket from a dead server
+        let listener = UnixListener::bind(&config.socket)?;
+        listener.set_nonblocking(true)?;
+        let core = Arc::new(Core {
+            counter: NetworkCounter::new(topology),
+            driver: ServiceDriver::new(),
+            slo: Mutex::new(SloState {
+                evaluator: SloEvaluator::new(config.policy, config.window_ops),
+                history: VecDeque::new(),
+                history_cap: config.history_cap.max(1),
+                history_dropped: 0,
+                completions: 0,
+            }),
+            epoch: Instant::now(),
+            closing: AtomicBool::new(false),
+            conn_seq: AtomicUsize::new(0),
+            config,
+        });
+        let accept_core = Arc::clone(&core);
+        let accept_thread = thread::Builder::new()
+            .name("cnet-serve-accept".to_string())
+            .spawn(move || accept_loop(&accept_core, &listener))
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            core,
+            accept_thread,
+        })
+    }
+}
+
+fn accept_loop(core: &Arc<Core>, listener: &UnixListener) -> io::Result<ServeSummary> {
+    let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+    let mut dumps_written = 0u64;
+    let mut last_dump = Instant::now();
+    while !core.closing() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let conn = core.conn_seq.fetch_add(1, Ordering::Relaxed);
+                let conn_core = Arc::clone(core);
+                let handle = thread::Builder::new()
+                    .name(format!("cnet-serve-conn-{conn}"))
+                    .spawn(move || serve_connection(&conn_core, conn, stream))
+                    .expect("spawn connection thread");
+                conns.push(handle);
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // tear down cleanly even on an accept failure
+                core.closing.store(true, Ordering::Relaxed);
+                for h in conns {
+                    let _ = h.join();
+                }
+                let _ = std::fs::remove_file(&core.config.socket);
+                return Err(e);
+            }
+        }
+        if let Some(path) = &core.config.dump_path {
+            if last_dump.elapsed() >= core.config.dump_every {
+                core.write_dump(path)?;
+                dumps_written += 1;
+                last_dump = Instant::now();
+            }
+        }
+    }
+    // drain: connection threads see the closing flag, finish every
+    // request already read, send Bye, and exit
+    core.closing.store(true, Ordering::Relaxed);
+    for h in conns {
+        let _ = h.join();
+    }
+    // final snapshot + flush strictly before the socket disappears
+    let report = core.snapshot();
+    if let Some(path) = &core.config.dump_path {
+        core.write_dump(path)?;
+        dumps_written += 1;
+    }
+    let _ = std::fs::remove_file(&core.config.socket);
+    let (operations, completed_by, history_dropped) = {
+        let s = core.slo.lock().expect("slo lock poisoned");
+        let (ops, by) = s.history.iter().map(|e| (e.op, e.conn)).unzip();
+        (ops, by, s.history_dropped)
+    };
+    Ok(ServeSummary {
+        report,
+        operations,
+        completed_by,
+        history_dropped,
+        connections: core.conn_seq.load(Ordering::Relaxed),
+        dumps_written,
+    })
+}
+
+/// One connection: decode frames, answer them, drain politely.
+///
+/// The read timeout doubles as the shutdown poll: on a quiet socket the
+/// thread wakes every [`POLL_INTERVAL`] to check the closing flag.
+/// Once closing, any request already decoded is still answered in full
+/// (a mid-`NextBatch` client gets its whole interval — the values were
+/// reserved, dropping them would tear a gap in the counting sequence),
+/// and the next quiet moment sends `Bye` and hangs up.
+fn serve_connection(core: &Arc<Core>, conn: usize, stream: UnixStream) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut reader = io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = io::BufWriter::new(stream);
+    loop {
+        // drain boundary: once closing, finish whatever is already
+        // buffered (those requests were sent before the client could
+        // learn of the shutdown), then hang up — without waiting for a
+        // hammering client to pause. A request still in the kernel
+        // buffer gets Bye instead of a reply; it was never executed,
+        // so no reserved values are lost.
+        if core.closing() && reader.buffer().is_empty() {
+            let _ = proto::write_response(&mut writer, &Response::Bye);
+            let _ = io::Write::flush(&mut writer);
+            return;
+        }
+        match proto::read_request(&mut reader) {
+            Ok(Some(req)) => {
+                let shutdown = req == Request::Shutdown;
+                let resp = core.handle(conn, req);
+                if proto::write_response(&mut writer, &resp).is_err() {
+                    return;
+                }
+                if io::Write::flush(&mut writer).is_err() || shutdown {
+                    return;
+                }
+            }
+            Ok(None) => return, // client hung up cleanly
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if core.closing() {
+                    let _ = proto::write_response(&mut writer, &Response::Bye);
+                    let _ = io::Write::flush(&mut writer);
+                    return;
+                }
+            }
+            Err(_) => {
+                let _ = proto::write_response(
+                    &mut writer,
+                    &Response::Err {
+                        message: "malformed frame; closing connection".to_string(),
+                    },
+                );
+                let _ = io::Write::flush(&mut writer);
+                return;
+            }
+        }
+    }
+}

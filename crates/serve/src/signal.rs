@@ -1,0 +1,82 @@
+//! Minimal async-signal handling for graceful shutdown.
+//!
+//! The daemon must treat `SIGTERM`/`SIGINT` as a polite shutdown
+//! request — drain in-flight operations, flush a final snapshot, exit
+//! 0 — which needs exactly one primitive: a flag the accept loop can
+//! poll. The handler does the only thing that is async-signal-safe
+//! here: a relaxed store to a static `AtomicBool`.
+//!
+//! No `libc` crate: the two-argument `signal(2)` entry point is
+//! declared directly. This is the crate's single `unsafe` island,
+//! allowed past the crate-level `deny(unsafe_code)`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal (or [`request_termination`]) has been
+/// seen since the process started. Never resets.
+#[must_use]
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Sets the termination flag from regular code — the in-process
+/// equivalent of delivering `SIGTERM`, used by tests and by the server
+/// when a client sends `Shutdown`.
+pub fn request_termination() {
+    TERMINATION_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod unix {
+    use super::TERMINATION_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`. The handler argument and return value are
+        /// `sighandler_t` — a plain function pointer, carried here as
+        /// `usize` to avoid declaring the alias.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // the only async-signal-safe action we need
+        TERMINATION_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: installing a handler that performs a single atomic
+        // store; `signal` is async-signal-safe to call at startup from
+        // the main thread, and the handler touches nothing else.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+/// Installs the `SIGTERM`/`SIGINT` handler (idempotent). On non-unix
+/// targets this is a no-op — [`request_termination`] still works, so
+/// in-process shutdown paths are portable.
+pub fn install_termination_handler() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_request_sets_the_flag() {
+        install_termination_handler();
+        request_termination();
+        assert!(termination_requested());
+    }
+}
