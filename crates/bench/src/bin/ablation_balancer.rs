@@ -34,7 +34,7 @@ fn main() {
                 toggle_cost,
                 ..SimConfig::queue_lock(derive_seed(base, "ablation_balancer", &[toggle_cost]))
             },
-            workload,
+            workload: workload.clone(),
         })
         .collect();
 

@@ -42,10 +42,10 @@ fn main() {
                 kind: name.to_string(),
                 net,
                 config: SimConfig {
-                    link_jitter: jitter,
+                    fabric: cnet_proteus::Fabric::degenerate(config.link_cost(), jitter),
                     ..config
                 },
-                workload,
+                workload: workload.clone(),
             });
         }
     }

@@ -52,7 +52,7 @@ fn main() {
                 kind: "Diffracting Tree".to_string(),
                 net: 0,
                 config,
-                workload,
+                workload: workload.clone(),
             }
         })
         .collect();

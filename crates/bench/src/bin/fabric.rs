@@ -1,0 +1,137 @@
+//! Fabric sweep: Definition 2.4 violations and `c2/c1` as the wire
+//! degrades from the ideal flat link into a lossy, shallow-queued
+//! fabric.
+//!
+//! The paper's practical-linearizability claim is a statement about
+//! timing: violations stay rare because real traversal times are
+//! tightly banded. A real interconnect widens that band — drop-tail
+//! queueing adds delay spikes, loss adds retransmission delays — so
+//! this sweep measures how far the claim stretches: a width-16 bitonic
+//! network under `loss ∈ {0, 0.1%, 1%}` crossed with egress queue
+//! depth `∈ {unbounded, 16, 4}` (service 8 cycles, NACK backpressure),
+//! plus the legacy degenerate wire as the reference cell.
+//!
+//! Usage: `fabric [--ops N] [--seed S] [--threads T] [--json PATH] [--baseline PATH]`.
+
+use cnet_harness::{
+    derive_seed, percent, run_jobs_report, BenchArgs, BenchReport, Job, ResultTable,
+};
+use cnet_proteus::{Fabric, FabricShape, LinkSpec, RetryPolicy, SimConfig, SwitchSpec};
+use cnet_proteus::{WaitMode, Workload};
+use cnet_topology::constructions;
+
+const LOSSES: [u32; 3] = [0, 1_000, 10_000];
+const CAPACITIES: [u32; 3] = [0, 16, 4];
+
+fn fabric_cell(loss_per_million: u32, capacity: u32) -> Fabric {
+    Fabric {
+        shape: FabricShape::OneBigSwitch,
+        link: LinkSpec {
+            delay: 20,
+            jitter: 200,
+            service: 8,
+            capacity,
+            loss_per_million,
+        },
+        switch: SwitchSpec {
+            service: 4,
+            capacity,
+        },
+        backpressure: true,
+        retry: RetryPolicy::default(),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse("fabric");
+    let base = args.base_seed(0xFAB);
+    let mut report = BenchReport::new("fabric", args.threads);
+    println!("Fabric degradation sweep — width-16 bitonic, n=16, F=25%, W=10000");
+    println!(
+        "({} operations per cell, NACK backpressure, service 8)\n",
+        args.ops
+    );
+
+    let nets = [constructions::bitonic(16).expect("valid width")];
+    let workload = Workload {
+        total_ops: args.ops,
+        wait_mode: WaitMode::Fixed,
+        ..Workload::paper(16, 25, 10_000)
+    };
+
+    let mut jobs = vec![Job {
+        label: "legacy wire".to_string(),
+        kind: "bitonic".to_string(),
+        net: 0,
+        config: SimConfig::queue_lock(derive_seed(base, "fabric/legacy", &[])),
+        workload: workload.clone(),
+    }];
+    for &loss in &LOSSES {
+        for &cap in &CAPACITIES {
+            let seed = derive_seed(base, "fabric", &[u64::from(loss), u64::from(cap)]);
+            jobs.push(Job {
+                label: format!("loss={loss}/1M,cap={cap}"),
+                kind: "bitonic".to_string(),
+                net: 0,
+                config: SimConfig {
+                    fabric: fabric_cell(loss, cap),
+                    ..SimConfig::queue_lock(seed)
+                },
+                workload: workload.clone(),
+            });
+        }
+    }
+
+    let title = "fabric sweep (bitonic 16, n=16, F=25%, W=10000)".to_string();
+    let (cells, grid) = run_jobs_report(&title, base, &nets, &jobs, args.threads);
+
+    let mut table = ResultTable::new(
+        &title,
+        &[
+            "nonlin %",
+            "avg c2/c1",
+            "attempts",
+            "drops",
+            "nacks",
+            "peak q",
+        ],
+    );
+    for cell in &cells {
+        let s = &cell.record.stats;
+        let f = cell.stats.fabric;
+        table.push_row(
+            cell.record.label.clone(),
+            vec![
+                percent(s.nonlinearizable_ratio),
+                format!("{:.2}", s.average_ratio),
+                f.attempts.to_string(),
+                (f.loss_drops + f.full_drops).to_string(),
+                f.nack_retries.to_string(),
+                f.max_queue_depth.to_string(),
+            ],
+        );
+    }
+    println!("{}", table.to_text());
+    println!("{}", table.to_csv());
+
+    // the sweep is only meaningful if the lossy cells actually
+    // exercised the retry machinery and still delivered every token
+    for cell in &cells {
+        assert_eq!(
+            cell.stats.output_counts.total(),
+            args.ops as u64,
+            "{}: tokens were lost",
+            cell.record.label
+        );
+    }
+    let lossiest = cells.last().expect("cells");
+    assert!(
+        lossiest.stats.fabric.loss_drops > 0,
+        "the 1% loss cell must drop: {:?}",
+        lossiest.stats.fabric
+    );
+
+    report.push_table(&table);
+    report.push_grid(grid);
+    report.emit(&args);
+}

@@ -95,6 +95,7 @@ const VALUED: &[&str] = &[
     "backend",
     "open",
     "bursty",
+    "trace",
     "hop-spin",
     "socket",
     "window",

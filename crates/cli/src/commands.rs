@@ -194,7 +194,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
         kind: args.positional(0, "kind")?.to_string(),
         net: 0,
         config,
-        workload,
+        workload: workload.clone(),
     };
     let (cells, grid) = run_jobs_report(
         "cnet simulate",
@@ -278,7 +278,7 @@ pub fn observe(args: &ParsedArgs) -> Result<String, CliError> {
         kind: kind.to_string(),
         net: 0,
         config,
-        workload,
+        workload: workload.clone(),
     };
     let (cells, _grid) = run_jobs_report(
         "cnet observe",
@@ -355,10 +355,16 @@ pub fn observe(args: &ParsedArgs) -> Result<String, CliError> {
 /// Parses the workload arrival knobs: `--open MEAN_GAP` or
 /// `--bursty BURST,GAP`, defaulting to the paper's closed loop.
 fn parse_arrival(args: &ParsedArgs) -> Result<ArrivalProcess, CliError> {
-    match (args.u64_opt("open")?, args.str_opt("bursty")) {
-        (Some(_), Some(_)) => Err(CliError::usage("choose one of --open / --bursty")),
-        (Some(mean_gap), None) => Ok(ArrivalProcess::Open { mean_gap }),
-        (None, Some(spec)) => {
+    match (
+        args.u64_opt("open")?,
+        args.str_opt("bursty"),
+        args.str_opt("trace"),
+    ) {
+        (Some(mean_gap), None, None) => Ok(ArrivalProcess::Open { mean_gap }),
+        (None, None, Some(path)) => Ok(ArrivalProcess::Trace {
+            path: path.to_string(),
+        }),
+        (None, Some(spec), None) => {
             let (burst, gap) = spec
                 .split_once(',')
                 .ok_or_else(|| CliError::usage("--bursty takes BURST,GAP"))?;
@@ -372,7 +378,8 @@ fn parse_arrival(args: &ParsedArgs) -> Result<ArrivalProcess, CliError> {
                 .map_err(|_| CliError::usage("--bursty GAP must be a number"))?;
             Ok(ArrivalProcess::Bursty { burst, gap })
         }
-        (None, None) => Ok(ArrivalProcess::Closed),
+        (None, None, None) => Ok(ArrivalProcess::Closed),
+        _ => Err(CliError::usage("choose one of --open / --bursty / --trace")),
     }
 }
 
@@ -426,6 +433,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
             args.u64_opt("w")?.unwrap_or(0),
         )
     };
+    // reject a bad workload (e.g. an unreadable or unsorted --trace
+    // file) once, before any backend's infallible `.run` would panic
+    workload.validate().map_err(CliError::failed)?;
     let seed = args.u64_opt("seed")?.unwrap_or(1);
     let sim_config = if args.flag("prism") {
         SimConfig::diffracting(seed)
@@ -1368,6 +1378,26 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&parse(&["bitonic", "4", "--bursty", "nonsense"])).is_err());
+        assert!(run(&parse(&[
+            "bitonic", "4", "--open", "10", "--trace", "x.txt"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn run_replays_a_trace_on_every_backend() {
+        let trace = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/arrival_trace.txt"
+        );
+        let out = run(&parse(&[
+            "bitonic", "4", "--ops", "30", "--n", "4", "--trace", trace,
+        ]))
+        .unwrap();
+        assert!(out.contains("sim"), "{out}");
+        // a missing trace file is a workload validation error, uniformly
+        let err = run(&parse(&["bitonic", "4", "--trace", "/nonexistent.txt"])).unwrap_err();
+        assert!(err.to_string().contains("Trace"), "{err}");
     }
 
     #[test]

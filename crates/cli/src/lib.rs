@@ -8,7 +8,8 @@
 //! cnet topo <kind> <width> [--pad N] [--arity D] [--dot]
 //! cnet measure <kind> <width> --c1 C1 --c2 C2 [--json PATH]
 //! cnet simulate <kind> <width> --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S] [--threads T] [--json PATH]
-//! cnet run <kind> <width> [--backend sim,shm,shm-batch:K,shm-shard:S,mp,mp-elim,async,async-batch:K,async-shard:S,async-mp] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--open GAP | --bursty B,GAP] [--seed S] [--json PATH]
+//! cnet run <kind> <width> [--backend sim,shm,shm-batch:K,shm-shard:S,mp,mp-elim,async,async-batch:K,async-shard:S,async-mp] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--open GAP | --bursty B,GAP | --trace FILE] [--seed S] [--json PATH]
+//! cnet scenario <file.json> [--json PATH]
 //! cnet saturate <kind> <width> [--n N] [--ops N] [--threads T] [--seed S] [--json PATH]
 //! cnet observe [kind] [--width W] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--prism] [--seed S] [--json [PATH]]
 //! cnet attack <intro|tree|bitonic|wave> --width W --c1 C1 --c2 C2 [--svg]
@@ -31,6 +32,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod scenario;
 
 pub use args::{CliError, ParsedArgs};
 
@@ -50,6 +52,7 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         "measure" => commands::measure(&args),
         "simulate" => commands::simulate(&args),
         "run" => commands::run(&args),
+        "scenario" => scenario::scenario(&args),
         "saturate" => commands::saturate(&args),
         "observe" => commands::observe(&args),
         "attack" => commands::attack(&args),
@@ -79,7 +82,8 @@ usage:
   cnet topo <kind> <width> [--pad N] [--arity D] [--dot]
   cnet measure <kind> <width> --c1 C1 --c2 C2 [--json PATH]
   cnet simulate <kind> <width> [trace.csv] --n N --f PCT --w CYCLES [--ops N] [--prism] [--seed S] [--threads T] [--json PATH]
-  cnet run <kind> <width> [--backend sim,shm,shm-batch:K,shm-shard:S,mp,mp-elim,async,async-batch:K,async-shard:S,async-mp] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--open GAP | --bursty B,GAP] [--hop-spin S] [--seed S] [--json PATH]
+  cnet run <kind> <width> [--backend sim,shm,shm-batch:K,shm-shard:S,mp,mp-elim,async,async-batch:K,async-shard:S,async-mp] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--open GAP | --bursty B,GAP | --trace FILE] [--hop-spin S] [--seed S] [--json PATH]
+  cnet scenario <file.json> [--json PATH]
   cnet saturate <kind> <width> [--n N] [--ops N] [--threads T] [--seed S] [--json PATH]
   cnet observe [kind] [--width W] [--n N] [--f PCT] [--w CYCLES] [--ops N] [--prism] [--seed S] [--json [PATH]]
   cnet attack <intro|tree|bitonic|wave> --width W --c1 C1 --c2 C2 [--svg]

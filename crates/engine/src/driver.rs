@@ -190,6 +190,7 @@ pub(crate) fn stats_from_trace(
         toggle_wait_total: 0,
         diffraction_pairs: 0,
         max_lock_queue: 0,
+        fabric: cnet_proteus::FabricStats::default(),
         nonlinearizable,
         metrics,
     }

@@ -82,6 +82,7 @@ mod tests {
                 node_visits: 0,
                 node_wait_total: 0,
                 max_lock_queue: 0,
+                fabric: cnet_proteus::FabricStats::default(),
                 nonlinearizable: 0,
                 metrics: None,
             },

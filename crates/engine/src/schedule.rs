@@ -30,6 +30,13 @@ pub fn arrival_schedule(workload: &Workload, seed: u64) -> Vec<u64> {
         return Vec::new();
     }
     let mut rng = SimRng::seed_from_u64(seed ^ ARRIVAL_STREAM);
+    // trace replay reads the recorded gaps once; `Backend::try_run`
+    // validated the file before any schedule is built
+    let trace_gaps = match &workload.arrival {
+        ArrivalProcess::Trace { path } => ArrivalProcess::load_trace(path)
+            .expect("trace workload must be validated before scheduling"),
+        _ => Vec::new(),
+    };
     let mut at = 0u64;
     (0..workload.total_ops)
         .map(|token| {
@@ -50,6 +57,7 @@ pub fn arrival_schedule(workload: &Workload, seed: u64) -> Vec<u64> {
                             0
                         }
                     }
+                    ArrivalProcess::Trace { .. } => trace_gaps[(token - 1) % trace_gaps.len()],
                 };
             }
             at
@@ -84,6 +92,24 @@ mod tests {
         assert_eq!(a[0], 0);
         assert!(a.windows(2).all(|p| p[0] <= p[1]));
         assert_ne!(a, arrival_schedule(&w, 43), "seed must matter");
+    }
+
+    #[test]
+    fn trace_schedule_replays_and_cycles_the_recorded_gaps() {
+        let path = std::env::temp_dir().join(format!("cnet-schedule-trace-{}", std::process::id()));
+        // instants 0,40,75,75,130 -> gaps 40,35,0,55, cycled
+        std::fs::write(&path, "# recorded\n0\n40\n75\n75\n130\n").unwrap();
+        let w = Workload {
+            total_ops: 7,
+            arrival: ArrivalProcess::Trace {
+                path: path.to_str().unwrap().to_string(),
+            },
+            ..Workload::paper(2, 0, 0)
+        };
+        let schedule = arrival_schedule(&w, 1);
+        assert_eq!(schedule, vec![0, 40, 75, 75, 130, 170, 205]);
+        // no RNG stream involved: the seed must NOT matter
+        assert_eq!(schedule, arrival_schedule(&w, 2));
     }
 
     #[test]

@@ -32,6 +32,23 @@ fn zero_burst() -> Workload {
     }
 }
 
+fn trace(path: &str) -> Workload {
+    Workload {
+        total_ops: 10,
+        arrival: ArrivalProcess::Trace {
+            path: path.to_string(),
+        },
+        ..Workload::paper(2, 0, 0)
+    }
+}
+
+/// Writes `content` to a unique temp file and returns its path.
+fn trace_file(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("cnet-validation-{name}-{}", std::process::id()));
+    std::fs::write(&path, content).expect("temp dir is writable");
+    path
+}
+
 fn assert_rejects(backend: &dyn Backend) {
     assert_eq!(
         backend.try_run(&zero_gap()).err(),
@@ -45,6 +62,35 @@ fn assert_rejects(backend: &dyn Backend) {
         "backend `{}` accepted a zero burst",
         backend.name()
     );
+    assert_eq!(
+        backend
+            .try_run(&trace("/nonexistent/cnet-no-such-trace"))
+            .err(),
+        Some(WorkloadError::UnreadableTrace),
+        "backend `{}` accepted a missing trace file",
+        backend.name()
+    );
+    let empty = trace_file("empty", "# instants only below this line\n\n42\n");
+    assert_eq!(
+        backend.try_run(&trace(empty.to_str().unwrap())).err(),
+        Some(WorkloadError::EmptyTrace),
+        "backend `{}` accepted a one-instant trace",
+        backend.name()
+    );
+    let unsorted = trace_file("unsorted", "0\n50\n40\n90\n");
+    assert_eq!(
+        backend.try_run(&trace(unsorted.to_str().unwrap())).err(),
+        Some(WorkloadError::UnsortedTrace),
+        "backend `{}` accepted a decreasing trace",
+        backend.name()
+    );
+    let garbled = trace_file("garbled", "0\n50\nninety\n");
+    assert_eq!(
+        backend.try_run(&trace(garbled.to_str().unwrap())).err(),
+        Some(WorkloadError::UnreadableTrace),
+        "backend `{}` accepted a non-numeric trace line",
+        backend.name()
+    );
     // and a well-formed workload still runs
     let ok = backend
         .try_run(&Workload {
@@ -53,6 +99,15 @@ fn assert_rejects(backend: &dyn Backend) {
         })
         .expect("well-formed workloads pass validation");
     assert_eq!(ok.stats.operations.len(), 20);
+    // …as does a replay of the committed example trace
+    let example = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/arrival_trace.txt"
+    );
+    let ok = backend
+        .try_run(&trace(example))
+        .expect("the committed example trace passes validation");
+    assert_eq!(ok.stats.operations.len(), 10);
 }
 
 fn net() -> Topology {

@@ -398,6 +398,7 @@ mod tests {
             node_visits: 2,
             node_wait_total: 20,
             max_lock_queue: 1,
+            fabric: cnet_proteus::FabricStats::default(),
             nonlinearizable: 0,
             metrics: None,
         };

@@ -349,6 +349,7 @@ mod tests {
             node_visits: 2,
             node_wait_total: 20,
             max_lock_queue: 1,
+            fabric: cnet_proteus::FabricStats::default(),
             nonlinearizable: 0,
             metrics: None,
         };
@@ -380,6 +381,7 @@ mod tests {
             schema_version: cnet_obs::METRICS_SCHEMA_VERSION,
             wait_cycles: 100,
             balancers: vec![],
+            fabric: None,
             network: cnet_obs::NetworkMetrics {
                 operations: 1,
                 c1_estimate: 12.0,

@@ -60,7 +60,8 @@ pub use hist::{LogHistogram, BUCKETS};
 pub use openloop::{open_loop_metrics, OpenLoopMetrics, OpenLoopWindow};
 pub use slo::{SloEvaluator, SloPolicy, SloReport, SloWindow, SLO_SCHEMA_VERSION};
 pub use snapshot::{
-    BalancerMetrics, FrontendMetrics, MetricsSnapshot, NetworkMetrics, METRICS_SCHEMA_VERSION,
+    BalancerMetrics, FabricTelemetry, FrontendMetrics, LinkMetrics, MetricsSnapshot,
+    NetworkMetrics, METRICS_SCHEMA_VERSION,
 };
 pub use violation::ViolationTracker;
 

@@ -349,6 +349,7 @@ impl NetObserver {
                 violation_magnitude_hist: violations.magnitude().clone(),
             },
             balancers,
+            fabric: None,
         })
     }
 }

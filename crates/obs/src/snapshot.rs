@@ -124,6 +124,59 @@ serde::impl_serde_struct!(NetworkMetrics {
     violation_magnitude_hist,
 });
 
+/// Telemetry for one fabric queue (a link's drop-tail buffer or a
+/// switch egress): what flowed through it and what it refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Fabric queue index within the run's queue plan (destination
+    /// queues first, then the switch tier — see the simulator's
+    /// fabric layout).
+    pub queue: usize,
+    /// Tokens this queue finished serving.
+    pub serviced: u64,
+    /// Peak occupancy (waiters plus the token in service).
+    pub max_depth: u64,
+    /// Arrivals refused by a full buffer and silently dropped
+    /// (`backpressure: false`).
+    pub drops: u64,
+    /// Arrivals refused by a full buffer and NACKed back to the
+    /// sender (`backpressure: true`).
+    pub nacks: u64,
+}
+
+serde::impl_serde_struct!(LinkMetrics {
+    queue,
+    serviced,
+    max_depth,
+    drops,
+    nacks,
+});
+
+/// Per-queue fabric telemetry, recorded only when a run's fabric is
+/// non-degenerate. Run-wide attempt/loss/forced-delivery counters live
+/// in the run's `FabricStats`; this block localizes the congestion.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FabricTelemetry {
+    /// One row per fabric queue that saw traffic, ordered by index.
+    pub links: Vec<LinkMetrics>,
+}
+
+serde::impl_serde_struct!(FabricTelemetry { links });
+
+impl FabricTelemetry {
+    /// Total refused arrivals (drops plus NACKs) across all queues.
+    #[must_use]
+    pub fn refusals(&self) -> u64 {
+        self.links.iter().map(|l| l.drops + l.nacks).sum()
+    }
+
+    /// The busiest queue's row, by serviced tokens.
+    #[must_use]
+    pub fn hottest(&self) -> Option<&LinkMetrics> {
+        self.links.iter().max_by_key(|l| l.serviced)
+    }
+}
+
 /// One run's complete metrics block: per-balancer rows plus the
 /// network roll-up, tagged with the block schema version and the
 /// workload's `W` so every ratio in it is reproducible.
@@ -137,14 +190,49 @@ pub struct MetricsSnapshot {
     pub balancers: Vec<BalancerMetrics>,
     /// Network-level roll-up.
     pub network: NetworkMetrics,
+    /// Per-queue fabric telemetry; `None` for degenerate-fabric runs
+    /// (including every block written before the fabric existed).
+    pub fabric: Option<FabricTelemetry>,
 }
 
-serde::impl_serde_struct!(MetricsSnapshot {
-    schema_version,
-    wait_cycles,
-    balancers,
-    network,
-});
+// Serde is hand-written (not `impl_serde_struct!`) so metrics blocks
+// written before the fabric existed keep loading: a missing `fabric`
+// field means the flat wire, i.e. no telemetry. The field is likewise
+// omitted on write when `None`, keeping degenerate-run blocks
+// byte-identical to pre-fabric ones.
+impl serde::Serialize for MetricsSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("wait_cycles".to_string(), self.wait_cycles.to_value()),
+            ("balancers".to_string(), self.balancers.to_value()),
+            ("network".to_string(), self.network.to_value()),
+        ];
+        if let Some(fabric) = &self.fabric {
+            fields.push(("fabric".to_string(), fabric.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for MetricsSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fabric = match v.get("fabric") {
+            Some(raw) => Some(
+                FabricTelemetry::from_value(raw)
+                    .map_err(|e| serde::Error::new(format!("field `fabric`: {e}")))?,
+            ),
+            None => None,
+        };
+        Ok(MetricsSnapshot {
+            schema_version: v.field("schema_version")?,
+            wait_cycles: v.field("wait_cycles")?,
+            balancers: v.field("balancers")?,
+            network: v.field("network")?,
+            fabric,
+        })
+    }
+}
 
 impl MetricsSnapshot {
     /// Live `c2/c1` from the wire-latency extremes — the quantity
@@ -287,6 +375,7 @@ mod tests {
                 violation_magnitude_max: 3,
                 violation_magnitude_hist: LogHistogram::new(),
             },
+            fabric: None,
         }
     }
 
@@ -313,6 +402,44 @@ mod tests {
             .filter(|(k, _)| k != "schema_version")
             .collect();
         assert!(MetricsSnapshot::from_value(&Value::Object(stripped)).is_err());
+    }
+
+    #[test]
+    fn fabric_block_round_trips_and_is_optional() {
+        let mut snap = sample();
+        // absent: the serialized object must not carry the field at
+        // all, so degenerate blocks stay byte-identical to pre-fabric
+        let Value::Object(fields) = snap.to_value() else {
+            panic!("snapshot serializes as an object")
+        };
+        assert!(fields.iter().all(|(k, _)| k != "fabric"));
+        let back = MetricsSnapshot::from_value(&Value::Object(fields)).unwrap();
+        assert_eq!(back.fabric, None);
+
+        snap.fabric = Some(FabricTelemetry {
+            links: vec![
+                LinkMetrics {
+                    queue: 0,
+                    serviced: 90,
+                    max_depth: 7,
+                    drops: 3,
+                    nacks: 0,
+                },
+                LinkMetrics {
+                    queue: 5,
+                    serviced: 200,
+                    max_depth: 2,
+                    drops: 0,
+                    nacks: 11,
+                },
+            ],
+        });
+        let text = serde::json::to_string_pretty(&snap.to_value());
+        let back = MetricsSnapshot::from_value(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        let fabric = back.fabric.unwrap();
+        assert_eq!(fabric.refusals(), 14);
+        assert_eq!(fabric.hottest().unwrap().queue, 5);
     }
 
     #[test]

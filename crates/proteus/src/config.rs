@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use cnet_topology::Fabric;
 use serde::{impl_serde_struct, impl_serde_unit_enum, Deserialize, Error, Serialize, Value};
 
 /// Configuration of the prism (diffraction) arrays placed in front of
@@ -111,15 +112,12 @@ impl Deserialize for Placement {
 /// Machine-model parameters of the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
-    /// Cycles for a token to traverse the wire between two nodes (a
-    /// shared-memory access on the simulated machine). This is the
-    /// baseline `c1` of the run.
-    pub link_cost: u64,
-    /// Uniform random extra cycles added to each wire traversal,
-    /// modelling the memory-access variability (cache misses, network
-    /// hops) of the simulated DSM machine. Each traversal costs
-    /// `link_cost + uniform(0..=link_jitter)`.
-    pub link_jitter: u64,
+    /// The interconnect model between nodes. The legacy flat wire
+    /// (`link_cost + uniform jitter`, which older configs spelled as
+    /// two ad-hoc fields) is [`Fabric::degenerate`]; richer fabrics
+    /// add drop-tail queueing, loss, and backpressure. See
+    /// [`cnet_topology::fabric`].
+    pub fabric: Fabric,
     /// Cycles spent inside a balancer's critical section (reading and
     /// flipping the toggle).
     pub toggle_cost: u64,
@@ -138,17 +136,61 @@ pub struct SimConfig {
     pub seed: u64,
 }
 
-impl_serde_struct!(SimConfig {
-    link_cost,
-    link_jitter,
-    toggle_cost,
-    counter_cost,
-    prism,
-    placement,
-    seed,
-});
+// Serde is hand-written (not `impl_serde_struct!`) as a deprecation
+// shim: configs written before the fabric existed carried bare
+// `link_cost`/`link_jitter` fields, and those must keep loading as the
+// degenerate fabric they always meant. New configs carry a `fabric`
+// object instead.
+impl Serialize for SimConfig {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("fabric".to_string(), self.fabric.to_value()),
+            ("toggle_cost".to_string(), self.toggle_cost.to_value()),
+            ("counter_cost".to_string(), self.counter_cost.to_value()),
+            ("prism".to_string(), self.prism.to_value()),
+            ("placement".to_string(), self.placement.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SimConfig {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let fabric = match v.get("fabric") {
+            Some(raw) => {
+                Fabric::from_value(raw).map_err(|e| Error::new(format!("field `fabric`: {e}")))?
+            }
+            // the pre-fabric encoding: two bare wire fields
+            None => Fabric::degenerate(v.field("link_cost")?, v.field("link_jitter")?),
+        };
+        Ok(SimConfig {
+            fabric,
+            toggle_cost: v.field("toggle_cost")?,
+            counter_cost: v.field("counter_cost")?,
+            prism: v.field("prism")?,
+            placement: v.field("placement")?,
+            seed: v.field("seed")?,
+        })
+    }
+}
 
 impl SimConfig {
+    /// The fabric's propagation delay — the legacy `link_cost` field,
+    /// kept as an accessor so pre-fabric call sites read unchanged.
+    /// This is the baseline `c1` of the run.
+    #[must_use]
+    pub fn link_cost(&self) -> u64 {
+        self.fabric.link.delay
+    }
+
+    /// The fabric's per-traversal jitter bound — the legacy
+    /// `link_jitter` field, kept as an accessor so pre-fabric call
+    /// sites read unchanged.
+    #[must_use]
+    pub fn link_jitter(&self) -> u64 {
+        self.fabric.link.jitter
+    }
+
     /// Plain queue-lock balancers (the paper's bitonic configuration).
     ///
     /// The default costs are calibrated so the measured `Tog` (average
@@ -159,8 +201,7 @@ impl SimConfig {
     #[must_use]
     pub fn queue_lock(seed: u64) -> Self {
         SimConfig {
-            link_cost: 20,
-            link_jitter: 200,
+            fabric: Fabric::degenerate(20, 200),
             toggle_cost: 200,
             counter_cost: 0,
             prism: None,
@@ -209,7 +250,7 @@ impl_serde_unit_enum!(WaitMode {
 /// decouple arrival from completion — tokens are injected on a
 /// deterministic seeded schedule regardless of how many are still in
 /// flight — which is what a production counting service sees.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum ArrivalProcess {
     /// Each of the `n` processors re-injects immediately after its
     /// previous operation completes (the Figure 5–7 benchmark).
@@ -232,6 +273,19 @@ pub enum ArrivalProcess {
         /// Cycles between consecutive bursts.
         gap: u64,
     },
+    /// Inter-arrival gaps replayed from a recorded trace file, so a
+    /// captured production schedule can be driven through any backend.
+    ///
+    /// The file holds absolute arrival instants (cycles), one per
+    /// line; blank lines and `#` comments are skipped. The successive
+    /// differences become the gap sequence, cycled when `total_ops`
+    /// outruns the recording. Every backend sees the identical
+    /// schedule: the file is read once, deterministically, with no RNG
+    /// involved.
+    Trace {
+        /// Path to the trace file, resolved at run time.
+        path: String,
+    },
 }
 
 /// A workload that cannot be meaningfully executed.
@@ -250,6 +304,15 @@ pub enum WorkloadError {
     /// `ArrivalProcess::Bursty { burst: 0, .. }`: a burst of zero
     /// tokens never schedules anything.
     ZeroBurst,
+    /// `ArrivalProcess::Trace`: the file yields fewer than two
+    /// arrival instants, so no inter-arrival gap is derivable.
+    EmptyTrace,
+    /// `ArrivalProcess::Trace`: an instant is smaller than its
+    /// predecessor — arrival times must be non-decreasing.
+    UnsortedTrace,
+    /// `ArrivalProcess::Trace`: the file cannot be read, or a line is
+    /// not an unsigned integer instant.
+    UnreadableTrace,
 }
 
 impl fmt::Display for WorkloadError {
@@ -265,6 +328,21 @@ impl fmt::Display for WorkloadError {
                 "ArrivalProcess::Bursty requires burst >= 1 \
                  (a zero-token burst schedules nothing)"
             ),
+            WorkloadError::EmptyTrace => write!(
+                f,
+                "ArrivalProcess::Trace requires at least two arrival \
+                 instants (no inter-arrival gap is derivable)"
+            ),
+            WorkloadError::UnsortedTrace => write!(
+                f,
+                "ArrivalProcess::Trace requires non-decreasing arrival \
+                 instants"
+            ),
+            WorkloadError::UnreadableTrace => write!(
+                f,
+                "ArrivalProcess::Trace file is unreadable or holds a \
+                 line that is not an unsigned integer instant"
+            ),
         }
     }
 }
@@ -278,11 +356,45 @@ impl ArrivalProcess {
     ///
     /// Returns the [`WorkloadError`] naming the degenerate field.
     pub fn validate(&self) -> Result<(), WorkloadError> {
-        match *self {
+        match self {
             ArrivalProcess::Open { mean_gap: 0 } => Err(WorkloadError::ZeroMeanGap),
             ArrivalProcess::Bursty { burst: 0, .. } => Err(WorkloadError::ZeroBurst),
+            ArrivalProcess::Trace { path } => Self::load_trace(path).map(|_| ()),
             _ => Ok(()),
         }
+    }
+
+    /// Reads a trace file into its inter-arrival gap sequence.
+    ///
+    /// Validation and the backends both come through here, so a
+    /// workload that passed [`Workload::validate`] replays the exact
+    /// gaps validation saw (absent a file race, which the backends
+    /// surface as the same error).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UnreadableTrace`] on IO or parse failure,
+    /// [`WorkloadError::UnsortedTrace`] on a decreasing instant, and
+    /// [`WorkloadError::EmptyTrace`] when fewer than two instants
+    /// remain after stripping comments and blank lines.
+    pub fn load_trace(path: &str) -> Result<Vec<u64>, WorkloadError> {
+        let text = std::fs::read_to_string(path).map_err(|_| WorkloadError::UnreadableTrace)?;
+        let mut instants: Vec<u64> = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let t: u64 = line.parse().map_err(|_| WorkloadError::UnreadableTrace)?;
+            if instants.last().is_some_and(|&prev| t < prev) {
+                return Err(WorkloadError::UnsortedTrace);
+            }
+            instants.push(t);
+        }
+        if instants.len() < 2 {
+            return Err(WorkloadError::EmptyTrace);
+        }
+        Ok(instants.windows(2).map(|w| w[1] - w[0]).collect())
     }
 }
 
@@ -304,6 +416,10 @@ impl Serialize for ArrivalProcess {
                     ("gap".to_string(), gap.to_value()),
                 ]),
             )]),
+            ArrivalProcess::Trace { path } => Value::Object(vec![(
+                "Trace".to_string(),
+                Value::Object(vec![("path".to_string(), path.to_value())]),
+            )]),
         }
     }
 }
@@ -322,8 +438,14 @@ impl Deserialize for ArrivalProcess {
                         burst: bursty.field("burst")?,
                         gap: bursty.field("gap")?,
                     })
+                } else if let Some(trace) = v.get("Trace") {
+                    Ok(ArrivalProcess::Trace {
+                        path: trace.field("path")?,
+                    })
                 } else {
-                    Err(Error::new("expected an `Open` or `Bursty` arrival object"))
+                    Err(Error::new(
+                        "expected an `Open`, `Bursty`, or `Trace` arrival object",
+                    ))
                 }
             }
             other => Err(Error::new(format!("unknown ArrivalProcess: {other:?}"))),
@@ -332,7 +454,7 @@ impl Deserialize for ArrivalProcess {
 }
 
 /// The Section 5 benchmark workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Workload {
     /// Number of simulated processors `n`.
     pub processors: usize,
@@ -484,15 +606,48 @@ mod tests {
     }
 
     #[test]
+    fn pre_fabric_configs_load_as_the_degenerate_fabric() {
+        // the exact shape SimConfig serialized before the fabric
+        // existed: two bare wire fields, no `fabric` object
+        let legacy = r#"{
+            "link_cost": 20,
+            "link_jitter": 200,
+            "toggle_cost": 200,
+            "counter_cost": 50,
+            "prism": null,
+            "placement": "Uniform",
+            "seed": 9
+        }"#;
+        let cfg = SimConfig::from_value(&serde::json::from_str(legacy).unwrap()).unwrap();
+        assert_eq!(cfg.fabric, Fabric::degenerate(20, 200));
+        assert!(cfg.fabric.is_degenerate());
+        assert_eq!(cfg.link_cost(), 20);
+        assert_eq!(cfg.link_jitter(), 200);
+        assert_eq!(
+            cfg,
+            SimConfig {
+                counter_cost: 50,
+                ..SimConfig::queue_lock(9)
+            }
+        );
+        // and the new encoding round-trips it unchanged
+        let back = SimConfig::from_value(&cfg.to_value()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
     fn workload_serde_round_trip() {
         for arrival in [
             ArrivalProcess::Closed,
             ArrivalProcess::Open { mean_gap: 250 },
             ArrivalProcess::Bursty { burst: 8, gap: 900 },
+            ArrivalProcess::Trace {
+                path: "traces/recorded.txt".to_string(),
+            },
         ] {
             let w = Workload {
                 wait_mode: WaitMode::UniformRandom,
-                arrival,
+                arrival: arrival.clone(),
                 ..Workload::paper(64, 50, 1000)
             };
             let text = serde::json::to_string(&w.to_value());
@@ -513,6 +668,42 @@ mod tests {
         assert_eq!(back.arrival, ArrivalProcess::Closed);
         assert!(!back.is_open_loop());
         assert_eq!(back, w);
+    }
+
+    #[test]
+    fn trace_files_parse_into_gap_sequences() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let ok = dir.join(format!("cnet-config-trace-ok-{pid}"));
+        std::fs::write(&ok, "# header\n0\n\n10  # inline comment\n10\n45\n").unwrap();
+        assert_eq!(
+            ArrivalProcess::load_trace(ok.to_str().unwrap()),
+            Ok(vec![10, 0, 35])
+        );
+        let empty = dir.join(format!("cnet-config-trace-empty-{pid}"));
+        std::fs::write(&empty, "# nothing but comments\n7\n").unwrap();
+        assert_eq!(
+            ArrivalProcess::load_trace(empty.to_str().unwrap()),
+            Err(WorkloadError::EmptyTrace)
+        );
+        let unsorted = dir.join(format!("cnet-config-trace-unsorted-{pid}"));
+        std::fs::write(&unsorted, "5\n3\n").unwrap();
+        assert_eq!(
+            ArrivalProcess::load_trace(unsorted.to_str().unwrap()),
+            Err(WorkloadError::UnsortedTrace)
+        );
+        assert_eq!(
+            ArrivalProcess::load_trace("/nonexistent/cnet-trace"),
+            Err(WorkloadError::UnreadableTrace)
+        );
+        // validate() routes through the same loader
+        let w = Workload {
+            arrival: ArrivalProcess::Trace {
+                path: unsorted.to_str().unwrap().to_string(),
+            },
+            ..Workload::paper(2, 0, 0)
+        };
+        assert_eq!(w.validate(), Err(WorkloadError::UnsortedTrace));
     }
 
     #[test]

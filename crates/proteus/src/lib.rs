@@ -62,6 +62,9 @@ mod stats;
 pub use config::{
     ArrivalProcess, Placement, PrismConfig, SimConfig, WaitMode, Workload, WorkloadError,
 };
+// the fabric vocabulary SimConfig embeds, re-exported so simulator
+// users need not name cnet-topology for wire-model configuration
+pub use cnet_topology::{Fabric, FabricError, FabricShape, LinkSpec, RetryPolicy, SwitchSpec};
 pub use rng::SimRng;
 pub use sim::{MetricsRecorder, Simulator};
-pub use stats::{RunStats, StatsSummary};
+pub use stats::{FabricStats, RunStats, StatsSummary};

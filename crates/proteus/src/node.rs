@@ -95,6 +95,13 @@ impl LockBank {
     pub(crate) fn queue_len(&self, lock: usize) -> u32 {
         self.states[lock].len
     }
+
+    /// Total occupancy of `lock`: waiters plus the holder, if any.
+    /// This is the drop-tail bound the fabric queues check against.
+    pub(crate) fn occupancy(&self, lock: usize) -> u32 {
+        let s = &self.states[lock];
+        s.len + u32::from(s.held)
+    }
 }
 
 /// A waiting occupant of a prism slot.

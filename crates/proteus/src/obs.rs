@@ -24,7 +24,9 @@ pub(crate) use enabled::SimObs;
 #[cfg(feature = "obs")]
 mod enabled {
     use cnet_obs::hist::bucket_of;
-    use cnet_obs::snapshot::{BalancerMetrics, MetricsSnapshot, NetworkMetrics};
+    use cnet_obs::snapshot::{
+        BalancerMetrics, FabricTelemetry, LinkMetrics, MetricsSnapshot, NetworkMetrics,
+    };
     use cnet_obs::{LogHistogram, ViolationTracker, BUCKETS, METRICS_SCHEMA_VERSION};
     use cnet_timing::sweep;
 
@@ -61,6 +63,17 @@ mod enabled {
                 wait_max: 0,
             }
         }
+    }
+
+    /// Per-fabric-queue accumulator; the rows of the snapshot's
+    /// optional `fabric` block. Grown lazily — only non-degenerate
+    /// fabrics ever touch it, so degenerate runs allocate nothing.
+    #[derive(Debug, Clone, Copy, Default)]
+    struct QueueAcc {
+        serviced: u64,
+        max_depth: u64,
+        drops: u64,
+        nacks: u64,
     }
 
     /// How often the queue depth is sampled: every 64th push. Depth
@@ -104,6 +117,9 @@ mod enabled {
         /// stream is end-ordered, so every replayed insert is an append
         /// and the per-op cost in the hot loop is one `Vec` push.
         completions: Vec<(u64, u64, u64)>,
+        /// Per-fabric-queue rows, indexed by fabric queue id; empty
+        /// for degenerate-fabric runs.
+        fabric: Vec<QueueAcc>,
     }
 
     impl SimObs {
@@ -122,7 +138,41 @@ mod enabled {
                 queue_depth_hist: LogHistogram::new(),
                 wire_hist: LogHistogram::new(),
                 completions: s.completions,
+                fabric: Vec::new(),
             }
+        }
+
+        fn fabric_acc(&mut self, queue: usize) -> &mut QueueAcc {
+            if queue >= self.fabric.len() {
+                self.fabric.resize(queue + 1, QueueAcc::default());
+            }
+            &mut self.fabric[queue]
+        }
+
+        /// A token joined fabric queue `queue`; `depth` is the
+        /// occupancy including it.
+        #[inline]
+        pub(crate) fn fabric_depth(&mut self, queue: usize, depth: u64) {
+            let acc = self.fabric_acc(queue);
+            acc.max_depth = acc.max_depth.max(depth);
+        }
+
+        /// Fabric queue `queue` finished serving one token.
+        #[inline]
+        pub(crate) fn fabric_served(&mut self, queue: usize) {
+            self.fabric_acc(queue).serviced += 1;
+        }
+
+        /// A full `queue` silently dropped an arrival.
+        #[inline]
+        pub(crate) fn fabric_drop(&mut self, queue: usize) {
+            self.fabric_acc(queue).drops += 1;
+        }
+
+        /// A full `queue` NACKed an arrival back to its sender.
+        #[inline]
+        pub(crate) fn fabric_nack(&mut self, queue: usize) {
+            self.fabric_acc(queue).nacks += 1;
         }
 
         /// An event was pushed. Returns whether the caller should
@@ -204,8 +254,27 @@ mod enabled {
                 queue_depth_hist,
                 wire_hist,
                 completions,
+                fabric,
                 ..
             } = self;
+            let fabric = if fabric.is_empty() {
+                None
+            } else {
+                Some(FabricTelemetry {
+                    links: fabric
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.serviced + a.max_depth + a.drops + a.nacks > 0)
+                        .map(|(queue, a)| LinkMetrics {
+                            queue,
+                            serviced: a.serviced,
+                            max_depth: a.max_depth,
+                            drops: a.drops,
+                            nacks: a.nacks,
+                        })
+                        .collect(),
+                })
+            };
             let mut violations = ViolationTracker::new();
             let mut op_hist = LogHistogram::new();
             for &(start, end, value) in &completions {
@@ -285,6 +354,7 @@ mod enabled {
                     violation_magnitude_hist: violations.magnitude().clone(),
                 },
                 balancers,
+                fabric,
             })
         }
     }
@@ -321,6 +391,18 @@ mod disabled {
 
         #[inline(always)]
         pub(crate) fn wire(&mut self, _latency: u64) {}
+
+        #[inline(always)]
+        pub(crate) fn fabric_depth(&mut self, _queue: usize, _depth: u64) {}
+
+        #[inline(always)]
+        pub(crate) fn fabric_served(&mut self, _queue: usize) {}
+
+        #[inline(always)]
+        pub(crate) fn fabric_drop(&mut self, _queue: usize) {}
+
+        #[inline(always)]
+        pub(crate) fn fabric_nack(&mut self, _queue: usize) {}
 
         #[inline(always)]
         pub(crate) fn op(&mut self, _start: u64, _end: u64, _value: u64) {}

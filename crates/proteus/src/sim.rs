@@ -22,12 +22,14 @@ use cnet_timing::linearizability::OnlineChecker;
 use cnet_timing::Operation;
 use cnet_topology::{OutputCounts, Topology, WireEnd};
 
+use cnet_topology::FabricShape;
+
 use crate::config::{ArrivalProcess, Placement, SimConfig, WaitMode, Workload};
 use crate::node::{toggles_for, LockBank, Prism};
 use crate::obs::SimObs;
 use crate::queue::{HeapQueue, Queue, WheelQueue, HEAP_CROSSOVER};
 use crate::rng::SimRng;
-use crate::stats::RunStats;
+use crate::stats::{FabricStats, RunStats};
 
 /// The events a simulated processor can experience.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +48,13 @@ enum Ev {
         slot: u32,
         stamp: u32,
     },
+    /// (Re)transmit the current hop onto the fabric: loss draw,
+    /// jitter draw, propagation (non-degenerate fabrics only).
+    FabricSend { proc: u32 },
+    /// Arrive at the current fabric queue stage of the hop.
+    FabricArrive { proc: u32 },
+    /// The fabric queue finishes serving this token at its stage.
+    FabricServe { proc: u32 },
     /// Arrive at an output counter (and queue if it is busy).
     ArriveCounter { proc: u32, counter: u32 },
     /// The counter finishes serving this processor's fetch-and-inc.
@@ -62,6 +71,15 @@ struct Proc {
     op_start: u64,
     /// Arrival time at the node currently being visited (for `Tog`).
     arrive_time: u64,
+    /// Route index of the hop currently in the fabric (non-degenerate
+    /// fabrics only).
+    hop_route: u32,
+    /// Which stage of the hop's queue path the token is in.
+    hop_stage: u32,
+    /// Failed transmission attempts on the current hop.
+    attempts: u32,
+    /// When the current hop left its node, for wire-latency telemetry.
+    hop_depart: u64,
 }
 
 /// High bit of a route target: set when the target is a counter.
@@ -196,6 +214,8 @@ struct Runner<'a, Q> {
     /// Separate RNG stream for open-loop arrival gaps (see
     /// [`ARRIVAL_STREAM`]); never drawn from in closed-loop runs.
     arrival_rng: SimRng,
+    /// Inter-arrival gaps for `ArrivalProcess::Trace`, else empty.
+    trace_gaps: Vec<u64>,
     checker: OnlineChecker,
     stamp: u32,
     started_ops: usize,
@@ -212,6 +232,20 @@ struct Runner<'a, Q> {
     /// `routes[route_base[i] + out]`.
     routes: Vec<Route>,
     route_base: Vec<u32>,
+    /// Fabric queue FIFO state; an empty bank on the degenerate
+    /// fabric, whose wires never queue.
+    fabric_locks: LockBank,
+    /// Per-fabric-queue service cycles / drop-tail capacities,
+    /// parallel to `fabric_locks`.
+    fabric_service: Vec<u64>,
+    fabric_capacity: Vec<u32>,
+    /// Per-route queue paths: route `r` traverses
+    /// `fabric_stage[fabric_stage_base[r]..fabric_stage_base[r + 1]]`.
+    /// Empty on the degenerate fabric — the flag `depart()` branches
+    /// on.
+    fabric_stage: Vec<u32>,
+    fabric_stage_base: Vec<u32>,
+    fabric_stats: FabricStats,
     /// Metric recorder — zero-sized and inert without the `obs`
     /// feature, so the hot loop keeps its layout and speed.
     obs: SimObs,
@@ -236,7 +270,7 @@ fn hop_cost(placement: Placement, from: (i64, i64), to: (i64, i64)) -> u64 {
 /// run's configuration — the bucket-wheel horizon. Saturating: an
 /// astronomically large parameter simply overflows into the queue's
 /// heap fallback.
-fn schedule_horizon(config: &SimConfig, workload: &Workload) -> u64 {
+fn schedule_horizon(config: &SimConfig, workload: &Workload, trace_gaps: &[u64]) -> u64 {
     let mesh_max = match config.placement {
         Placement::Uniform => 0,
         Placement::Mesh { side, per_hop } => per_hop.saturating_mul(2 * (side.max(1) as u64 - 1)),
@@ -248,16 +282,31 @@ fn schedule_horizon(config: &SimConfig, workload: &Workload) -> u64 {
         ArrivalProcess::Closed => 0,
         ArrivalProcess::Open { mean_gap } => mean_gap.saturating_mul(2),
         ArrivalProcess::Bursty { gap, .. } => gap,
+        ArrivalProcess::Trace { .. } => trace_gaps.iter().copied().max().unwrap_or(0),
+    };
+    // the farthest a fabric queue or retry can push one schedule: a
+    // silent-drop retransmission waits the detection timeout
+    // (backoff_cap) plus the capped backoff
+    let fabric_max = if config.fabric.is_degenerate() {
+        0
+    } else {
+        config
+            .fabric
+            .link
+            .service
+            .saturating_add(config.fabric.switch.service)
+            .saturating_add(config.fabric.retry.backoff_cap.saturating_mul(2))
     };
     let step = [
-        config.link_cost,
-        config.link_jitter,
+        config.fabric.link.delay,
+        config.fabric.link.jitter,
         config.toggle_cost,
         config.counter_cost,
         workload.wait_cycles,
         prism_max,
         mesh_max,
         arrival_max,
+        fabric_max,
         1,
     ]
     .iter()
@@ -299,7 +348,7 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
                 };
                 routes[route_base[id.index()] as usize + out] = Route {
                     target,
-                    cost: config.link_cost + hop_cost(config.placement, from, to),
+                    cost: config.fabric.link.delay + hop_cost(config.placement, from, to),
                 };
             }
         }
@@ -314,6 +363,93 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
                 }
             }
         }
+
+        // Fabric queue plan. The degenerate fabric gets *no* queues
+        // (`fabric_stage_base` stays empty) — `depart()` branches on
+        // that and takes the exact legacy wire path, RNG draw for RNG
+        // draw. Non-degenerate fabrics give every route a queue path:
+        // the shared switch tier (per the shape), then the
+        // destination's link queue; a Mesh wire has only its own
+        // private queue.
+        let fabric = config.fabric;
+        let route_count = route_base[node_count] as usize;
+        let mut fabric_service: Vec<u64> = Vec::new();
+        let mut fabric_capacity: Vec<u32> = Vec::new();
+        let mut fabric_stage: Vec<u32> = Vec::new();
+        let mut fabric_stage_base: Vec<u32> = Vec::new();
+        if !fabric.is_degenerate() {
+            fabric_stage_base.push(0);
+            if fabric.shape == FabricShape::Mesh {
+                for _ in 0..route_count {
+                    let q = fabric_service.len() as u32;
+                    fabric_service.push(fabric.link.service);
+                    fabric_capacity.push(fabric.link.capacity);
+                    fabric_stage.push(q);
+                    fabric_stage_base.push(fabric_stage.len() as u32);
+                }
+            } else {
+                // per-destination link queues: nodes first, counters
+                // after
+                let dest_count = node_count + width;
+                for _ in 0..dest_count {
+                    fabric_service.push(fabric.link.service);
+                    fabric_capacity.push(fabric.link.capacity);
+                }
+                // the shared switch tier
+                let first_switch = dest_count as u32;
+                let depth = topology.depth();
+                let mut node_stage = vec![0u32; node_count];
+                if fabric.shape == FabricShape::PerStage {
+                    for id in topology.iter_nodes() {
+                        node_stage[id.index()] = topology.layer_of(id) as u32 - 1;
+                    }
+                }
+                let switch_count = match fabric.shape {
+                    FabricShape::OneBigSwitch => 1,
+                    // one switch per network layer, plus the counter
+                    // stage past the last layer
+                    FabricShape::PerStage => depth + 1,
+                    FabricShape::TwoTier { spines } => spines as usize,
+                    FabricShape::Mesh => unreachable!("handled above"),
+                };
+                for _ in 0..switch_count {
+                    fabric_service.push(fabric.switch.service);
+                    fabric_capacity.push(fabric.switch.capacity);
+                }
+                for (r, route) in routes.iter().enumerate() {
+                    let dest_q = if route.target & COUNTER_BIT == 0 {
+                        route.target
+                    } else {
+                        node_count as u32 + (route.target & !COUNTER_BIT)
+                    };
+                    let switch_q = first_switch
+                        + match fabric.shape {
+                            FabricShape::OneBigSwitch => 0,
+                            FabricShape::PerStage => {
+                                if route.target & COUNTER_BIT == 0 {
+                                    node_stage[route.target as usize]
+                                } else {
+                                    depth as u32
+                                }
+                            }
+                            FabricShape::TwoTier { spines } => r as u32 % spines,
+                            FabricShape::Mesh => unreachable!("handled above"),
+                        };
+                    fabric_stage.push(switch_q);
+                    fabric_stage.push(dest_q);
+                    fabric_stage_base.push(fabric_stage.len() as u32);
+                }
+            }
+        }
+
+        // trace-replay gaps, read once per run; `Backend::try_run`
+        // validated the file, so a failure here is a caller skipping
+        // validation (or a race on the file between the two reads)
+        let trace_gaps = match &workload.arrival {
+            ArrivalProcess::Trace { path } => ArrivalProcess::load_trace(path)
+                .expect("trace workload must be validated before running"),
+            _ => Vec::new(),
+        };
 
         // Closed loop: one slot per re-injecting processor, as always.
         // Open loop: every arriving token is its own slot (several from
@@ -344,6 +480,10 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
                     entry: topology.input(input).node.index() as u32,
                     op_start: 0,
                     arrive_time: 0,
+                    hop_route: 0,
+                    hop_stage: 0,
+                    attempts: 0,
+                    hop_depart: 0,
                 }
             })
             .collect();
@@ -351,7 +491,10 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
         Runner {
             config,
             workload,
-            queue: Q::with_horizon(schedule_horizon(&config, workload), token_slots),
+            queue: Q::with_horizon(
+                schedule_horizon(&config, workload, &trace_gaps),
+                token_slots,
+            ),
             toggles: toggles_for(topology),
             prisms,
             locks: LockBank::new(node_count + width, token_slots),
@@ -361,6 +504,7 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
             procs,
             rng: SimRng::seed_from_u64(config.seed),
             arrival_rng: SimRng::seed_from_u64(config.seed ^ ARRIVAL_STREAM),
+            trace_gaps,
             checker: OnlineChecker::new(),
             stamp: 0,
             started_ops: 0,
@@ -375,6 +519,12 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
             sim_time: 0,
             routes,
             route_base,
+            fabric_locks: LockBank::new(fabric_service.len(), token_slots),
+            fabric_service,
+            fabric_capacity,
+            fabric_stage,
+            fabric_stage_base,
+            fabric_stats: FabricStats::default(),
             obs: SimObs::new(node_count, workload.total_ops),
         }
     }
@@ -416,6 +566,7 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
             node_visits: self.node_visits,
             node_wait_total: self.node_wait_total,
             max_lock_queue: self.max_lock_queue,
+            fabric: self.fabric_stats,
             metrics: None,
         };
         (stats, self.obs)
@@ -433,6 +584,9 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
                 slot,
                 stamp,
             } => self.prism_timeout(now, proc, node, slot, stamp),
+            Ev::FabricSend { proc } => self.fabric_send(now, proc),
+            Ev::FabricArrive { proc } => self.fabric_arrive(now, proc),
+            Ev::FabricServe { proc } => self.fabric_serve(now, proc),
             Ev::ArriveCounter { proc, counter } => self.arrive_counter(now, proc, counter),
             Ev::CounterDone { proc, counter } => self.counter_done(now, proc, counter),
         }
@@ -475,6 +629,11 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
                 } else {
                     0
                 }
+            }
+            ArrivalProcess::Trace { .. } => {
+                // token k replays recorded gap k-1, cycling when the
+                // run outlives the recording
+                self.trace_gaps[(token - 1) % self.trace_gaps.len()]
             }
         }
     }
@@ -592,17 +751,156 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
                 }
             }
         };
-        let jitter = if self.config.link_jitter == 0 {
+        let route_idx = self.route_base[node as usize] as usize + out;
+        if self.fabric_stage_base.is_empty() {
+            // degenerate fabric: the legacy flat wire, draw for draw —
+            // the golden-trace suite pins this path bit-identically
+            let jitter = if self.config.fabric.link.jitter == 0 {
+                0
+            } else {
+                self.rng.inclusive(self.config.fabric.link.jitter)
+            };
+            let route = self.routes[route_idx];
+            self.obs.wire(jitter + wait + route.cost);
+            let arrival = t + jitter + wait + route.cost;
+            if route.target & COUNTER_BIT == 0 {
+                self.push(
+                    arrival,
+                    Ev::ArriveNode {
+                        proc,
+                        node: route.target,
+                    },
+                );
+            } else {
+                self.push(
+                    arrival,
+                    Ev::ArriveCounter {
+                        proc,
+                        counter: route.target & !COUNTER_BIT,
+                    },
+                );
+            }
+            return;
+        }
+        // fabric path: the injected wait W is spent at the node before
+        // the first transmission attempt; jitter is re-drawn per
+        // attempt inside `fabric_send`
+        let p = &mut self.procs[proc as usize];
+        p.hop_route = route_idx as u32;
+        p.hop_stage = 0;
+        p.attempts = 0;
+        p.hop_depart = t;
+        self.push(t + wait, Ev::FabricSend { proc });
+    }
+
+    /// One transmission attempt of `proc`'s current hop: the loss
+    /// draw, then per-attempt jitter and the propagation delay toward
+    /// the hop's first fabric queue.
+    fn fabric_send(&mut self, now: u64, proc: u32) {
+        let link = self.config.fabric.link;
+        self.fabric_stats.attempts += 1;
+        if link.loss_per_million > 0 && self.rng.below(1_000_000) < u64::from(link.loss_per_million)
+        {
+            self.fabric_stats.loss_drops += 1;
+            if self.fail_hop(now, proc, false) {
+                return;
+            }
+            // attempt budget exhausted: force the delivery through
+        }
+        let jitter = if link.jitter == 0 {
             0
         } else {
-            self.rng.inclusive(self.config.link_jitter)
+            self.rng.inclusive(link.jitter)
         };
-        let route = self.routes[self.route_base[node as usize] as usize + out];
-        self.obs.wire(jitter + wait + route.cost);
-        let arrival = t + jitter + wait + route.cost;
+        let cost = self.routes[self.procs[proc as usize].hop_route as usize].cost;
+        self.push(now + jitter + cost, Ev::FabricArrive { proc });
+    }
+
+    /// Registers a failed attempt (a loss or a refused enqueue) on
+    /// `proc`'s current hop and schedules the retransmission: capped
+    /// exponential backoff, plus the `backoff_cap` detection timeout
+    /// when the failure was silent (`nacked == false`). Returns
+    /// `false` when the per-hop attempt budget is exhausted — the
+    /// caller must then force the token through so no workload can
+    /// livelock on an unlucky stream.
+    fn fail_hop(&mut self, now: u64, proc: u32, nacked: bool) -> bool {
+        let retry = self.config.fabric.retry;
+        let p = &mut self.procs[proc as usize];
+        p.attempts += 1;
+        if p.attempts >= retry.max_attempts {
+            self.fabric_stats.forced_deliveries += 1;
+            return false;
+        }
+        let backoff = retry.backoff(p.attempts);
+        let delay = if nacked {
+            backoff
+        } else {
+            retry.backoff_cap.saturating_add(backoff)
+        };
+        self.push(now + delay, Ev::FabricSend { proc });
+        true
+    }
+
+    /// The token reaches its current fabric queue stage: drop-tail /
+    /// NACK check against the queue's capacity, then FIFO admission.
+    fn fabric_arrive(&mut self, now: u64, proc: u32) {
+        let p = &self.procs[proc as usize];
+        let base = self.fabric_stage_base[p.hop_route as usize] as usize;
+        let q = self.fabric_stage[base + p.hop_stage as usize] as usize;
+        let cap = self.fabric_capacity[q];
+        if cap > 0 && self.fabric_locks.occupancy(q) >= cap {
+            if self.config.fabric.backpressure {
+                // NACK: the sender learns immediately and backs off
+                self.fabric_stats.nack_retries += 1;
+                self.obs.fabric_nack(q);
+                if self.fail_hop(now, proc, true) {
+                    return;
+                }
+            } else {
+                // drop-tail: the token vanishes; the sender only
+                // notices after a detection timeout
+                self.fabric_stats.full_drops += 1;
+                self.obs.fabric_drop(q);
+                if self.fail_hop(now, proc, false) {
+                    return;
+                }
+            }
+            // budget exhausted: admit past the bound (and count it)
+        }
+        if self.fabric_locks.acquire(q, proc) {
+            self.push(now + self.fabric_service[q], Ev::FabricServe { proc });
+        }
+        // otherwise queued FIFO; FabricServe is scheduled on release
+        let depth = u64::from(self.fabric_locks.occupancy(q));
+        self.fabric_stats.max_queue_depth = self.fabric_stats.max_queue_depth.max(depth);
+        self.obs.fabric_depth(q, depth);
+    }
+
+    /// The queue head finishes service: hand the queue to the next
+    /// waiter, then advance this token to the next stage or deliver it
+    /// to its destination node/counter.
+    fn fabric_serve(&mut self, now: u64, proc: u32) {
+        let route_idx = self.procs[proc as usize].hop_route as usize;
+        let stage = self.procs[proc as usize].hop_stage as usize;
+        let base = self.fabric_stage_base[route_idx] as usize;
+        let stages = self.fabric_stage_base[route_idx + 1] as usize - base;
+        let q = self.fabric_stage[base + stage] as usize;
+        self.obs.fabric_served(q);
+        if let Some(next) = self.fabric_locks.release(q) {
+            self.push(now + self.fabric_service[q], Ev::FabricServe { proc: next });
+        }
+        if stage + 1 < stages {
+            self.procs[proc as usize].hop_stage += 1;
+            self.push(now, Ev::FabricArrive { proc });
+            return;
+        }
+        // delivered: record the hop's true wire latency and hand the
+        // token to its destination
+        let route = self.routes[route_idx];
+        self.obs.wire(now - self.procs[proc as usize].hop_depart);
         if route.target & COUNTER_BIT == 0 {
             self.push(
-                arrival,
+                now,
                 Ev::ArriveNode {
                     proc,
                     node: route.target,
@@ -610,7 +908,7 @@ impl<'a, Q: Queue<Ev>> Runner<'a, Q> {
             );
         } else {
             self.push(
-                arrival,
+                now,
                 Ev::ArriveCounter {
                     proc,
                     counter: route.target & !COUNTER_BIT,
@@ -1071,7 +1369,7 @@ mod open_loop_tests {
         // before the next arrives, so the history is linearizable
         let net = constructions::bitonic(4).unwrap();
         let cfg = SimConfig {
-            link_jitter: 0,
+            fabric: crate::Fabric::degenerate(20, 0),
             ..SimConfig::queue_lock(3)
         };
         let w = Workload {
@@ -1138,5 +1436,255 @@ mod open_loop_tests {
         assert_eq!(w.arrival, ArrivalProcess::Closed);
         let a = Simulator::new(&net, SimConfig::queue_lock(5)).run(&w);
         assert_eq!(a.operations.len(), 300);
+    }
+}
+
+#[cfg(test)]
+mod fabric_tests {
+    use super::*;
+    use cnet_topology::{constructions, FabricShape, LinkSpec, RetryPolicy, SwitchSpec};
+
+    fn wl(processors: usize, ops: usize) -> Workload {
+        Workload {
+            total_ops: ops,
+            ..Workload::paper(processors, 0, 0)
+        }
+    }
+
+    /// A queued fabric: finite per-queue service and capacity, a
+    /// configurable loss rate, one shape per test.
+    fn fabric(shape: FabricShape, loss_per_million: u32, backpressure: bool) -> crate::Fabric {
+        crate::Fabric {
+            shape,
+            link: LinkSpec {
+                delay: 20,
+                jitter: 40,
+                service: 8,
+                capacity: 4,
+                loss_per_million,
+            },
+            switch: SwitchSpec {
+                service: 4,
+                capacity: 8,
+            },
+            backpressure,
+            retry: RetryPolicy {
+                backoff_base: 16,
+                backoff_cap: 256,
+                max_attempts: 16,
+            },
+        }
+    }
+
+    fn run_shape(shape: FabricShape, loss: u32, backpressure: bool, ops: usize) -> RunStats {
+        let net = constructions::bitonic(8).unwrap();
+        let config = SimConfig {
+            fabric: fabric(shape, loss, backpressure),
+            ..SimConfig::queue_lock(0xFAB)
+        };
+        Simulator::new(&net, config).run(&wl(16, ops))
+    }
+
+    fn assert_counts_exactly(stats: &RunStats, ops: usize) {
+        let mut values: Vec<u64> = stats.operations.iter().map(|o| o.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..ops as u64).collect::<Vec<u64>>());
+        assert!(stats.output_counts.is_step(), "{}", stats.output_counts);
+    }
+
+    #[test]
+    fn every_shape_counts_exactly() {
+        for shape in [
+            FabricShape::OneBigSwitch,
+            FabricShape::PerStage,
+            FabricShape::TwoTier { spines: 3 },
+            FabricShape::Mesh,
+        ] {
+            let stats = run_shape(shape, 0, false, 400);
+            assert_counts_exactly(&stats, 400);
+            assert!(
+                stats.fabric.attempts >= 400,
+                "{shape:?}: attempts {}",
+                stats.fabric.attempts
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_fabric_records_no_fabric_stats() {
+        let net = constructions::bitonic(8).unwrap();
+        let stats = Simulator::new(&net, SimConfig::queue_lock(0xFAB)).run(&wl(16, 200));
+        assert_eq!(stats.fabric, crate::FabricStats::default());
+        assert!(stats.summary(0).fabric.is_none());
+    }
+
+    #[test]
+    fn loss_is_counted_and_no_token_vanishes() {
+        // 5% loss: drops must be observed, yet every op still
+        // completes with a unique value — retransmission never loses
+        // or duplicates a token
+        let stats = run_shape(FabricShape::OneBigSwitch, 50_000, false, 400);
+        assert!(stats.fabric.loss_drops > 0, "{:?}", stats.fabric);
+        assert!(
+            stats.fabric.attempts > 400,
+            "losses must force extra attempts: {:?}",
+            stats.fabric
+        );
+        assert_counts_exactly(&stats, 400);
+    }
+
+    #[test]
+    fn backpressure_nacks_instead_of_dropping() {
+        let open = Workload {
+            arrival: ArrivalProcess::Open { mean_gap: 1 },
+            ..wl(64, 600)
+        };
+        let net = constructions::bitonic(8).unwrap();
+        let tight = |backpressure| crate::Fabric {
+            link: LinkSpec {
+                capacity: 1,
+                service: 60,
+                ..fabric(FabricShape::OneBigSwitch, 0, backpressure).link
+            },
+            ..fabric(FabricShape::OneBigSwitch, 0, backpressure)
+        };
+        let nacked = Simulator::new(
+            &net,
+            SimConfig {
+                fabric: tight(true),
+                ..SimConfig::queue_lock(0xFAB)
+            },
+        )
+        .run(&open);
+        assert!(nacked.fabric.nack_retries > 0, "{:?}", nacked.fabric);
+        assert_eq!(nacked.fabric.full_drops, 0, "{:?}", nacked.fabric);
+        assert_counts_exactly(&nacked, 600);
+
+        let dropped = Simulator::new(
+            &net,
+            SimConfig {
+                fabric: tight(false),
+                ..SimConfig::queue_lock(0xFAB)
+            },
+        )
+        .run(&open);
+        assert!(dropped.fabric.full_drops > 0, "{:?}", dropped.fabric);
+        assert_eq!(dropped.fabric.nack_retries, 0, "{:?}", dropped.fabric);
+        assert_counts_exactly(&dropped, 600);
+    }
+
+    #[test]
+    fn refusal_accounting_balances() {
+        // every refused attempt is either retried later or forced
+        // through once the budget runs out; the counters must agree
+        let stats = run_shape(FabricShape::PerStage, 20_000, false, 500);
+        let refused = stats.fabric.loss_drops + stats.fabric.full_drops;
+        assert_eq!(stats.fabric.refusals(), refused);
+        assert!(stats.fabric.forced_deliveries <= refused);
+        assert_eq!(
+            stats.fabric.retries(),
+            refused - stats.fabric.forced_deliveries
+        );
+        assert_counts_exactly(&stats, 500);
+    }
+
+    #[test]
+    fn fabric_runs_are_reproducible() {
+        let a = run_shape(FabricShape::TwoTier { spines: 2 }, 10_000, true, 300);
+        let b = run_shape(FabricShape::TwoTier { spines: 2 }, 10_000, true, 300);
+        assert_eq!(a.operations, b.operations);
+        assert_eq!(a.fabric, b.fabric);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn queue_depth_telemetry_sees_contention() {
+        let stats = run_shape(FabricShape::OneBigSwitch, 0, false, 400);
+        assert!(
+            stats.fabric.max_queue_depth > 1,
+            "16 procs through one switch must queue: {:?}",
+            stats.fabric
+        );
+    }
+
+    #[test]
+    fn exhausted_attempts_force_delivery() {
+        // certain loss with a budget of 2 attempts: every token is
+        // forced through on its second try, none are lost
+        let net = constructions::bitonic(4).unwrap();
+        let config = SimConfig {
+            fabric: crate::Fabric {
+                retry: RetryPolicy {
+                    backoff_base: 8,
+                    backoff_cap: 32,
+                    max_attempts: 2,
+                },
+                ..fabric(FabricShape::OneBigSwitch, 1_000_000, false)
+            },
+            ..SimConfig::queue_lock(0xFAB)
+        };
+        let stats = Simulator::new(&net, config).run(&wl(8, 100));
+        assert!(stats.fabric.forced_deliveries > 0, "{:?}", stats.fabric);
+        assert_counts_exactly(&stats, 100);
+    }
+}
+
+#[cfg(test)]
+mod trace_arrival_tests {
+    use super::*;
+    use cnet_topology::constructions;
+
+    fn trace_workload(path: &std::path::Path, ops: usize) -> Workload {
+        Workload {
+            total_ops: ops,
+            arrival: ArrivalProcess::Trace {
+                path: path.to_str().unwrap().to_string(),
+            },
+            ..Workload::paper(4, 0, 0)
+        }
+    }
+
+    fn write_trace(name: &str, content: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("cnet-sim-trace-{name}-{}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn trace_arrivals_count_exactly_and_reproducibly() {
+        let path = write_trace("basic", "0\n100\n100\n350\n400\n");
+        let net = constructions::bitonic(4).unwrap();
+        let w = trace_workload(&path, 60);
+        let a = Simulator::new(&net, SimConfig::queue_lock(8)).run(&w);
+        let b = Simulator::new(&net, SimConfig::queue_lock(8)).run(&w);
+        assert_eq!(a.operations.len(), 60);
+        let mut values: Vec<u64> = a.operations.iter().map(|o| o.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..60).collect::<Vec<u64>>());
+        assert!(a.output_counts.is_step());
+        assert_eq!(a.operations, b.operations);
+    }
+
+    #[test]
+    fn sparse_trace_gaps_pace_the_run() {
+        // gaps of 100k cycles dominate every op span: sim time must
+        // cover the replayed schedule's cycled extent
+        let path = write_trace("sparse", "0\n100000\n200000\n");
+        let net = constructions::bitonic(4).unwrap();
+        let w = trace_workload(&path, 10);
+        let stats = Simulator::new(&net, SimConfig::queue_lock(3)).run(&w);
+        assert_eq!(stats.operations.len(), 10);
+        // 9 inter-arrival gaps of 100_000 each
+        assert!(stats.sim_time >= 900_000, "sim time {}", stats.sim_time);
+        assert_eq!(stats.nonlinearizable_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "validated")]
+    fn running_an_unvalidated_bad_trace_panics() {
+        let net = constructions::bitonic(4).unwrap();
+        let w = trace_workload(std::path::Path::new("/nonexistent/cnet-trace"), 10);
+        let _ = Simulator::new(&net, SimConfig::queue_lock(1)).run(&w);
     }
 }

@@ -37,6 +37,10 @@ pub struct RunStats {
     /// The deepest FIFO queue observed at any balancer lock — a direct
     /// contention indicator.
     pub max_lock_queue: u64,
+    /// Interconnect-fabric counters (transmission attempts, drops,
+    /// retries). All zero on the degenerate legacy wire, which never
+    /// enters the fabric queue machinery.
+    pub fabric: FabricStats,
     /// Non-linearizable operations (Definition 2.4), accumulated by the
     /// simulator's streaming checker as operations complete — no
     /// post-run sweep needed.
@@ -172,7 +176,54 @@ impl RunStats {
             diffraction_pairs: self.diffraction_pairs,
             node_visits: self.node_visits,
             max_lock_queue: self.max_lock_queue,
+            fabric: (self.fabric != FabricStats::default()).then_some(self.fabric),
         }
+    }
+}
+
+/// Always-on counters of the interconnect-fabric dynamics (see
+/// [`cnet_topology::fabric`]): what the wire refused and what the
+/// retry policy did about it. Every counter is zero on the degenerate
+/// legacy wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FabricStats {
+    /// Transmission attempts onto the fabric (first tries + retries).
+    pub attempts: u64,
+    /// Attempts killed by the link's random loss draw.
+    pub loss_drops: u64,
+    /// Tokens tail-dropped at a full queue (backpressure off).
+    pub full_drops: u64,
+    /// Tokens NACKed at a full queue (backpressure on).
+    pub nack_retries: u64,
+    /// Tokens force-delivered after exhausting the per-hop attempt
+    /// budget — the fabric's guaranteed-termination escape hatch.
+    pub forced_deliveries: u64,
+    /// Deepest fabric queue observed (waiters + the token in service).
+    pub max_queue_depth: u64,
+}
+
+serde::impl_serde_struct!(FabricStats {
+    attempts,
+    loss_drops,
+    full_drops,
+    nack_retries,
+    forced_deliveries,
+    max_queue_depth,
+});
+
+impl FabricStats {
+    /// Tokens the fabric refused at least once (lost or tail-dropped
+    /// or NACKed attempts).
+    #[must_use]
+    pub fn refusals(&self) -> u64 {
+        self.loss_drops + self.full_drops + self.nack_retries
+    }
+
+    /// Retransmissions actually scheduled: every refusal retries
+    /// except the final one of a force-delivered token.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.refusals().saturating_sub(self.forced_deliveries)
     }
 }
 
@@ -212,24 +263,87 @@ pub struct StatsSummary {
     pub node_visits: u64,
     /// Deepest balancer-lock queue observed.
     pub max_lock_queue: u64,
+    /// Fabric counters, when the run's interconnect refused anything
+    /// (`None` on degenerate-wire runs and in records written before
+    /// the fabric existed).
+    pub fabric: Option<FabricStats>,
 }
 
-serde::impl_serde_struct!(StatsSummary {
-    completed_ops,
-    sim_time,
-    nonlinearizable,
-    nonlinearizable_ratio,
-    program_order_violations,
-    avg_toggle_wait,
-    average_ratio,
-    mean_latency,
-    throughput,
-    toggle_count,
-    toggle_wait_total,
-    diffraction_pairs,
-    node_visits,
-    max_lock_queue,
-});
+// Serde is hand-written (not `impl_serde_struct!`) so summaries
+// recorded before the fabric existed — including every committed
+// `BENCH_*.json` baseline — keep loading: a missing `fabric` field
+// means the degenerate wire.
+impl serde::Serialize for StatsSummary {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("completed_ops".to_string(), self.completed_ops.to_value()),
+            ("sim_time".to_string(), self.sim_time.to_value()),
+            (
+                "nonlinearizable".to_string(),
+                self.nonlinearizable.to_value(),
+            ),
+            (
+                "nonlinearizable_ratio".to_string(),
+                self.nonlinearizable_ratio.to_value(),
+            ),
+            (
+                "program_order_violations".to_string(),
+                self.program_order_violations.to_value(),
+            ),
+            (
+                "avg_toggle_wait".to_string(),
+                self.avg_toggle_wait.to_value(),
+            ),
+            ("average_ratio".to_string(), self.average_ratio.to_value()),
+            ("mean_latency".to_string(), self.mean_latency.to_value()),
+            ("throughput".to_string(), self.throughput.to_value()),
+            ("toggle_count".to_string(), self.toggle_count.to_value()),
+            (
+                "toggle_wait_total".to_string(),
+                self.toggle_wait_total.to_value(),
+            ),
+            (
+                "diffraction_pairs".to_string(),
+                self.diffraction_pairs.to_value(),
+            ),
+            ("node_visits".to_string(), self.node_visits.to_value()),
+            ("max_lock_queue".to_string(), self.max_lock_queue.to_value()),
+        ];
+        if let Some(fabric) = &self.fabric {
+            fields.push(("fabric".to_string(), fabric.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for StatsSummary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fabric = match v.get("fabric") {
+            Some(raw) => Some(
+                FabricStats::from_value(raw)
+                    .map_err(|e| serde::Error::new(format!("field `fabric`: {e}")))?,
+            ),
+            None => None,
+        };
+        Ok(StatsSummary {
+            completed_ops: v.field("completed_ops")?,
+            sim_time: v.field("sim_time")?,
+            nonlinearizable: v.field("nonlinearizable")?,
+            nonlinearizable_ratio: v.field("nonlinearizable_ratio")?,
+            program_order_violations: v.field("program_order_violations")?,
+            avg_toggle_wait: v.field("avg_toggle_wait")?,
+            average_ratio: v.field("average_ratio")?,
+            mean_latency: v.field("mean_latency")?,
+            throughput: v.field("throughput")?,
+            toggle_count: v.field("toggle_count")?,
+            toggle_wait_total: v.field("toggle_wait_total")?,
+            diffraction_pairs: v.field("diffraction_pairs")?,
+            node_visits: v.field("node_visits")?,
+            max_lock_queue: v.field("max_lock_queue")?,
+            fabric,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -250,6 +364,7 @@ mod tests {
             node_wait_total: 40,
             max_lock_queue: 0,
             nonlinearizable,
+            fabric: FabricStats::default(),
             metrics: None,
         }
     }
@@ -361,6 +476,7 @@ mod consistency_tests {
             node_wait_total: 1,
             max_lock_queue: 0,
             nonlinearizable,
+            fabric: FabricStats::default(),
             metrics: None,
         };
         assert_eq!(stats.nonlinearizable_count(), 1);
@@ -417,6 +533,7 @@ mod consistency_tests {
             node_visits: 1,
             node_wait_total: 1,
             max_lock_queue: 0,
+            fabric: FabricStats::default(),
             nonlinearizable: 0,
             metrics: None,
         };

@@ -19,7 +19,7 @@
 
 use cnet_proteus::{Placement, RunStats, SimConfig, Simulator, WaitMode, Workload};
 use cnet_topology::constructions;
-use serde::{json, Value};
+use serde::{json, Deserialize as _, Value};
 
 const FIXTURE_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -98,6 +98,38 @@ fn cases() -> Vec<Case> {
                     500,
                     300,
                     WaitMode::UniformRandom,
+                ))
+            },
+        },
+        Case {
+            // One cell of the Figure 5 sweep (width-32 bitonic,
+            // F = 25%), pinned on the figure5 binary's base seed so
+            // the fabric refactor is provably trace-identical on the
+            // published experiment's stream.
+            name: "figure5_cell_bitonic32",
+            run: || {
+                let net = constructions::bitonic(32).unwrap();
+                Simulator::new(&net, SimConfig::queue_lock(0xF165)).run(&workload(
+                    16,
+                    25,
+                    1_000,
+                    500,
+                    WaitMode::Fixed,
+                ))
+            },
+        },
+        Case {
+            // One cell of the Figure 6 sweep (F = 50%), on the figure6
+            // binary's base seed.
+            name: "figure6_cell_bitonic32",
+            run: || {
+                let net = constructions::bitonic(32).unwrap();
+                Simulator::new(&net, SimConfig::queue_lock(0xF166)).run(&workload(
+                    32,
+                    50,
+                    10_000,
+                    500,
+                    WaitMode::Fixed,
                 ))
             },
         },
@@ -206,6 +238,32 @@ fn traces_match_the_committed_fixtures() {
             case.name
         );
     }
+}
+
+#[test]
+fn legacy_wire_json_runs_trace_identical_to_the_degenerate_fabric() {
+    // a config written before the fabric existed (bare
+    // `link_cost`/`link_jitter`, no `fabric` object) must not merely
+    // parse — the run it describes must be bit-identical to the same
+    // machine spelled with the new fabric vocabulary
+    let legacy = r#"{
+        "link_cost": 20,
+        "link_jitter": 200,
+        "toggle_cost": 200,
+        "counter_cost": 0,
+        "prism": null,
+        "placement": "Uniform",
+        "seed": 5
+    }"#;
+    let parsed = SimConfig::from_value(&json::from_str(legacy).unwrap()).unwrap();
+    assert_eq!(parsed, SimConfig::queue_lock(5));
+    let net = constructions::bitonic(8).unwrap();
+    let w = workload(16, 25, 1_000, 400, WaitMode::Fixed);
+    let from_legacy = Simulator::new(&net, parsed).run(&w);
+    let from_native = Simulator::new(&net, SimConfig::queue_lock(5)).run(&w);
+    assert_eq!(trace_hash(&from_legacy), trace_hash(&from_native));
+    assert_eq!(from_legacy.sim_time, from_native.sim_time);
+    assert_eq!(snapshot(&from_legacy), snapshot(&from_native));
 }
 
 #[test]

@@ -279,6 +279,7 @@ impl Core {
             node_visits: 0,
             node_wait_total: 0,
             max_lock_queue: 0,
+            fabric: cnet_proteus::FabricStats::default(),
             nonlinearizable,
             metrics: self.counter.metrics_snapshot(0),
         };

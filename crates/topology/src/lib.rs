@@ -49,6 +49,7 @@
 
 pub mod balancer;
 pub mod constructions;
+pub mod fabric;
 pub mod io;
 pub mod random;
 pub mod router;
@@ -60,5 +61,6 @@ mod error;
 
 pub use balancer::BalancerState;
 pub use error::TopologyError;
+pub use fabric::{Fabric, FabricError, FabricShape, LinkSpec, RetryPolicy, SwitchSpec};
 pub use step::OutputCounts;
 pub use topology::{NodeId, PortRef, Topology, TopologyBuilder, WireEnd};
